@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestFigure2Golden: the printed R₁ table must match the paper verbatim.
+func TestFigure2Golden(t *testing.T) {
+	out := capture(t, figure2)
+	want := "R1 = P ⟕ T:\n  a\ta\n  b\tb\n  c\t∅\n  d\t∅\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("Fig. 2 table diverged from the paper:\n%s", out)
+	}
+}
+
+// TestFigure3Golden: R₂ and the Q₁ answer set.
+func TestFigure3Golden(t *testing.T) {
+	out := capture(t, figure3)
+	want := "R2 = R1 ⟕ U:\n  a\ta\ta\n  b\tb\t∅\n  c\t∅\tc\n  d\t∅\t∅\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("Fig. 3 table diverged from the paper:\n%s", out)
+	}
+	if !strings.Contains(out, "  a\n  b\n  c\n") {
+		t.Fatalf("Q₁ answer must be {a,b,c}:\n%s", out)
+	}
+}
+
+// TestFigure4Golden: the constrained chain's ⊥/∅ pattern and Q₂.
+func TestFigure4Golden(t *testing.T) {
+	out := capture(t, figure4)
+	want := "  a\t⊥\t⊥\n  b\t⊥\t∅\n  c\t∅\t∅\n  d\t∅\t∅\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("Fig. 4 table diverged from the paper:\n%s", out)
+	}
+	if !strings.Contains(out, "  a\n  c\n  d\n") {
+		t.Fatalf("Q₂ answer must be {a,c,d}:\n%s", out)
+	}
+}
+
+// TestFigure1Golden: the loop algorithm behaviours.
+func TestFigure1Golden(t *testing.T) {
+	out := capture(t, figure1)
+	for _, want := range []string{
+		"= true  (reads=1",
+		"= false (reads=3",
+		"= 2 rows (reads=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig. 1 behaviour diverged (missing %q):\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsRun: every experiment artifact completes and prints its
+// table header (smoke coverage for the harness itself; the numbers are
+// recorded in EXPERIMENTS.md).
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tables are slow")
+	}
+	for _, a := range []struct {
+		name string
+		fn   func()
+		want string
+	}{
+		{"e1", e1, "complement-join (paper)"},
+		{"e4", e4, "miniscope"},
+		{"e7", e7, "canonical:"},
+		{"e10", e10, "Quel-style counting"},
+	} {
+		out := capture(t, a.fn)
+		if !strings.Contains(out, a.want) {
+			t.Errorf("%s output misses %q:\n%s", a.name, a.want, out)
+		}
+	}
+}

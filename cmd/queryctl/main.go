@@ -1,0 +1,235 @@
+// Command queryctl is an interactive shell (and one-shot runner) for the
+// library: load a generated dataset, type calculus queries, inspect
+// canonical forms, plans and execution costs under the three strategies.
+//
+// Usage:
+//
+//	queryctl -dataset university -n 100                 # REPL
+//	queryctl -dataset ptu -q '{ x | P(x) and T(x) }'    # one-shot
+//
+// REPL commands:
+//
+//	\d             list relations
+//	\d NAME        show a relation's contents
+//	\strategy S    switch evaluation strategy (bry, codd, codd-improved, loop)
+//	\filters S     disjunctive-filter strategy (constrained, outerjoin, union)
+//	\explain Q     show canonical form and plan without executing
+//	\cost Q        show the plan with cost-model estimates
+//	\canonical Q   show only the canonical form
+//	\view N = DEF  define a view, e.g. \view busy = { x | exists y: attends(x, y) }
+//	\load N PATH   load tab-separated tuples into relation N
+//	\save N PATH   save relation N as tab-separated text
+//	\quit          exit
+//
+// Anything else is parsed as a query and executed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/storage"
+	"repro/internal/translate"
+)
+
+func main() {
+	ds := flag.String("dataset", "university", "dataset: university, ptu, rstg")
+	n := flag.Int("n", 100, "dataset scale")
+	strategy := flag.String("strategy", "bry", "evaluation strategy: bry, codd, codd-improved, loop")
+	oneShot := flag.String("q", "", "run a single query and exit")
+	flag.Parse()
+
+	cat, err := buildDataset(*ds, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	eng := core.NewEngine(db)
+	if err := setStrategy(eng, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *oneShot != "" {
+		if err := runQuery(eng, *oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("dataset %q (scale %d), strategy %s — \\d lists relations, \\quit exits\n", *ds, *n, eng.Strategy)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("query> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\d`:
+			for _, name := range db.Catalog().Names() {
+				r, _ := db.Catalog().Relation(name)
+				fmt.Printf("  %s%s — %d tuples\n", name, r.Schema(), r.Len())
+			}
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(line[3:])
+			r, err := db.Catalog().Relation(name)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Print(r)
+		case strings.HasPrefix(line, `\strategy `):
+			if err := setStrategy(eng, strings.TrimSpace(line[10:])); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("strategy = %s\n", eng.Strategy)
+			}
+		case strings.HasPrefix(line, `\filters `):
+			if err := setFilters(eng, strings.TrimSpace(line[9:])); err != nil {
+				fmt.Println(err)
+			}
+		case strings.HasPrefix(line, `\explain `):
+			out, err := eng.Explain(strings.TrimSpace(line[9:]))
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Print(out)
+			}
+		case strings.HasPrefix(line, `\cost `):
+			out, err := eng.ExplainCost(strings.TrimSpace(line[6:]))
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Print(out)
+			}
+		case strings.HasPrefix(line, `\canonical `):
+			p, err := eng.Prepare(strings.TrimSpace(line[11:]))
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println(p.Canonical)
+			}
+		case strings.HasPrefix(line, `\view `):
+			rest := strings.TrimSpace(line[6:])
+			name, def, ok := strings.Cut(rest, "=")
+			if !ok {
+				fmt.Println(`usage: \view NAME = { x | ... }`)
+				break
+			}
+			if err := db.DefineView(strings.TrimSpace(name), strings.TrimSpace(def)); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("view %s defined\n", strings.TrimSpace(name))
+			}
+		case strings.HasPrefix(line, `\load `):
+			name, path, ok := splitTwo(line[6:])
+			if !ok {
+				fmt.Println(`usage: \load RELATION PATH`)
+				break
+			}
+			n, err := db.Catalog().LoadFile(name, path)
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("loaded %d tuples into %s\n", n, name)
+			}
+		case strings.HasPrefix(line, `\save `):
+			name, path, ok := splitTwo(line[6:])
+			if !ok {
+				fmt.Println(`usage: \save RELATION PATH`)
+				break
+			}
+			if err := db.Catalog().SaveFile(name, path); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("saved %s to %s\n", name, path)
+			}
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown command %q\n", line)
+		default:
+			if err := runQuery(eng, line); err != nil {
+				fmt.Println(err)
+			}
+		}
+		fmt.Print("query> ")
+	}
+}
+
+func buildDataset(name string, n int) (*storage.Catalog, error) {
+	switch name {
+	case "university":
+		return dataset.University(dataset.DefaultUniversity(n)), nil
+	case "ptu":
+		return dataset.PTU(dataset.PTUParams{N: n, TProb: 0.5, UProb: 0.3, ExtraShare: 0.2, Branches: 3, Seed: 1}), nil
+	case "rstg":
+		return dataset.RSTG(dataset.DefaultRSTG(n)), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (university, ptu, rstg)", name)
+	}
+}
+
+func setStrategy(eng *core.Engine, s string) error {
+	switch s {
+	case "bry":
+		eng.Strategy = core.StrategyBry
+	case "codd":
+		eng.Strategy = core.StrategyCodd
+	case "codd-improved":
+		eng.Strategy = core.StrategyCoddImproved
+	case "loop":
+		eng.Strategy = core.StrategyLoop
+	default:
+		return fmt.Errorf("unknown strategy %q (bry, codd, loop)", s)
+	}
+	return nil
+}
+
+func setFilters(eng *core.Engine, s string) error {
+	switch s {
+	case "constrained":
+		eng.Options.DisjunctiveFilters = translate.StrategyConstrainedOuterJoin
+	case "outerjoin":
+		eng.Options.DisjunctiveFilters = translate.StrategyOuterJoin
+	case "union":
+		eng.Options.DisjunctiveFilters = translate.StrategyUnion
+	default:
+		return fmt.Errorf("unknown filter strategy %q (constrained, outerjoin, union)", s)
+	}
+	return nil
+}
+
+func runQuery(eng *core.Engine, input string) error {
+	res, err := eng.Query(input)
+	if err != nil {
+		return err
+	}
+	if res.Open {
+		fmt.Print(res.Rows)
+		fmt.Printf("(%d rows)\n", res.Rows.Len())
+	} else {
+		fmt.Println(res.Truth)
+	}
+	fmt.Printf("canonical: %s\ncost: %s\n", res.Canonical, res.Stats.String())
+	return nil
+}
+
+// splitTwo splits "name path" into its two fields.
+func splitTwo(s string) (string, string, bool) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return "", "", false
+	}
+	return fields[0], fields[1], true
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/translate"
+)
+
+func TestBuildDataset(t *testing.T) {
+	for _, name := range []string{"university", "ptu", "rstg"} {
+		cat, err := buildDataset(name, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cat.Names()) == 0 {
+			t.Fatalf("%s: empty catalog", name)
+		}
+	}
+	if _, err := buildDataset("nope", 10); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestSetStrategyAndFilters(t *testing.T) {
+	cat, _ := buildDataset("ptu", 10)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	eng := core.NewEngine(db)
+	for name, want := range map[string]core.Strategy{
+		"bry": core.StrategyBry, "codd": core.StrategyCodd,
+		"codd-improved": core.StrategyCoddImproved, "loop": core.StrategyLoop,
+	} {
+		if err := setStrategy(eng, name); err != nil || eng.Strategy != want {
+			t.Fatalf("setStrategy(%s): %v -> %v", name, err, eng.Strategy)
+		}
+	}
+	if err := setStrategy(eng, "warp"); err == nil {
+		t.Fatal("unknown strategy must fail")
+	}
+	for name, want := range map[string]translate.DisjFilterStrategy{
+		"constrained": translate.StrategyConstrainedOuterJoin,
+		"outerjoin":   translate.StrategyOuterJoin,
+		"union":       translate.StrategyUnion,
+	} {
+		if err := setFilters(eng, name); err != nil || eng.Options.DisjunctiveFilters != want {
+			t.Fatalf("setFilters(%s): %v", name, err)
+		}
+	}
+	if err := setFilters(eng, "nope"); err == nil {
+		t.Fatal("unknown filter strategy must fail")
+	}
+}
+
+func TestSplitTwo(t *testing.T) {
+	if a, b, ok := splitTwo(" rel  path "); !ok || a != "rel" || b != "path" {
+		t.Fatalf("splitTwo = %q %q %v", a, b, ok)
+	}
+	if _, _, ok := splitTwo("one"); ok {
+		t.Fatal("one field must fail")
+	}
+	if _, _, ok := splitTwo("a b c"); ok {
+		t.Fatal("three fields must fail")
+	}
+}
+
+func TestRunQueryHelper(t *testing.T) {
+	cat, _ := buildDataset("ptu", 10)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	eng := core.NewEngine(db)
+	if err := runQuery(eng, `{ x | P(x) and T(x) }`); err != nil {
+		t.Fatalf("open query: %v", err)
+	}
+	if err := runQuery(eng, `exists x: P(x)`); err != nil {
+		t.Fatalf("closed query: %v", err)
+	}
+	if err := runQuery(eng, `{ x | nope(`); err == nil {
+		t.Fatal("parse error must surface")
+	}
+}

@@ -1,0 +1,71 @@
+// Disjunction: §3.3 in action — the same disjunctive-filter query compiled
+// three ways (constrained outer-joins, plain outer-joins, unions), with
+// plans and measured costs, on scalable P/T/U data.
+//
+//	go run ./examples/disjunction
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/translate"
+)
+
+func main() {
+	cat := dataset.PTU(dataset.PTUParams{
+		N: 20000, TProb: 0.6, UProb: 0.2, ExtraShare: 0.25, Branches: 3, Seed: 11,
+	})
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+
+	queries := []struct {
+		title string
+		text  string
+	}{
+		{"positive branches (Fig. 3 shape)", `{ x | P(x) and (T(x) or U(x) or T2(x)) }`},
+		{"negated first branch (Fig. 4 shape)", `{ x | P(x) and (not T(x) or U(x)) }`},
+	}
+	strategies := []struct {
+		name string
+		s    translate.DisjFilterStrategy
+	}{
+		{"constrained outer-joins (the paper)", translate.StrategyConstrainedOuterJoin},
+		{"plain outer-joins (no constraints)", translate.StrategyOuterJoin},
+		{"conventional unions", translate.StrategyUnion},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, q := range queries {
+		fmt.Printf("== %s\n   %s\n\n", q.title, q.text)
+		for _, st := range strategies {
+			eng := core.NewEngine(db)
+			eng.Options = translate.Options{DisjunctiveFilters: st.s}
+			p, err := eng.Prepare(q.text)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := eng.Run(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("-- %s\n%s", st.name, p.Explain())
+			fmt.Fprintf(w, "rows\treads\tcomparisons\tintermediates\tmaterializations\n")
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\n\n", res.Rows.Len(),
+				res.Stats.BaseTuplesRead, res.Stats.Comparisons,
+				res.Stats.IntermediateTuples, res.Stats.Materializations)
+			w.Flush()
+		}
+	}
+	fmt.Println("Note how the constrained chain reads each relation once and")
+	fmt.Println("probes later branches only for tuples no earlier branch matched,")
+	fmt.Println("while the union strategy re-reads the producer per branch and")
+	fmt.Println("materializes the union.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: define a tiny database, ask quantified questions, and look
+// at the plans the library builds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func main() {
+	// 1. Define a database.
+	db := core.NewDB()
+	student := db.MustDefine("student", "name")
+	attends := db.MustDefine("attends", "name", "lecture")
+	lecture := db.MustDefine("lecture", "id")
+
+	for _, n := range []string{"ann", "bob", "eve"} {
+		student.InsertValues(relation.Str(n))
+	}
+	for _, l := range []string{"db101", "ai202"} {
+		lecture.InsertValues(relation.Str(l))
+	}
+	attends.InsertValues(relation.Str("ann"), relation.Str("db101"))
+	attends.InsertValues(relation.Str("ann"), relation.Str("ai202"))
+	attends.InsertValues(relation.Str("bob"), relation.Str("db101"))
+
+	eng := core.NewEngine(db)
+
+	// 2. An open query: who attends every lecture? The universal
+	// quantifier is normalized away (Rules 4/5) and evaluated with a
+	// complement-join — no division, no cartesian product.
+	res, err := eng.Query(`{ x | student(x) and forall y: lecture(y) => attends(x, y) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("attends everything:")
+	fmt.Print(res.Rows)
+	fmt.Printf("cost: %s\n\n", res.Stats.String())
+
+	// 3. A closed (yes/no) query: is someone skipping lectures entirely?
+	res, err = eng.Query(`exists x: student(x) and not exists y: attends(x, y)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("someone attends nothing: %v\n\n", res.Truth)
+
+	// 4. Explain shows the canonical form and the algebra plan.
+	out, err := eng.Explain(`{ x | student(x) and forall y: lecture(y) => attends(x, y) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

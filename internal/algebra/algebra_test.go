@@ -1,0 +1,205 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestPredEval(t *testing.T) {
+	tu := relation.NewTuple(relation.Int(1), relation.Int(2), relation.Str("a"), relation.Null())
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{True{}, true},
+		{CmpCols{Left: 0, Op: OpLt, Right: 1}, true},
+		{CmpCols{Left: 1, Op: OpEq, Right: 0}, false},
+		{CmpConst{Col: 2, Op: OpEq, Const: relation.Str("a")}, true},
+		{CmpConst{Col: 0, Op: OpGe, Const: relation.Int(5)}, false},
+		{IsNull{Col: 3}, true},
+		{IsNull{Col: 0}, false},
+		{NotNull{Col: 0}, true},
+		{NotNull{Col: 3}, false},
+		{Not{Pred: True{}}, false},
+		{And{Preds: []Pred{True{}, NotNull{Col: 0}}}, true},
+		{And{Preds: []Pred{Not{Pred: True{}}, True{}}}, false},
+		{Or{Preds: []Pred{Not{Pred: True{}}, True{}}}, true},
+		{Or{Preds: []Pred{IsNull{Col: 0}, IsNull{Col: 1}}}, false},
+		// Comparisons against the null symbol never hold.
+		{CmpCols{Left: 3, Op: OpEq, Right: 3}, false},
+		{CmpConst{Col: 3, Op: OpNe, Const: relation.Int(1)}, false},
+	}
+	for _, c := range cases {
+		got, _ := c.p.Eval(tu)
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPredShortCircuitCounting(t *testing.T) {
+	tu := relation.NewTuple(relation.Int(1))
+	and := And{Preds: []Pred{Not{Pred: True{}}, CmpConst{Col: 0, Op: OpEq, Const: relation.Int(1)}}}
+	_, n := and.Eval(tu)
+	if n != 0 {
+		t.Fatalf("short-circuited AND charged %d comparisons, want 0", n)
+	}
+	or := Or{Preds: []Pred{CmpConst{Col: 0, Op: OpEq, Const: relation.Int(1)}, CmpConst{Col: 0, Op: OpEq, Const: relation.Int(2)}}}
+	_, n = or.Eval(tu)
+	if n != 1 {
+		t.Fatalf("short-circuited OR charged %d comparisons, want 1", n)
+	}
+}
+
+func TestConjDisjBuilders(t *testing.T) {
+	if _, ok := ConjAll().(True); !ok {
+		t.Fatal("empty conjunction must be True")
+	}
+	if _, ok := ConjAll(True{}, True{}).(True); !ok {
+		t.Fatal("trivial conjunction must fold to True")
+	}
+	p := CmpConst{Col: 0, Op: OpEq, Const: relation.Int(1)}
+	if got := ConjAll(True{}, p); got != Pred(p) {
+		t.Fatalf("singleton conjunction must unwrap, got %v", got)
+	}
+	if got := DisjAll(p); got != Pred(p) {
+		t.Fatal("singleton disjunction must unwrap")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty disjunction must panic")
+		}
+	}()
+	DisjAll()
+}
+
+func TestSchemas(t *testing.T) {
+	sc := relation.NewSchema("a", "b")
+	scan := NewScan("r", sc)
+	if scan.Schema().Arity() != 2 {
+		t.Fatal("scan schema")
+	}
+	sel := &Select{Input: scan, Pred: True{}}
+	if sel.Schema().Arity() != 2 {
+		t.Fatal("select schema")
+	}
+	proj := &Project{Input: scan, Cols: []int{1}}
+	if proj.Schema().Arity() != 1 || proj.Schema()[0].Name != "b" {
+		t.Fatal("project schema")
+	}
+	other := NewScan("s", relation.NewSchema("c"))
+	if (&Product{Left: scan, Right: other}).Schema().Arity() != 3 {
+		t.Fatal("product schema")
+	}
+	if (&Join{Left: scan, Right: other}).Schema().Arity() != 3 {
+		t.Fatal("join schema")
+	}
+	if (&SemiJoin{Left: scan, Right: other}).Schema().Arity() != 2 {
+		t.Fatal("semi-join schema keeps the left")
+	}
+	if (&ComplementJoin{Left: scan, Right: other}).Schema().Arity() != 2 {
+		t.Fatal("complement-join schema keeps the left")
+	}
+	oj := &OuterJoin{Left: scan, Right: other}
+	if oj.Schema().Arity() != 3 || !oj.Schema()[2].Internal {
+		t.Fatal("outer-join appends internal right columns")
+	}
+	coj := &ConstrainedOuterJoin{Left: scan, Right: other}
+	if coj.Schema().Arity() != 3 || !coj.Schema()[2].Internal {
+		t.Fatal("constrained outer-join appends one internal flag")
+	}
+	div := &Division{Dividend: scan, Divisor: other, KeyCols: []int{0}, DivCols: []int{1}}
+	if div.Schema().Arity() != 1 {
+		t.Fatal("division schema is the key projection")
+	}
+}
+
+func TestConstraintHolds(t *testing.T) {
+	coj := &ConstrainedOuterJoin{Constraint: []NullCond{{Col: 1, IsNull: true}}}
+	if !coj.ConstraintHolds(relation.NewTuple(relation.Int(1), relation.Null())) {
+		t.Fatal("null constraint must hold on ∅")
+	}
+	if coj.ConstraintHolds(relation.NewTuple(relation.Int(1), relation.Mark())) {
+		t.Fatal("null constraint must fail on ⊥")
+	}
+	empty := &ConstrainedOuterJoin{}
+	if !empty.ConstraintHolds(relation.NewTuple()) {
+		t.Fatal("empty constraint holds vacuously")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	sc := relation.NewSchema("a")
+	scan := NewScan("r", sc)
+	plan := &Project{
+		Input: &Select{Input: &ComplementJoin{Left: scan, Right: NewScan("s", sc), On: []ColPair{{0, 0}}}, Pred: True{}},
+		Cols:  []int{0},
+	}
+	out := Explain(plan)
+	for _, want := range []string{"π[1]", "σ[true]", "⊼[1=1]", "Scan r", "Scan s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain misses %q:\n%s", want, out)
+		}
+	}
+	// Indentation reflects the tree depth.
+	if !strings.Contains(out, "\n  σ") || !strings.Contains(out, "\n    ⊼") {
+		t.Errorf("Explain indentation wrong:\n%s", out)
+	}
+}
+
+func TestExplainBool(t *testing.T) {
+	sc := relation.NewSchema("a")
+	bp := &BoolAnd{Inputs: []BoolPlan{
+		&NotEmpty{Input: NewScan("r", sc)},
+		&BoolNot{Input: &IsEmpty{Input: NewScan("s", sc)}},
+		&BoolConst{Value: true},
+		&BoolOr{Inputs: []BoolPlan{&BoolConst{Value: false}}},
+	}}
+	out := ExplainBool(bp)
+	for _, want := range []string{"AND", "≠∅", "NOT", "=∅", "TRUE", "OR", "FALSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainBool misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountOperators(t *testing.T) {
+	sc := relation.NewSchema("a")
+	plan := &Union{
+		Left:  &Select{Input: NewScan("r", sc), Pred: True{}},
+		Right: NewScan("s", sc),
+	}
+	n := CountOperators(plan, func(p Plan) bool { _, ok := p.(*Scan); return ok })
+	if n != 2 {
+		t.Fatalf("CountOperators = %d, want 2", n)
+	}
+	bp := &BoolOr{Inputs: []BoolPlan{&NotEmpty{Input: plan}, &IsEmpty{Input: NewScan("t", sc)}}}
+	n = CountBoolOperators(bp, func(p Plan) bool { _, ok := p.(*Scan); return ok })
+	if n != 3 {
+		t.Fatalf("CountBoolOperators = %d, want 3", n)
+	}
+}
+
+func TestDescribeStrings(t *testing.T) {
+	sc := relation.NewSchema("a")
+	r, s2 := NewScan("r", sc), NewScan("s", sc)
+	cases := map[string]Plan{
+		"Scan r":             r,
+		"×":                  &Product{Left: r, Right: s2},
+		"∪":                  &Union{Left: r, Right: s2},
+		"−":                  &Diff{Left: r, Right: s2},
+		"∩":                  &Intersect{Left: r, Right: s2},
+		"Materialize tmp":    &Materialize{Input: r, Label: "tmp"},
+		"÷[key 1; div 1]":    &Division{Dividend: r, Divisor: s2, KeyCols: []int{0}, DivCols: []int{0}},
+		"⟕[1=1]":             &OuterJoin{Left: r, Right: s2, On: []ColPair{{0, 0}}},
+		"⋉[1=1]":             &SemiJoin{Left: r, Right: s2, On: []ColPair{{0, 0}}},
+		"⟕⊥[1=1] const{2≠∅}": &ConstrainedOuterJoin{Left: r, Right: s2, On: []ColPair{{0, 0}}, Constraint: []NullCond{{Col: 1, IsNull: false}}},
+	}
+	for want, p := range cases {
+		if got := p.Describe(); got != want {
+			t.Errorf("Describe = %q, want %q", got, want)
+		}
+	}
+}

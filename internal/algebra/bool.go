@@ -1,0 +1,97 @@
+package algebra
+
+// BoolPlan is the boolean layer of the extended algebra proposed in §3.2:
+// closed (yes/no) queries translate to emptiness tests over relational
+// plans, combined with boolean connectives. The executor evaluates
+// emptiness tests lazily — it stops pulling tuples from the underlying
+// plan as soon as the first one arrives — which is exactly the early
+// termination of Fig. 1's loop algorithms, recovered algebraically.
+type BoolPlan interface {
+	// BoolChildren returns nested boolean plans.
+	BoolChildren() []BoolPlan
+	// PlanChildren returns relational plans tested by this node.
+	PlanChildren() []Plan
+	// Describe returns a one-line description for Explain.
+	Describe() string
+}
+
+// NotEmpty tests {x | F} ≠ ∅: the translation of a closed existential query.
+type NotEmpty struct{ Input Plan }
+
+// BoolChildren implements BoolPlan.
+func (n *NotEmpty) BoolChildren() []BoolPlan { return nil }
+
+// PlanChildren implements BoolPlan.
+func (n *NotEmpty) PlanChildren() []Plan { return []Plan{n.Input} }
+
+// Describe implements BoolPlan.
+func (n *NotEmpty) Describe() string { return "≠∅" }
+
+// IsEmpty tests {x | F} = ∅: the translation of a negated closed
+// existential query (hence, via Rules 4-5, of universal queries).
+type IsEmpty struct{ Input Plan }
+
+// BoolChildren implements BoolPlan.
+func (n *IsEmpty) BoolChildren() []BoolPlan { return nil }
+
+// PlanChildren implements BoolPlan.
+func (n *IsEmpty) PlanChildren() []Plan { return []Plan{n.Input} }
+
+// Describe implements BoolPlan.
+func (n *IsEmpty) Describe() string { return "=∅" }
+
+// BoolAnd is the conjunction of boolean plans, evaluated left to right with
+// short-circuiting.
+type BoolAnd struct{ Inputs []BoolPlan }
+
+// BoolChildren implements BoolPlan.
+func (n *BoolAnd) BoolChildren() []BoolPlan { return n.Inputs }
+
+// PlanChildren implements BoolPlan.
+func (n *BoolAnd) PlanChildren() []Plan { return nil }
+
+// Describe implements BoolPlan.
+func (n *BoolAnd) Describe() string { return "AND" }
+
+// BoolOr is the disjunction of boolean plans, evaluated left to right with
+// short-circuiting.
+type BoolOr struct{ Inputs []BoolPlan }
+
+// BoolChildren implements BoolPlan.
+func (n *BoolOr) BoolChildren() []BoolPlan { return n.Inputs }
+
+// PlanChildren implements BoolPlan.
+func (n *BoolOr) PlanChildren() []Plan { return nil }
+
+// Describe implements BoolPlan.
+func (n *BoolOr) Describe() string { return "OR" }
+
+// BoolNot negates a boolean plan.
+type BoolNot struct{ Input BoolPlan }
+
+// BoolChildren implements BoolPlan.
+func (n *BoolNot) BoolChildren() []BoolPlan { return []BoolPlan{n.Input} }
+
+// PlanChildren implements BoolPlan.
+func (n *BoolNot) PlanChildren() []Plan { return nil }
+
+// Describe implements BoolPlan.
+func (n *BoolNot) Describe() string { return "NOT" }
+
+// BoolConst is a constant truth value; it arises when normalization reduces
+// a subquery to a tautology or contradiction.
+type BoolConst struct{ Value bool }
+
+// BoolChildren implements BoolPlan.
+func (n *BoolConst) BoolChildren() []BoolPlan { return nil }
+
+// PlanChildren implements BoolPlan.
+func (n *BoolConst) PlanChildren() []Plan { return nil }
+
+// Describe implements BoolPlan.
+func (n *BoolConst) Describe() string {
+	if n.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}

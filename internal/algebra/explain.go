@@ -1,0 +1,72 @@
+package algebra
+
+import "strings"
+
+// Explain renders a plan tree as an indented multi-line string, one operator
+// per line, children indented below their parent.
+func Explain(p Plan) string {
+	var b strings.Builder
+	explainPlan(&b, p, 0)
+	return b.String()
+}
+
+// ExplainBool renders a boolean plan tree.
+func ExplainBool(p BoolPlan) string {
+	var b strings.Builder
+	explainBool(&b, p, 0)
+	return b.String()
+}
+
+func explainPlan(b *strings.Builder, p Plan, depth int) {
+	indent(b, depth)
+	b.WriteString(p.Describe())
+	b.WriteByte('\n')
+	for _, c := range p.Children() {
+		explainPlan(b, c, depth+1)
+	}
+}
+
+func explainBool(b *strings.Builder, p BoolPlan, depth int) {
+	indent(b, depth)
+	b.WriteString(p.Describe())
+	b.WriteByte('\n')
+	for _, c := range p.BoolChildren() {
+		explainBool(b, c, depth+1)
+	}
+	for _, c := range p.PlanChildren() {
+		explainPlan(b, c, depth+1)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// CountOperators walks the plan and returns how many nodes satisfy the
+// given test; benchmarks use it to assert plan shapes (e.g. "the Bry plan
+// contains no Product and no Division").
+func CountOperators(p Plan, test func(Plan) bool) int {
+	n := 0
+	if test(p) {
+		n++
+	}
+	for _, c := range p.Children() {
+		n += CountOperators(c, test)
+	}
+	return n
+}
+
+// CountBoolOperators is CountOperators over a boolean plan, applying the
+// test to every relational plan hanging off the boolean tree.
+func CountBoolOperators(p BoolPlan, test func(Plan) bool) int {
+	n := 0
+	for _, c := range p.BoolChildren() {
+		n += CountBoolOperators(c, test)
+	}
+	for _, c := range p.PlanChildren() {
+		n += CountOperators(c, test)
+	}
+	return n
+}

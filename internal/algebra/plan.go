@@ -1,0 +1,383 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Plan is a node of a relational algebra expression tree. Plans are
+// immutable once built; the executor walks them without mutation.
+type Plan interface {
+	// Schema returns the output schema of the node.
+	Schema() relation.Schema
+	// Children returns the input plans, left to right.
+	Children() []Plan
+	// Describe returns a one-line operator description for Explain.
+	Describe() string
+}
+
+// ColPair is one equality i=j of a join condition 'conj' (Definition 6):
+// Left indexes the left input's columns, Right the right input's.
+type ColPair struct {
+	Left  int
+	Right int
+}
+
+// pairString renders a join condition in the paper's 1=1 ∧ 2=2 notation.
+func pairString(on []ColPair) string {
+	if len(on) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(on))
+	for i, p := range on {
+		parts[i] = fmt.Sprintf("%d=%d", p.Left+1, p.Right+1)
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Scan reads a named base relation from the catalog.
+type Scan struct {
+	Name string
+	Sch  relation.Schema
+}
+
+// NewScan builds a scan over a base relation with a known schema.
+func NewScan(name string, sch relation.Schema) *Scan { return &Scan{Name: name, Sch: sch} }
+
+// Schema implements Plan.
+func (s *Scan) Schema() relation.Schema { return s.Sch }
+
+// Children implements Plan.
+func (s *Scan) Children() []Plan { return nil }
+
+// Describe implements Plan.
+func (s *Scan) Describe() string { return "Scan " + s.Name }
+
+// Select filters tuples by a predicate (σ).
+type Select struct {
+	Input Plan
+	Pred  Pred
+}
+
+// Schema implements Plan.
+func (s *Select) Schema() relation.Schema { return s.Input.Schema() }
+
+// Children implements Plan.
+func (s *Select) Children() []Plan { return []Plan{s.Input} }
+
+// Describe implements Plan.
+func (s *Select) Describe() string { return "σ[" + s.Pred.String() + "]" }
+
+// Project keeps the listed 0-based columns (π). Output has set semantics:
+// duplicates introduced by the projection are removed, unless the planner
+// marks the projection duplicate-free (NoDedup) — Proposition 5 proves this
+// for the projection over a constrained outer-join chain, letting the
+// executor skip the deduplication buffer entirely.
+type Project struct {
+	Input   Plan
+	Cols    []int
+	NoDedup bool
+}
+
+// Schema implements Plan.
+func (p *Project) Schema() relation.Schema { return p.Input.Schema().Project(p.Cols) }
+
+// Children implements Plan.
+func (p *Project) Children() []Plan { return []Plan{p.Input} }
+
+// Describe implements Plan.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		parts[i] = fmt.Sprintf("%d", c+1)
+	}
+	return "π[" + strings.Join(parts, ",") + "]"
+}
+
+// Product is the cartesian product (×). It exists chiefly for the Codd
+// baseline translation; the Bry translator never emits it.
+type Product struct {
+	Left, Right Plan
+}
+
+// Schema implements Plan.
+func (p *Product) Schema() relation.Schema { return p.Left.Schema().Concat(p.Right.Schema()) }
+
+// Children implements Plan.
+func (p *Product) Children() []Plan { return []Plan{p.Left, p.Right} }
+
+// Describe implements Plan.
+func (p *Product) Describe() string { return "×" }
+
+// Join is the equi-join (⋈) with an optional residual predicate evaluated
+// over the concatenated tuple.
+type Join struct {
+	Left, Right Plan
+	On          []ColPair
+	Residual    Pred // nil means no residual
+}
+
+// Schema implements Plan.
+func (j *Join) Schema() relation.Schema { return j.Left.Schema().Concat(j.Right.Schema()) }
+
+// Children implements Plan.
+func (j *Join) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Describe implements Plan.
+func (j *Join) Describe() string {
+	d := "⋈[" + pairString(j.On) + "]"
+	if j.Residual != nil {
+		d += " where " + j.Residual.String()
+	}
+	return d
+}
+
+// SemiJoin (⋉) keeps the left tuples having at least one join partner.
+type SemiJoin struct {
+	Left, Right Plan
+	On          []ColPair
+}
+
+// Schema implements Plan.
+func (j *SemiJoin) Schema() relation.Schema { return j.Left.Schema() }
+
+// Children implements Plan.
+func (j *SemiJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Describe implements Plan.
+func (j *SemiJoin) Describe() string { return "⋉[" + pairString(j.On) + "]" }
+
+// ComplementJoin is the paper's new operator (Definition 6), written P ⊼ Q:
+// the left tuples having NO join partner. It generalizes set difference
+// (Proposition 3) and is the workhorse for negation and universal
+// quantification in the Bry translation.
+type ComplementJoin struct {
+	Left, Right Plan
+	On          []ColPair
+}
+
+// Schema implements Plan.
+func (j *ComplementJoin) Schema() relation.Schema { return j.Left.Schema() }
+
+// Children implements Plan.
+func (j *ComplementJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Describe implements Plan.
+func (j *ComplementJoin) Describe() string { return "⊼[" + pairString(j.On) + "] (complement-join)" }
+
+// OuterJoin is the unidirectional (left) outer-join of [LP 76] used in
+// Figs. 2-3: every left tuple survives; matched tuples carry the right
+// columns, unmatched ones carry ∅ in every right column.
+type OuterJoin struct {
+	Left, Right Plan
+	On          []ColPair
+}
+
+// Schema implements Plan.
+func (j *OuterJoin) Schema() relation.Schema {
+	right := j.Right.Schema()
+	out := j.Left.Schema()
+	for _, a := range right {
+		out = out.Append(relation.Attribute{Name: a.Name, Internal: true})
+	}
+	return out
+}
+
+// Children implements Plan.
+func (j *OuterJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Describe implements Plan.
+func (j *OuterJoin) Describe() string { return "⟕[" + pairString(j.On) + "]" }
+
+// NullCond is one conjunct (i = ∅) or (i ≠ ∅) of a constrained outer-join's
+// 'const' gate (Definition 7), over the LEFT input's columns.
+type NullCond struct {
+	Col    int
+	IsNull bool // true: col = ∅; false: col ≠ ∅
+}
+
+func (c NullCond) String() string {
+	if c.IsNull {
+		return fmt.Sprintf("%d=∅", c.Col+1)
+	}
+	return fmt.Sprintf("%d≠∅", c.Col+1)
+}
+
+// holds evaluates the condition on a left tuple.
+func (c NullCond) holds(t relation.Tuple) bool { return t[c.Col].IsNull() == c.IsNull }
+
+// ConstrainedOuterJoin implements Definition 7. For a p-ary left input it
+// produces arity p+1: the appended flag column holds ⊥ when the left tuple
+// satisfies the constraint and has a join partner, and ∅ otherwise.
+// Left tuples failing the constraint are not probed against the right input
+// at all — that is the operator's whole point (§3.3: "the useless search can
+// be avoided by constraining the second outer-join").
+//
+// An empty Constraint means every left tuple is probed; that is the form of
+// the first operator in a Prop. 5 chain (Fig. 4's P ⟕⊥ T).
+type ConstrainedOuterJoin struct {
+	Left, Right Plan
+	On          []ColPair
+	Constraint  []NullCond
+}
+
+// ConstraintHolds reports whether the 'const' gate admits the left tuple.
+func (j *ConstrainedOuterJoin) ConstraintHolds(t relation.Tuple) bool {
+	for _, c := range j.Constraint {
+		if !c.holds(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema implements Plan.
+func (j *ConstrainedOuterJoin) Schema() relation.Schema {
+	return j.Left.Schema().Append(relation.Attribute{Name: "m", Internal: true})
+}
+
+// Children implements Plan.
+func (j *ConstrainedOuterJoin) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Describe implements Plan.
+func (j *ConstrainedOuterJoin) Describe() string {
+	var b strings.Builder
+	b.WriteString("⟕⊥[")
+	b.WriteString(pairString(j.On))
+	b.WriteString("]")
+	if len(j.Constraint) > 0 {
+		parts := make([]string, len(j.Constraint))
+		for i, c := range j.Constraint {
+			parts[i] = c.String()
+		}
+		b.WriteString(" const{" + strings.Join(parts, "∧") + "}")
+	}
+	return b.String()
+}
+
+// Union is set union (∪) of two same-arity inputs.
+type Union struct {
+	Left, Right Plan
+}
+
+// Schema implements Plan.
+func (u *Union) Schema() relation.Schema { return u.Left.Schema() }
+
+// Children implements Plan.
+func (u *Union) Children() []Plan { return []Plan{u.Left, u.Right} }
+
+// Describe implements Plan.
+func (u *Union) Describe() string { return "∪" }
+
+// Diff is set difference (−) of two same-arity inputs.
+type Diff struct {
+	Left, Right Plan
+}
+
+// Schema implements Plan.
+func (d *Diff) Schema() relation.Schema { return d.Left.Schema() }
+
+// Children implements Plan.
+func (d *Diff) Children() []Plan { return []Plan{d.Left, d.Right} }
+
+// Describe implements Plan.
+func (d *Diff) Describe() string { return "−" }
+
+// Intersect is set intersection (∩) of two same-arity inputs.
+type Intersect struct {
+	Left, Right Plan
+}
+
+// Schema implements Plan.
+func (d *Intersect) Schema() relation.Schema { return d.Left.Schema() }
+
+// Children implements Plan.
+func (d *Intersect) Children() []Plan { return []Plan{d.Left, d.Right} }
+
+// Describe implements Plan.
+func (d *Intersect) Describe() string { return "∩" }
+
+// Division is Codd's ÷, generalized with explicit column mappings:
+// a dividend tuple group identified by KeyCols appears in the output iff
+// for EVERY divisor tuple, the dividend contains the group's key combined
+// (at DivCols) with that divisor tuple. When the divisor is empty the
+// result is the projection of the dividend onto KeyCols, matching the
+// logical reading ∀z ∈ ∅: … (vacuously true).
+type Division struct {
+	Dividend Plan
+	Divisor  Plan
+	// KeyCols are the dividend columns forming the result (the paper's π12).
+	KeyCols []int
+	// DivCols are the dividend columns matched against the divisor tuple,
+	// positionally; len(DivCols) must equal the divisor's arity.
+	DivCols []int
+}
+
+// Schema implements Plan.
+func (d *Division) Schema() relation.Schema { return d.Dividend.Schema().Project(d.KeyCols) }
+
+// Children implements Plan.
+func (d *Division) Children() []Plan { return []Plan{d.Dividend, d.Divisor} }
+
+// Describe implements Plan.
+func (d *Division) Describe() string {
+	kp := make([]string, len(d.KeyCols))
+	for i, c := range d.KeyCols {
+		kp[i] = fmt.Sprintf("%d", c+1)
+	}
+	dp := make([]string, len(d.DivCols))
+	for i, c := range d.DivCols {
+		dp[i] = fmt.Sprintf("%d", c+1)
+	}
+	return fmt.Sprintf("÷[key %s; div %s]", strings.Join(kp, ","), strings.Join(dp, ","))
+}
+
+// GroupCount groups the input by the listed columns and appends the count
+// of (distinct, by set semantics) tuples per group; with no group columns
+// it emits a single row holding the input's cardinality.
+//
+// The operator exists for the Quel-style baseline the paper's introduction
+// criticizes: universal quantification expressed "by means of an aggregate
+// function … comparing the numbers of tuples" — the E10 experiment
+// measures that strategy against the complement-join translation.
+type GroupCount struct {
+	Input     Plan
+	GroupCols []int
+}
+
+// Schema implements Plan.
+func (g *GroupCount) Schema() relation.Schema {
+	return g.Input.Schema().Project(g.GroupCols).Append(relation.Attribute{Name: "count"})
+}
+
+// Children implements Plan.
+func (g *GroupCount) Children() []Plan { return []Plan{g.Input} }
+
+// Describe implements Plan.
+func (g *GroupCount) Describe() string {
+	parts := make([]string, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		parts[i] = fmt.Sprintf("%d", c+1)
+	}
+	return "γcount[" + strings.Join(parts, ",") + "]"
+}
+
+// Materialize wraps a plan whose result a conventional strategy would store
+// as a temporary relation. The executor counts these materializations; the
+// Bry translation's claim of avoiding intermediate unions is measured
+// through them.
+type Materialize struct {
+	Input Plan
+	Label string
+}
+
+// Schema implements Plan.
+func (m *Materialize) Schema() relation.Schema { return m.Input.Schema() }
+
+// Children implements Plan.
+func (m *Materialize) Children() []Plan { return []Plan{m.Input} }
+
+// Describe implements Plan.
+func (m *Materialize) Describe() string { return "Materialize " + m.Label }

@@ -1,0 +1,185 @@
+// Package algebra defines the extended relational algebra of the paper:
+// the classical operators (selection, projection, product, join, semi-join,
+// union, difference, division), the paper's complement-join (Definition 6),
+// unidirectional outer-joins, constrained outer-joins (Definition 7), and
+// boolean plans with (non-)emptiness tests (§3.2).
+//
+// The package is purely structural: plans are trees of exported structs.
+// Evaluation lives in internal/exec.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CmpOp re-exports the shared comparison operator type for plan builders.
+type CmpOp = relation.CmpOp
+
+// Comparison operators, aliased from the relation package.
+const (
+	OpEq = relation.OpEq
+	OpNe = relation.OpNe
+	OpLt = relation.OpLt
+	OpLe = relation.OpLe
+	OpGt = relation.OpGt
+	OpGe = relation.OpGe
+)
+
+// Pred is a predicate over a single tuple. Eval returns the truth value and
+// the number of atomic value comparisons performed, so the executor can
+// charge costs faithfully (short-circuiting included).
+type Pred interface {
+	Eval(t relation.Tuple) (ok bool, comparisons int)
+	String() string
+}
+
+// True is the always-true predicate.
+type True struct{}
+
+// Eval implements Pred.
+func (True) Eval(relation.Tuple) (bool, int) { return true, 0 }
+func (True) String() string                  { return "true" }
+
+// CmpCols compares two columns of the tuple. Comparisons involving the
+// internal symbols ∅/⊥ or mixed kinds are unsatisfied (and ≠ is satisfied
+// only between comparable values, mirroring user-level semantics).
+type CmpCols struct {
+	Left  int
+	Op    CmpOp
+	Right int
+}
+
+// Eval implements Pred.
+func (p CmpCols) Eval(t relation.Tuple) (bool, int) {
+	l, r := t[p.Left], t[p.Right]
+	if !l.Comparable(r) {
+		return false, 1
+	}
+	return p.Op.EvalCmp(l.Compare(r)), 1
+}
+
+func (p CmpCols) String() string {
+	return fmt.Sprintf("%d%s%d", p.Left+1, p.Op, p.Right+1)
+}
+
+// CmpConst compares a column against a constant.
+type CmpConst struct {
+	Col   int
+	Op    CmpOp
+	Const relation.Value
+}
+
+// Eval implements Pred.
+func (p CmpConst) Eval(t relation.Tuple) (bool, int) {
+	v := t[p.Col]
+	if !v.Comparable(p.Const) {
+		return false, 1
+	}
+	return p.Op.EvalCmp(v.Compare(p.Const)), 1
+}
+
+func (p CmpConst) String() string {
+	return fmt.Sprintf("%d%s%q", p.Col+1, p.Op, p.Const.String())
+}
+
+// IsNull tests a column for the internal null symbol ∅ (the paper's σ[i=∅]).
+type IsNull struct{ Col int }
+
+// Eval implements Pred.
+func (p IsNull) Eval(t relation.Tuple) (bool, int) { return t[p.Col].IsNull(), 1 }
+func (p IsNull) String() string                    { return fmt.Sprintf("%d=∅", p.Col+1) }
+
+// NotNull tests a column for any non-∅ value (the paper's σ[i≠∅]).
+type NotNull struct{ Col int }
+
+// Eval implements Pred.
+func (p NotNull) Eval(t relation.Tuple) (bool, int) { return !t[p.Col].IsNull(), 1 }
+func (p NotNull) String() string                    { return fmt.Sprintf("%d≠∅", p.Col+1) }
+
+// And is short-circuit conjunction of predicates.
+type And struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (p And) Eval(t relation.Tuple) (bool, int) {
+	n := 0
+	for _, q := range p.Preds {
+		ok, c := q.Eval(t)
+		n += c
+		if !ok {
+			return false, n
+		}
+	}
+	return true, n
+}
+
+func (p And) String() string { return joinPreds(p.Preds, " ∧ ") }
+
+// Or is short-circuit disjunction of predicates.
+type Or struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (p Or) Eval(t relation.Tuple) (bool, int) {
+	n := 0
+	for _, q := range p.Preds {
+		ok, c := q.Eval(t)
+		n += c
+		if ok {
+			return true, n
+		}
+	}
+	return false, n
+}
+
+func (p Or) String() string { return joinPreds(p.Preds, " ∨ ") }
+
+// Not negates a predicate.
+type Not struct{ Pred Pred }
+
+// Eval implements Pred.
+func (p Not) Eval(t relation.Tuple) (bool, int) {
+	ok, c := p.Pred.Eval(t)
+	return !ok, c
+}
+
+func (p Not) String() string { return "¬(" + p.Pred.String() + ")" }
+
+// ConjAll builds a conjunction, flattening the trivial cases.
+func ConjAll(preds ...Pred) Pred {
+	flat := make([]Pred, 0, len(preds))
+	for _, p := range preds {
+		if _, isTrue := p.(True); isTrue {
+			continue
+		}
+		flat = append(flat, p)
+	}
+	switch len(flat) {
+	case 0:
+		return True{}
+	case 1:
+		return flat[0]
+	default:
+		return And{Preds: flat}
+	}
+}
+
+// DisjAll builds a disjunction; it panics on zero disjuncts.
+func DisjAll(preds ...Pred) Pred {
+	if len(preds) == 0 {
+		panic("algebra: empty disjunction")
+	}
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return Or{Preds: preds}
+}
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

@@ -1,0 +1,173 @@
+package algebra
+
+import "fmt"
+
+// Validate checks the structural well-formedness of a plan: every column
+// reference (in predicates, join conditions, projections, constraints and
+// division mappings) must fall within its input's arity, and set operators
+// must combine same-arity inputs. Planner bugs thus surface as errors at
+// preparation time instead of index panics at execution time.
+func Validate(p Plan) error {
+	switch n := p.(type) {
+	case *Scan:
+		return nil
+	case *Select:
+		if err := Validate(n.Input); err != nil {
+			return err
+		}
+		return validatePred(n.Pred, n.Input.Schema().Arity())
+	case *Project:
+		if err := Validate(n.Input); err != nil {
+			return err
+		}
+		return checkCols(n.Cols, n.Input.Schema().Arity(), "projection")
+	case *Product:
+		return validateBoth(n.Left, n.Right)
+	case *Join:
+		if err := validateJoinLike(n.Left, n.Right, n.On); err != nil {
+			return err
+		}
+		if n.Residual != nil {
+			return validatePred(n.Residual, n.Left.Schema().Arity()+n.Right.Schema().Arity())
+		}
+		return nil
+	case *SemiJoin:
+		return validateJoinLike(n.Left, n.Right, n.On)
+	case *ComplementJoin:
+		return validateJoinLike(n.Left, n.Right, n.On)
+	case *OuterJoin:
+		return validateJoinLike(n.Left, n.Right, n.On)
+	case *ConstrainedOuterJoin:
+		if err := validateJoinLike(n.Left, n.Right, n.On); err != nil {
+			return err
+		}
+		for _, c := range n.Constraint {
+			if c.Col < 0 || c.Col >= n.Left.Schema().Arity() {
+				return fmt.Errorf("algebra: constraint column %d out of range for arity %d", c.Col+1, n.Left.Schema().Arity())
+			}
+		}
+		return nil
+	case *Union, *Diff, *Intersect:
+		var l, r Plan
+		switch s := p.(type) {
+		case *Union:
+			l, r = s.Left, s.Right
+		case *Diff:
+			l, r = s.Left, s.Right
+		case *Intersect:
+			l, r = s.Left, s.Right
+		}
+		if err := validateBoth(l, r); err != nil {
+			return err
+		}
+		if l.Schema().Arity() != r.Schema().Arity() {
+			return fmt.Errorf("algebra: %s combines arity %d with arity %d", p.Describe(), l.Schema().Arity(), r.Schema().Arity())
+		}
+		return nil
+	case *Division:
+		if err := validateBoth(n.Dividend, n.Divisor); err != nil {
+			return err
+		}
+		da := n.Dividend.Schema().Arity()
+		if err := checkCols(n.KeyCols, da, "division key"); err != nil {
+			return err
+		}
+		if err := checkCols(n.DivCols, da, "division divisor mapping"); err != nil {
+			return err
+		}
+		if len(n.DivCols) != n.Divisor.Schema().Arity() {
+			return fmt.Errorf("algebra: division maps %d columns onto a divisor of arity %d", len(n.DivCols), n.Divisor.Schema().Arity())
+		}
+		return nil
+	case *GroupCount:
+		if err := Validate(n.Input); err != nil {
+			return err
+		}
+		return checkCols(n.GroupCols, n.Input.Schema().Arity(), "group")
+	case *Materialize:
+		return Validate(n.Input)
+	default:
+		return fmt.Errorf("algebra: unknown plan node %T", p)
+	}
+}
+
+// ValidateBool validates every relational plan of a boolean plan.
+func ValidateBool(p BoolPlan) error {
+	for _, c := range p.BoolChildren() {
+		if err := ValidateBool(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.PlanChildren() {
+		if err := Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateBoth(l, r Plan) error {
+	if err := Validate(l); err != nil {
+		return err
+	}
+	return Validate(r)
+}
+
+func validateJoinLike(l, r Plan, on []ColPair) error {
+	if err := validateBoth(l, r); err != nil {
+		return err
+	}
+	la, ra := l.Schema().Arity(), r.Schema().Arity()
+	for _, p := range on {
+		if p.Left < 0 || p.Left >= la {
+			return fmt.Errorf("algebra: join condition references left column %d of arity %d", p.Left+1, la)
+		}
+		if p.Right < 0 || p.Right >= ra {
+			return fmt.Errorf("algebra: join condition references right column %d of arity %d", p.Right+1, ra)
+		}
+	}
+	return nil
+}
+
+func checkCols(cols []int, arity int, what string) error {
+	for _, c := range cols {
+		if c < 0 || c >= arity {
+			return fmt.Errorf("algebra: %s references column %d of arity %d", what, c+1, arity)
+		}
+	}
+	return nil
+}
+
+// validatePred checks every column reference of a predicate.
+func validatePred(p Pred, arity int) error {
+	switch n := p.(type) {
+	case True:
+		return nil
+	case CmpCols:
+		return checkCols([]int{n.Left, n.Right}, arity, "comparison")
+	case CmpConst:
+		return checkCols([]int{n.Col}, arity, "comparison")
+	case IsNull:
+		return checkCols([]int{n.Col}, arity, "null test")
+	case NotNull:
+		return checkCols([]int{n.Col}, arity, "null test")
+	case And:
+		for _, q := range n.Preds {
+			if err := validatePred(q, arity); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for _, q := range n.Preds {
+			if err := validatePred(q, arity); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Not:
+		return validatePred(n.Pred, arity)
+	default:
+		return fmt.Errorf("algebra: unknown predicate %T", p)
+	}
+}

@@ -1,0 +1,74 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	sc := relation.NewSchema("a", "b")
+	r := NewScan("r", sc)
+	s2 := NewScan("s", relation.NewSchema("c"))
+	on := []ColPair{{Left: 0, Right: 0}}
+	plans := []Plan{
+		r,
+		&Select{Input: r, Pred: And{Preds: []Pred{CmpCols{Left: 0, Op: OpEq, Right: 1}, Not{Pred: IsNull{Col: 1}}}}},
+		&Project{Input: r, Cols: []int{1, 0}},
+		&Product{Left: r, Right: s2},
+		&Join{Left: r, Right: s2, On: on, Residual: NotNull{Col: 2}},
+		&SemiJoin{Left: r, Right: s2, On: on},
+		&ComplementJoin{Left: r, Right: s2, On: on},
+		&OuterJoin{Left: r, Right: s2, On: on},
+		&ConstrainedOuterJoin{Left: r, Right: s2, On: on, Constraint: []NullCond{{Col: 1, IsNull: true}}},
+		&Union{Left: r, Right: r},
+		&Diff{Left: s2, Right: s2},
+		&Intersect{Left: r, Right: r},
+		&Division{Dividend: r, Divisor: s2, KeyCols: []int{0}, DivCols: []int{1}},
+		&GroupCount{Input: r, GroupCols: []int{0}},
+		&Materialize{Input: r, Label: "t"},
+	}
+	for _, p := range plans {
+		if err := Validate(p); err != nil {
+			t.Errorf("Validate(%s): %v", p.Describe(), err)
+		}
+	}
+	bp := &BoolAnd{Inputs: []BoolPlan{
+		&NotEmpty{Input: r},
+		&BoolNot{Input: &IsEmpty{Input: s2}},
+		&BoolOr{Inputs: []BoolPlan{&BoolConst{Value: true}}},
+	}}
+	if err := ValidateBool(bp); err != nil {
+		t.Errorf("ValidateBool: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	sc := relation.NewSchema("a", "b")
+	r := NewScan("r", sc)
+	s2 := NewScan("s", relation.NewSchema("c"))
+	bad := []Plan{
+		&Select{Input: r, Pred: CmpCols{Left: 0, Op: OpEq, Right: 5}},
+		&Select{Input: r, Pred: Or{Preds: []Pred{IsNull{Col: 9}}}},
+		&Select{Input: r, Pred: CmpConst{Col: -1, Op: OpEq, Const: relation.Int(1)}},
+		&Project{Input: r, Cols: []int{2}},
+		&Join{Left: r, Right: s2, On: []ColPair{{Left: 2, Right: 0}}},
+		&Join{Left: r, Right: s2, On: []ColPair{{Left: 0, Right: 1}}},
+		&Join{Left: r, Right: s2, On: nil, Residual: NotNull{Col: 3}},
+		&ConstrainedOuterJoin{Left: r, Right: s2, Constraint: []NullCond{{Col: 7}}},
+		&Union{Left: r, Right: s2}, // arity mismatch
+		&Division{Dividend: r, Divisor: s2, KeyCols: []int{0}, DivCols: []int{5}},
+		&Division{Dividend: r, Divisor: r, KeyCols: []int{0}, DivCols: []int{1}}, // mapping/arity mismatch
+		&GroupCount{Input: s2, GroupCols: []int{1}},
+		// Nested failure propagates.
+		&Materialize{Input: &Project{Input: r, Cols: []int{9}}, Label: "t"},
+	}
+	for _, p := range bad {
+		if err := Validate(p); err == nil {
+			t.Errorf("Validate(%s) accepted a malformed plan", p.Describe())
+		}
+	}
+	if err := ValidateBool(&NotEmpty{Input: &Project{Input: r, Cols: []int{9}}}); err == nil {
+		t.Error("ValidateBool must propagate plan errors")
+	}
+}

@@ -1,0 +1,162 @@
+// Package calculus implements the domain relational calculus of the paper:
+// relation atoms over domain variables and constants, comparison atoms,
+// the connectives ¬ ∧ ∨ ⇒ and the quantifiers ∃ ∀ (with the paper's
+// multi-variable shorthand ∃x₁…xₙ). It provides the logical machinery the
+// normalization and translation phases rely on: free variables, polarity,
+// capture-free substitution, α-equivalence and the governing relationship
+// between quantified variables (§1, Definitions and Notations).
+package calculus
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Term is a variable or a constant argument of an atom.
+type Term struct {
+	// Var is the variable name; empty for constants.
+	Var string
+	// Const is the constant value; meaningful only when Var is empty.
+	Const relation.Value
+}
+
+// V builds a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C builds a constant term.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// CInt builds an integer constant term.
+func CInt(i int64) Term { return C(relation.Int(i)) }
+
+// CStr builds a string constant term.
+func CStr(s string) Term { return C(relation.Str(s)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Equal reports structural equality of terms.
+func (t Term) Equal(u Term) bool {
+	if t.IsVar() != u.IsVar() {
+		return false
+	}
+	if t.IsVar() {
+		return t.Var == u.Var
+	}
+	return t.Const.Equal(u.Const)
+}
+
+// String renders the term; string constants are quoted to distinguish them
+// from variables.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	if t.Const.Kind() == relation.KindString {
+		return fmt.Sprintf("%q", t.Const.AsString())
+	}
+	return t.Const.String()
+}
+
+// Formula is a relational calculus formula. The concrete types are Atom,
+// Cmp, Not, And, Or, Implies, Exists and Forall. Formulas are treated as
+// immutable: every transformation builds new nodes.
+type Formula interface {
+	isFormula()
+	// String renders the formula in the paper's notation.
+	String() string
+}
+
+// Atom is a relation atom R(t₁,…,tₙ).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Cmp is a comparison atom t₁ op t₂, e.g. y ≠ "cs".
+type Cmp struct {
+	Left  Term
+	Op    relation.CmpOp
+	Right Term
+}
+
+// Not is negation ¬F.
+type Not struct{ F Formula }
+
+// And is binary conjunction F₁ ∧ F₂.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction F₁ ∨ F₂.
+type Or struct{ L, R Formula }
+
+// Implies is implication F₁ ⇒ F₂. Following the paper, it is used only to
+// attach a range to a universal quantifier (∀x̄ R ⇒ F); general implications
+// are written out as ¬F₁ ∨ F₂ by the parser.
+type Implies struct{ L, R Formula }
+
+// Exists is the multi-variable existential quantification ∃x₁…xₙ F.
+type Exists struct {
+	Vars []string
+	Body Formula
+}
+
+// Forall is the multi-variable universal quantification ∀x₁…xₙ F.
+type Forall struct {
+	Vars []string
+	Body Formula
+}
+
+func (Atom) isFormula()    {}
+func (Cmp) isFormula()     {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Exists) isFormula()  {}
+func (Forall) isFormula()  {}
+
+// Convenience constructors keep translation and test code readable.
+
+// NewAtom builds a relation atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// AndAll folds a conjunction left-associatively; it panics on no arguments.
+func AndAll(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		panic("calculus: empty conjunction")
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{L: out, R: f}
+	}
+	return out
+}
+
+// OrAll folds a disjunction left-associatively; it panics on no arguments.
+func OrAll(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		panic("calculus: empty disjunction")
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or{L: out, R: f}
+	}
+	return out
+}
+
+// Conjuncts flattens nested conjunctions into a list, left to right.
+func Conjuncts(f Formula) []Formula {
+	if a, ok := f.(And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Formula{f}
+}
+
+// Disjuncts flattens nested disjunctions into a list, left to right.
+func Disjuncts(f Formula) []Formula {
+	if o, ok := f.(Or); ok {
+		return append(Disjuncts(o.L), Disjuncts(o.R)...)
+	}
+	return []Formula{f}
+}

@@ -1,0 +1,303 @@
+package calculus
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestTermEqual(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want bool
+	}{
+		{V("x"), V("x"), true},
+		{V("x"), V("y"), false},
+		{CStr("a"), CStr("a"), true},
+		{CStr("a"), CStr("b"), false},
+		{CInt(1), CInt(1), true},
+		{CInt(1), CStr("1"), false},
+		{V("x"), CStr("x"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// ∃y p(x,y) ∧ q(z): free = {x, z}
+	f := And{
+		L: Exists{Vars: []string{"y"}, Body: NewAtom("p", V("x"), V("y"))},
+		R: NewAtom("q", V("z")),
+	}
+	fv := FreeVars(f)
+	if !fv.Equal(NewVarSet("x", "z")) {
+		t.Fatalf("FreeVars = %v, want {x z}", fv.Sorted())
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// p(x) ∧ ∃x q(x): free = {x} (the first occurrence only)
+	f := And{
+		L: NewAtom("p", V("x")),
+		R: Exists{Vars: []string{"x"}, Body: NewAtom("q", V("x"))},
+	}
+	fv := FreeVars(f)
+	if !fv.Equal(NewVarSet("x")) {
+		t.Fatalf("FreeVars = %v, want {x}", fv.Sorted())
+	}
+}
+
+func TestFreeVarsCmp(t *testing.T) {
+	f := Cmp{Left: V("y"), Op: relation.OpNe, Right: CStr("cs")}
+	if fv := FreeVars(f); !fv.Equal(NewVarSet("y")) {
+		t.Fatalf("FreeVars = %v, want {y}", fv.Sorted())
+	}
+}
+
+func TestSubst(t *testing.T) {
+	// p(x,y)[x := "a"] = p("a",y)
+	f := NewAtom("p", V("x"), V("y"))
+	g := Subst(f, map[string]Term{"x": CStr("a")})
+	want := NewAtom("p", CStr("a"), V("y"))
+	if !Equal(g, want) {
+		t.Fatalf("Subst = %s, want %s", g, want)
+	}
+}
+
+func TestSubstShadowed(t *testing.T) {
+	// (∃x p(x,y))[x := a] leaves the bound x alone, rewrites nothing else.
+	f := Exists{Vars: []string{"x"}, Body: NewAtom("p", V("x"), V("y"))}
+	g := Subst(f, map[string]Term{"x": CStr("a"), "y": CStr("b")})
+	want := Exists{Vars: []string{"x"}, Body: NewAtom("p", V("x"), CStr("b"))}
+	if !Equal(g, want) {
+		t.Fatalf("Subst = %s, want %s", g, want)
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	a, b, c := NewAtom("a"), NewAtom("b"), NewAtom("c")
+	f := AndAll(a, b, c)
+	if got := Conjuncts(f); len(got) != 3 {
+		t.Fatalf("Conjuncts len = %d, want 3", len(got))
+	}
+	g := OrAll(a, b, c)
+	if got := Disjuncts(g); len(got) != 3 {
+		t.Fatalf("Disjuncts len = %d, want 3", len(got))
+	}
+	if got := Conjuncts(a); len(got) != 1 {
+		t.Fatalf("Conjuncts(atom) len = %d, want 1", len(got))
+	}
+}
+
+func TestRenameBoundStandardizesApart(t *testing.T) {
+	// ∃x p(x) ∧ ∃x q(x): both bound x's get distinct fresh names.
+	f := And{
+		L: Exists{Vars: []string{"x"}, Body: NewAtom("p", V("x"))},
+		R: Exists{Vars: []string{"x"}, Body: NewAtom("q", V("x"))},
+	}
+	gen := NewNameGen(AllVars(f))
+	g := RenameBound(f, gen)
+	and := g.(And)
+	lx := and.L.(Exists).Vars[0]
+	rx := and.R.(Exists).Vars[0]
+	if lx == rx {
+		t.Fatalf("bound variables not standardized apart: both %q", lx)
+	}
+	if !AlphaEqual(f, g) {
+		t.Fatalf("RenameBound broke alpha-equivalence: %s vs %s", f, g)
+	}
+}
+
+func TestAlphaEqual(t *testing.T) {
+	f := Exists{Vars: []string{"x"}, Body: NewAtom("p", V("x"), V("free"))}
+	g := Exists{Vars: []string{"y"}, Body: NewAtom("p", V("y"), V("free"))}
+	h := Exists{Vars: []string{"y"}, Body: NewAtom("p", V("y"), V("other"))}
+	if !AlphaEqual(f, g) {
+		t.Errorf("AlphaEqual(%s, %s) = false, want true", f, g)
+	}
+	if AlphaEqual(f, h) {
+		t.Errorf("AlphaEqual(%s, %s) = true, want false (different free var)", f, h)
+	}
+	// Free variables must match by name.
+	i := NewAtom("p", V("a"))
+	j := NewAtom("p", V("b"))
+	if AlphaEqual(i, j) {
+		t.Errorf("AlphaEqual over distinct free vars must be false")
+	}
+}
+
+func TestAlphaEqualNestedSameName(t *testing.T) {
+	// ∃x (p(x) ∧ ∃x q(x)) ≡α ∃a (p(a) ∧ ∃b q(b))
+	f := Exists{Vars: []string{"x"}, Body: And{
+		L: NewAtom("p", V("x")),
+		R: Exists{Vars: []string{"x"}, Body: NewAtom("q", V("x"))},
+	}}
+	g := Exists{Vars: []string{"a"}, Body: And{
+		L: NewAtom("p", V("a")),
+		R: Exists{Vars: []string{"b"}, Body: NewAtom("q", V("b"))},
+	}}
+	if !AlphaEqual(f, g) {
+		t.Fatalf("AlphaEqual(%s, %s) = false, want true", f, g)
+	}
+}
+
+// TestGovernsPaperExample reproduces the governing example from §1:
+//
+//	∃x {student(x) ∧ [∀y lecture(y,db) ⇒ attends(x,y)]
+//	     ∧ [∀z1 student(z1) ⇒ ∃z2 attends(z1,z2)]}
+//
+// x governs y but none of the z's; z1 governs z2.
+func TestGovernsPaperExample(t *testing.T) {
+	f := Exists{Vars: []string{"x"}, Body: AndAll(
+		NewAtom("student", V("x")),
+		Forall{Vars: []string{"y"}, Body: Implies{
+			L: NewAtom("lecture", V("y"), CStr("db")),
+			R: NewAtom("attends", V("x"), V("y")),
+		}},
+		Forall{Vars: []string{"z1"}, Body: Implies{
+			L: NewAtom("student", V("z1")),
+			R: Exists{Vars: []string{"z2"}, Body: NewAtom("attends", V("z1"), V("z2"))},
+		}},
+	)}
+	gov := Governs(f)
+	if !gov["x"].Has("y") {
+		t.Errorf("x must govern y")
+	}
+	if gov["x"].Has("z1") || gov["x"].Has("z2") {
+		t.Errorf("x must not govern z1 or z2; governs[x] = %v", gov["x"].Sorted())
+	}
+	if !gov["z1"].Has("z2") {
+		t.Errorf("z1 must govern z2")
+	}
+}
+
+// TestGovernsMiniscopeGuard checks the F5 example of §2.2:
+// ∃x p(x) ∧ [∀y ¬q(y) ∨ r(x,y)] — x governs y, so q(y) may not move out.
+func TestGovernsMiniscopeGuard(t *testing.T) {
+	f := Exists{Vars: []string{"x"}, Body: And{
+		L: NewAtom("p", V("x")),
+		R: Forall{Vars: []string{"y"}, Body: Or{
+			L: Not{F: NewAtom("q", V("y"))},
+			R: NewAtom("r", V("x"), V("y")),
+		}},
+	}}
+	gov := Governs(f)
+	if !gov["x"].Has("y") {
+		t.Fatalf("x must govern y in %s; governs = %v", f, gov)
+	}
+}
+
+// TestGovernsSameQuantifier: same-kind nesting never governs (condition 4).
+func TestGovernsSameQuantifier(t *testing.T) {
+	f := Exists{Vars: []string{"x"}, Body: Exists{Vars: []string{"y"}, Body: NewAtom("p", V("x"), V("y"))}}
+	gov := Governs(f)
+	if gov["x"].Has("y") {
+		t.Fatalf("∃-∃ nesting must not govern")
+	}
+}
+
+// TestGovernsNotImmediate: condition 2 — a doubly-nested quantifier is not
+// directly governed, and without a connecting atom no transitive edge exists.
+func TestGovernsNotImmediate(t *testing.T) {
+	// ∃x p(x) ∧ ∀y (q(y) ⇒ ∃z r(y,z)): x does not govern z (no atom links
+	// x to y or z), and y governs z.
+	f := Exists{Vars: []string{"x"}, Body: And{
+		L: NewAtom("p", V("x")),
+		R: Forall{Vars: []string{"y"}, Body: Implies{
+			L: NewAtom("q", V("y")),
+			R: Exists{Vars: []string{"z"}, Body: NewAtom("r", V("y"), V("z"))},
+		}},
+	}}
+	gov := Governs(f)
+	if gov["x"].Has("z") || gov["x"].Has("y") {
+		t.Errorf("x must govern nothing here; governs[x] = %v", gov["x"].Sorted())
+	}
+	if !gov["y"].Has("z") {
+		t.Errorf("y must govern z")
+	}
+}
+
+// TestGovernsTransitive: x governs y via an atom mentioning a variable
+// governed by y (condition 3's recursive branch) and transitivity.
+func TestGovernsTransitive(t *testing.T) {
+	// ∃x p(x) ∧ ∀y (q(y) ⇒ ∃z r(x,z) ∧ s(y,z))
+	// z: quantified in scope of y, distinct quantifier, atom s(y,z) → y governs z.
+	// y: x's scope contains atom r(x,z) with z governed by y → x governs y,
+	// and transitively x governs z.
+	f := Exists{Vars: []string{"x"}, Body: And{
+		L: NewAtom("p", V("x")),
+		R: Forall{Vars: []string{"y"}, Body: Implies{
+			L: NewAtom("q", V("y")),
+			R: Exists{Vars: []string{"z"}, Body: And{
+				L: NewAtom("r", V("x"), V("z")),
+				R: NewAtom("s", V("y"), V("z")),
+			}},
+		}},
+	}}
+	gov := Governs(f)
+	if !gov["y"].Has("z") {
+		t.Fatalf("y must govern z")
+	}
+	if !gov["x"].Has("y") {
+		t.Fatalf("x must govern y (via z governed by y)")
+	}
+	if !gov["x"].Has("z") {
+		t.Fatalf("x must govern z transitively")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	s := NewVarSet("a", "b")
+	o := NewVarSet("b", "c")
+	if !s.Intersects(o) {
+		t.Error("sets share b")
+	}
+	if s.ContainsAll(o) {
+		t.Error("s does not contain c")
+	}
+	if !s.ContainsAll(NewVarSet("a")) {
+		t.Error("s contains a")
+	}
+	if s.Equal(o) {
+		t.Error("distinct sets reported equal")
+	}
+	got := s.Sorted()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := Exists{Vars: []string{"x", "y"}, Body: And{
+		L: NewAtom("p", V("x"), CStr("cs")),
+		R: Not{F: NewAtom("q", V("y"))},
+	}}
+	want := `∃x,y (p(x,"cs") ∧ ¬q(y))`
+	if got := f.String(); got != want {
+		t.Fatalf("String = %s, want %s", got, want)
+	}
+}
+
+// TestGovernsMultiVariableBlocks: governing across multi-variable blocks —
+// every variable of an outer ∃-block can govern every inner ∀-variable it
+// shares an atom with, and block-mates never govern each other.
+func TestGovernsMultiVariableBlocks(t *testing.T) {
+	// ∃x,y (r(x,y) ∧ ∀z (s(y,z) ⇒ t(x,z)))
+	f := Exists{Vars: []string{"x", "y"}, Body: And{
+		L: NewAtom("r", V("x"), V("y")),
+		R: Forall{Vars: []string{"z"}, Body: Implies{
+			L: NewAtom("s", V("y"), V("z")),
+			R: NewAtom("t", V("x"), V("z")),
+		}},
+	}}
+	gov := Governs(f)
+	if !gov["x"].Has("z") || !gov["y"].Has("z") {
+		t.Fatalf("both x and y must govern z: %v", gov)
+	}
+	if gov["x"].Has("y") || gov["y"].Has("x") {
+		t.Fatal("block-mates must not govern each other (same quantifier)")
+	}
+}

@@ -1,0 +1,192 @@
+package calculus
+
+// This file implements the governing relationship between quantified
+// variables (paper §1, Definitions and Notations). A quantified variable x
+// directly governs a quantified variable y iff
+//
+//  1. y is quantified within the scope of x,
+//  2. the quantification of y follows immediately that of x (y is not
+//     quantified within the scope of a variable quantified in the scope
+//     of x),
+//  3. the scope of x contains an atom in which x occurs together with y or
+//     with a variable governed by y, and
+//  4. x and y have distinct quantifiers.
+//
+// Governs is the transitive closure. Intuitively x governs y iff moving
+// the quantification of y out of the scope of x could compromise logical
+// equivalence — the guard (†) of rewriting Rules 10 and 11.
+//
+// The computation assumes bound variables are standardized apart (all
+// distinct); the rewrite engine guarantees this before applying rules.
+
+type quantBlock struct {
+	id     int
+	exists bool
+	vars   []string
+	scope  Formula
+	parent int // -1 for top-level blocks
+}
+
+// Governs computes, for the given formula, the full governing relationship:
+// the result maps each quantified variable x to the set of variables x
+// governs.
+func Governs(f Formula) map[string]VarSet {
+	var blocks []quantBlock
+	collectBlocks(f, -1, &blocks)
+
+	// Atom variable sets, restricted to atoms within each block's scope,
+	// are needed for condition 3. Precompute per block.
+	scopeAtoms := make([][]VarSet, len(blocks))
+	for i, b := range blocks {
+		var atoms []VarSet
+		walk(b.scope, func(g Formula) {
+			switch n := g.(type) {
+			case Atom:
+				vs := make(VarSet)
+				for _, t := range n.Args {
+					if t.IsVar() {
+						vs.Add(t.Var)
+					}
+				}
+				atoms = append(atoms, vs)
+			case Cmp:
+				vs := make(VarSet)
+				for _, t := range []Term{n.Left, n.Right} {
+					if t.IsVar() {
+						vs.Add(t.Var)
+					}
+				}
+				atoms = append(atoms, vs)
+			}
+		})
+		scopeAtoms[i] = atoms
+	}
+
+	blockOf := make(map[string]int)
+	for _, b := range blocks {
+		for _, v := range b.vars {
+			blockOf[v] = b.id
+		}
+	}
+
+	governs := make(map[string]VarSet)
+	gov := func(x string) VarSet {
+		s, ok := governs[x]
+		if !ok {
+			s = make(VarSet)
+			governs[x] = s
+		}
+		return s
+	}
+
+	// Fixpoint: condition 3 refers to the governed-by relation being
+	// computed, and the final relation is transitively closed, so iterate
+	// direct-edge discovery and closure until stable.
+	for {
+		changed := false
+		for _, bx := range blocks {
+			for _, by := range blocks {
+				if by.parent != bx.id || by.exists == bx.exists {
+					continue
+				}
+				for _, x := range bx.vars {
+					for _, y := range by.vars {
+						if gov(x).Has(y) {
+							continue
+						}
+						if condition3(x, y, gov(y), scopeAtoms[bx.id]) {
+							gov(x).Add(y)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if transitiveClose(governs) {
+			changed = true
+		}
+		if !changed {
+			return governs
+		}
+	}
+}
+
+// condition3 reports whether some atom contains x together with y or with a
+// variable governed by y.
+func condition3(x, y string, governedByY VarSet, atoms []VarSet) bool {
+	for _, a := range atoms {
+		if !a.Has(x) {
+			continue
+		}
+		if a.Has(y) {
+			return true
+		}
+		for z := range governedByY {
+			if a.Has(z) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// transitiveClose closes the relation in place; it reports whether any edge
+// was added.
+func transitiveClose(governs map[string]VarSet) bool {
+	changed := false
+	for {
+		added := false
+		for x, ys := range governs {
+			for y := range ys {
+				for z := range governs[y] {
+					if !ys.Has(z) && z != x {
+						ys.Add(z)
+						added = true
+					}
+				}
+			}
+		}
+		if !added {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// collectBlocks records every quantifier block with its nesting parent.
+func collectBlocks(f Formula, parent int, blocks *[]quantBlock) {
+	switch n := f.(type) {
+	case Not:
+		collectBlocks(n.F, parent, blocks)
+	case And:
+		collectBlocks(n.L, parent, blocks)
+		collectBlocks(n.R, parent, blocks)
+	case Or:
+		collectBlocks(n.L, parent, blocks)
+		collectBlocks(n.R, parent, blocks)
+	case Implies:
+		collectBlocks(n.L, parent, blocks)
+		collectBlocks(n.R, parent, blocks)
+	case Exists:
+		id := len(*blocks)
+		*blocks = append(*blocks, quantBlock{id: id, exists: true, vars: n.Vars, scope: n.Body, parent: parent})
+		collectBlocks(n.Body, id, blocks)
+	case Forall:
+		id := len(*blocks)
+		*blocks = append(*blocks, quantBlock{id: id, exists: false, vars: n.Vars, scope: n.Body, parent: parent})
+		collectBlocks(n.Body, id, blocks)
+	}
+}
+
+// GovernedBy returns the set of variables governed by any of the given
+// quantified variables in f — the set rule guard (†) consults.
+func GovernedBy(f Formula, vars []string) VarSet {
+	governs := Governs(f)
+	out := make(VarSet)
+	for _, x := range vars {
+		if s, ok := governs[x]; ok {
+			out.AddAll(s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package calculus
+
+// Polarity of a subformula within a formula (paper §1): positive when it
+// is embedded under an even number of negations, negative under an odd
+// number — the left-hand side of an implication counting as an implicit
+// negation.
+type Polarity int
+
+// Polarity values. A subformula occurring both positively and negatively
+// (possible only for syntactically repeated subformulas) reports Both.
+const (
+	Positive Polarity = 1 << iota
+	Negative
+	Both = Positive | Negative
+)
+
+// String names the polarity.
+func (p Polarity) String() string {
+	switch p {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	case Both:
+		return "both"
+	default:
+		return "none"
+	}
+}
+
+// WalkPolarity visits every subformula together with its polarity flag
+// (true = positive occurrence).
+func WalkPolarity(f Formula, visit func(sub Formula, positive bool)) {
+	walkPolarity(f, true, visit)
+}
+
+func walkPolarity(f Formula, positive bool, visit func(Formula, bool)) {
+	visit(f, positive)
+	switch n := f.(type) {
+	case Atom, Cmp:
+	case Not:
+		walkPolarity(n.F, !positive, visit)
+	case And:
+		walkPolarity(n.L, positive, visit)
+		walkPolarity(n.R, positive, visit)
+	case Or:
+		walkPolarity(n.L, positive, visit)
+		walkPolarity(n.R, positive, visit)
+	case Implies:
+		// The left-hand side counts as an implicit negation.
+		walkPolarity(n.L, !positive, visit)
+		walkPolarity(n.R, positive, visit)
+	case Exists:
+		walkPolarity(n.Body, positive, visit)
+	case Forall:
+		walkPolarity(n.Body, positive, visit)
+	}
+}
+
+// AtomPolarity reports the polarity with which atoms of the given
+// predicate occur in f; 0 when the predicate does not occur.
+func AtomPolarity(f Formula, pred string) Polarity {
+	var out Polarity
+	WalkPolarity(f, func(sub Formula, positive bool) {
+		if a, ok := sub.(Atom); ok && a.Pred == pred {
+			if positive {
+				out |= Positive
+			} else {
+				out |= Negative
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,63 @@
+package calculus
+
+import "testing"
+
+func TestAtomPolarity(t *testing.T) {
+	// ∀y lecture(y) ⇒ attends(x,y): lecture is the implication's left side
+	// (implicitly negated), attends positive.
+	f := Forall{Vars: []string{"y"}, Body: Implies{
+		L: NewAtom("lecture", V("y")),
+		R: NewAtom("attends", V("x"), V("y")),
+	}}
+	if got := AtomPolarity(f, "lecture"); got != Negative {
+		t.Errorf("lecture polarity = %s, want negative", got)
+	}
+	if got := AtomPolarity(f, "attends"); got != Positive {
+		t.Errorf("attends polarity = %s, want positive", got)
+	}
+	if got := AtomPolarity(f, "absent"); got != 0 {
+		t.Errorf("absent polarity = %s, want none", got)
+	}
+}
+
+func TestPolarityDoubleNegation(t *testing.T) {
+	f := Not{F: Not{F: NewAtom("p")}}
+	if got := AtomPolarity(f, "p"); got != Positive {
+		t.Errorf("¬¬p: p polarity = %s, want positive", got)
+	}
+	g := Not{F: Not{F: Not{F: NewAtom("p")}}}
+	if got := AtomPolarity(g, "p"); got != Negative {
+		t.Errorf("¬¬¬p: p polarity = %s, want negative", got)
+	}
+}
+
+func TestPolarityNestedImplication(t *testing.T) {
+	// (p ⇒ q) ⇒ r: p positive (two implicit negations), q negative, r positive.
+	f := Implies{L: Implies{L: NewAtom("p"), R: NewAtom("q")}, R: NewAtom("r")}
+	if got := AtomPolarity(f, "p"); got != Positive {
+		t.Errorf("p = %s, want positive", got)
+	}
+	if got := AtomPolarity(f, "q"); got != Negative {
+		t.Errorf("q = %s, want negative", got)
+	}
+	if got := AtomPolarity(f, "r"); got != Positive {
+		t.Errorf("r = %s, want positive", got)
+	}
+}
+
+func TestPolarityBoth(t *testing.T) {
+	f := And{L: NewAtom("p"), R: Not{F: NewAtom("p")}}
+	if got := AtomPolarity(f, "p"); got != Both {
+		t.Errorf("p ∧ ¬p: p polarity = %s, want both", got)
+	}
+	if Both.String() != "both" || Positive.String() != "positive" || Negative.String() != "negative" {
+		t.Error("String labels broken")
+	}
+}
+
+func TestPolarityUnderQuantifiers(t *testing.T) {
+	f := Exists{Vars: []string{"x"}, Body: Not{F: Forall{Vars: []string{"y"}, Body: NewAtom("r", V("x"), V("y"))}}}
+	if got := AtomPolarity(f, "r"); got != Negative {
+		t.Errorf("r polarity = %s, want negative (quantifiers preserve polarity)", got)
+	}
+}

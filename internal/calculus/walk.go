@@ -1,0 +1,480 @@
+package calculus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VarSet is a set of variable names.
+type VarSet map[string]struct{}
+
+// NewVarSet builds a set from names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s VarSet) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Add inserts a name.
+func (s VarSet) Add(name string) { s[name] = struct{}{} }
+
+// AddAll inserts every name of another set.
+func (s VarSet) AddAll(o VarSet) {
+	for n := range o {
+		s[n] = struct{}{}
+	}
+}
+
+// Sorted returns the members in lexicographic order.
+func (s VarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports set equality.
+func (s VarSet) Equal(o VarSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for n := range s {
+		if !o.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether s ⊇ o.
+func (s VarSet) ContainsAll(o VarSet) bool {
+	for n := range o {
+		if !s.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the sets share a member.
+func (s VarSet) Intersects(o VarSet) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for n := range small {
+		if big.Has(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeVars returns the free variables of a formula.
+func FreeVars(f Formula) VarSet {
+	out := make(VarSet)
+	collectFree(f, make(VarSet), out)
+	return out
+}
+
+func collectFree(f Formula, bound, out VarSet) {
+	switch n := f.(type) {
+	case Atom:
+		for _, t := range n.Args {
+			if t.IsVar() && !bound.Has(t.Var) {
+				out.Add(t.Var)
+			}
+		}
+	case Cmp:
+		for _, t := range []Term{n.Left, n.Right} {
+			if t.IsVar() && !bound.Has(t.Var) {
+				out.Add(t.Var)
+			}
+		}
+	case Not:
+		collectFree(n.F, bound, out)
+	case And:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case Or:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case Implies:
+		collectFree(n.L, bound, out)
+		collectFree(n.R, bound, out)
+	case Exists:
+		collectFree(n.Body, withBound(bound, n.Vars), out)
+	case Forall:
+		collectFree(n.Body, withBound(bound, n.Vars), out)
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func withBound(bound VarSet, vars []string) VarSet {
+	nb := make(VarSet, len(bound)+len(vars))
+	nb.AddAll(bound)
+	for _, v := range vars {
+		nb.Add(v)
+	}
+	return nb
+}
+
+// AllVars returns every variable name occurring in the formula, free or
+// bound (including quantified variables with no occurrence).
+func AllVars(f Formula) VarSet {
+	out := make(VarSet)
+	walk(f, func(g Formula) {
+		switch n := g.(type) {
+		case Atom:
+			for _, t := range n.Args {
+				if t.IsVar() {
+					out.Add(t.Var)
+				}
+			}
+		case Cmp:
+			for _, t := range []Term{n.Left, n.Right} {
+				if t.IsVar() {
+					out.Add(t.Var)
+				}
+			}
+		case Exists:
+			for _, v := range n.Vars {
+				out.Add(v)
+			}
+		case Forall:
+			for _, v := range n.Vars {
+				out.Add(v)
+			}
+		}
+	})
+	return out
+}
+
+// walk visits every subformula in preorder.
+func walk(f Formula, visit func(Formula)) {
+	visit(f)
+	switch n := f.(type) {
+	case Not:
+		walk(n.F, visit)
+	case And:
+		walk(n.L, visit)
+		walk(n.R, visit)
+	case Or:
+		walk(n.L, visit)
+		walk(n.R, visit)
+	case Implies:
+		walk(n.L, visit)
+		walk(n.R, visit)
+	case Exists:
+		walk(n.Body, visit)
+	case Forall:
+		walk(n.Body, visit)
+	}
+}
+
+// Walk exposes the preorder traversal to other packages.
+func Walk(f Formula, visit func(Formula)) { walk(f, visit) }
+
+// Subst applies a substitution of terms for FREE variables. Bound variables
+// shadow the substitution. The caller must ensure no capture can occur
+// (the rewrite engine standardizes bound variables apart first).
+func Subst(f Formula, sub map[string]Term) Formula {
+	if len(sub) == 0 {
+		return f
+	}
+	switch n := f.(type) {
+	case Atom:
+		args := make([]Term, len(n.Args))
+		for i, t := range n.Args {
+			args[i] = substTerm(t, sub)
+		}
+		return Atom{Pred: n.Pred, Args: args}
+	case Cmp:
+		return Cmp{Left: substTerm(n.Left, sub), Op: n.Op, Right: substTerm(n.Right, sub)}
+	case Not:
+		return Not{F: Subst(n.F, sub)}
+	case And:
+		return And{L: Subst(n.L, sub), R: Subst(n.R, sub)}
+	case Or:
+		return Or{L: Subst(n.L, sub), R: Subst(n.R, sub)}
+	case Implies:
+		return Implies{L: Subst(n.L, sub), R: Subst(n.R, sub)}
+	case Exists:
+		return Exists{Vars: n.Vars, Body: Subst(n.Body, shadow(sub, n.Vars))}
+	case Forall:
+		return Forall{Vars: n.Vars, Body: Subst(n.Body, shadow(sub, n.Vars))}
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func substTerm(t Term, sub map[string]Term) Term {
+	if t.IsVar() {
+		if r, ok := sub[t.Var]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+func shadow(sub map[string]Term, vars []string) map[string]Term {
+	shadowed := false
+	for _, v := range vars {
+		if _, ok := sub[v]; ok {
+			shadowed = true
+			break
+		}
+	}
+	if !shadowed {
+		return sub
+	}
+	ns := make(map[string]Term, len(sub))
+	for k, t := range sub {
+		ns[k] = t
+	}
+	for _, v := range vars {
+		delete(ns, v)
+	}
+	return ns
+}
+
+// Equal reports structural equality of formulas (variable names included).
+func Equal(f, g Formula) bool {
+	switch a := f.(type) {
+	case Atom:
+		b, ok := g.(Atom)
+		if !ok || a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !a.Args[i].Equal(b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case Cmp:
+		b, ok := g.(Cmp)
+		return ok && a.Op == b.Op && a.Left.Equal(b.Left) && a.Right.Equal(b.Right)
+	case Not:
+		b, ok := g.(Not)
+		return ok && Equal(a.F, b.F)
+	case And:
+		b, ok := g.(And)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Or:
+		b, ok := g.(Or)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Implies:
+		b, ok := g.(Implies)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Exists:
+		b, ok := g.(Exists)
+		return ok && sameVars(a.Vars, b.Vars) && Equal(a.Body, b.Body)
+	case Forall:
+		b, ok := g.(Forall)
+		return ok && sameVars(a.Vars, b.Vars) && Equal(a.Body, b.Body)
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenameBound renames every bound variable to a fresh name drawn from gen,
+// leaving free variables untouched. The result has all-distinct bound
+// variables ("standardized apart"), the precondition for the rewrite rules
+// that duplicate subformulas.
+func RenameBound(f Formula, gen *NameGen) Formula {
+	return renameBound(f, nil, gen)
+}
+
+func renameBound(f Formula, ren map[string]string, gen *NameGen) Formula {
+	switch n := f.(type) {
+	case Atom:
+		args := make([]Term, len(n.Args))
+		for i, t := range n.Args {
+			args[i] = renameTerm(t, ren)
+		}
+		return Atom{Pred: n.Pred, Args: args}
+	case Cmp:
+		return Cmp{Left: renameTerm(n.Left, ren), Op: n.Op, Right: renameTerm(n.Right, ren)}
+	case Not:
+		return Not{F: renameBound(n.F, ren, gen)}
+	case And:
+		return And{L: renameBound(n.L, ren, gen), R: renameBound(n.R, ren, gen)}
+	case Or:
+		return Or{L: renameBound(n.L, ren, gen), R: renameBound(n.R, ren, gen)}
+	case Implies:
+		return Implies{L: renameBound(n.L, ren, gen), R: renameBound(n.R, ren, gen)}
+	case Exists:
+		vars, nr := freshVars(n.Vars, ren, gen)
+		return Exists{Vars: vars, Body: renameBound(n.Body, nr, gen)}
+	case Forall:
+		vars, nr := freshVars(n.Vars, ren, gen)
+		return Forall{Vars: vars, Body: renameBound(n.Body, nr, gen)}
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func renameTerm(t Term, ren map[string]string) Term {
+	if t.IsVar() {
+		if r, ok := ren[t.Var]; ok {
+			return V(r)
+		}
+	}
+	return t
+}
+
+func freshVars(vars []string, ren map[string]string, gen *NameGen) ([]string, map[string]string) {
+	nr := make(map[string]string, len(ren)+len(vars))
+	for k, v := range ren {
+		nr[k] = v
+	}
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		f := gen.Fresh(v)
+		out[i] = f
+		nr[v] = f
+	}
+	return out, nr
+}
+
+// NameGen generates fresh variable names derived from a base name, as in
+// the paper's F₂ → F₃ step (x duplicated into x₁, x₂).
+type NameGen struct {
+	used VarSet
+	next int
+}
+
+// NewNameGen builds a generator that avoids every name in used.
+func NewNameGen(used VarSet) *NameGen {
+	u := make(VarSet, len(used))
+	u.AddAll(used)
+	return &NameGen{used: u}
+}
+
+// Fresh returns an unused name derived from base and reserves it.
+func (g *NameGen) Fresh(base string) string {
+	for {
+		g.next++
+		name := fmt.Sprintf("%s_%d", base, g.next)
+		if !g.used.Has(name) {
+			g.used.Add(name)
+			return name
+		}
+	}
+}
+
+// AlphaEqual reports logical-syntax equality up to renaming of bound
+// variables. The rewrite-system confluence tests compare normal forms with
+// it, since different rule orders may pick different fresh names.
+func AlphaEqual(f, g Formula) bool { return alphaEq(f, g, nil, nil) }
+
+func alphaEq(f, g Formula, fm, gm map[string]int) bool {
+	switch a := f.(type) {
+	case Atom:
+		b, ok := g.(Atom)
+		if !ok || a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !alphaTermEq(a.Args[i], b.Args[i], fm, gm) {
+				return false
+			}
+		}
+		return true
+	case Cmp:
+		b, ok := g.(Cmp)
+		return ok && a.Op == b.Op && alphaTermEq(a.Left, b.Left, fm, gm) && alphaTermEq(a.Right, b.Right, fm, gm)
+	case Not:
+		b, ok := g.(Not)
+		return ok && alphaEq(a.F, b.F, fm, gm)
+	case And:
+		b, ok := g.(And)
+		return ok && alphaEq(a.L, b.L, fm, gm) && alphaEq(a.R, b.R, fm, gm)
+	case Or:
+		b, ok := g.(Or)
+		return ok && alphaEq(a.L, b.L, fm, gm) && alphaEq(a.R, b.R, fm, gm)
+	case Implies:
+		b, ok := g.(Implies)
+		return ok && alphaEq(a.L, b.L, fm, gm) && alphaEq(a.R, b.R, fm, gm)
+	case Exists:
+		b, ok := g.(Exists)
+		if !ok || len(a.Vars) != len(b.Vars) {
+			return false
+		}
+		nfm, ngm := bindAlpha(a.Vars, b.Vars, fm, gm)
+		return alphaEq(a.Body, b.Body, nfm, ngm)
+	case Forall:
+		b, ok := g.(Forall)
+		if !ok || len(a.Vars) != len(b.Vars) {
+			return false
+		}
+		nfm, ngm := bindAlpha(a.Vars, b.Vars, fm, gm)
+		return alphaEq(a.Body, b.Body, nfm, ngm)
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func alphaTermEq(a, b Term, fm, gm map[string]int) bool {
+	if a.IsVar() != b.IsVar() {
+		return false
+	}
+	if !a.IsVar() {
+		return a.Const.Equal(b.Const)
+	}
+	ai, aBound := fm[a.Var]
+	bi, bBound := gm[b.Var]
+	if aBound != bBound {
+		return false
+	}
+	if aBound {
+		return ai == bi
+	}
+	return a.Var == b.Var
+}
+
+func bindAlpha(av, bv []string, fm, gm map[string]int) (map[string]int, map[string]int) {
+	base := 0
+	for _, i := range fm {
+		if i >= base {
+			base = i + 1
+		}
+	}
+	nfm := make(map[string]int, len(fm)+len(av))
+	for k, v := range fm {
+		nfm[k] = v
+	}
+	ngm := make(map[string]int, len(gm)+len(bv))
+	for k, v := range gm {
+		ngm[k] = v
+	}
+	for i := range av {
+		nfm[av[i]] = base + i
+		ngm[bv[i]] = base + i
+	}
+	return nfm, ngm
+}

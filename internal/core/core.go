@@ -1,0 +1,361 @@
+// Package core is the library facade: it wires the parser, the
+// normalization engine (Phase 1), the translators (Phase 2), and the
+// executors into a single query-processing pipeline.
+//
+// Typical use:
+//
+//	db := core.NewDB()
+//	students := db.MustDefine("student", "name")
+//	students.InsertValues(relation.Str("ann"))
+//	eng := core.NewEngine(db)
+//	res, err := eng.Query(`{ x | student(x) }`)
+//
+// The Engine supports three evaluation strategies, matching the systems the
+// paper compares:
+//
+//   - StrategyBry — canonical form + the improved algebraic translation
+//     (complement-joins, constrained outer-joins, emptiness tests);
+//   - StrategyCodd — the classical reduction baseline (prenex form,
+//     cartesian products of the domain, divisions);
+//   - StrategyLoop — the Fig. 1 nested-loop pipelined interpreter.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/loopeval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/translate"
+	"repro/internal/views"
+)
+
+// DB owns a catalog of base relations and a registry of views.
+type DB struct {
+	cat   *storage.Catalog
+	views *views.Registry
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{cat: storage.NewCatalog(), views: views.NewRegistry()} }
+
+// Catalog exposes the underlying catalog.
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// Views exposes the view registry.
+func (db *DB) Views() *views.Registry { return db.views }
+
+// DefineView registers a named view from an open-query definition, e.g.
+// db.DefineView("cs_member", `{ x | member(x, "cs") }`). View atoms in
+// queries expand inline before normalization (Definition 1 allows views
+// wherever relations appear).
+func (db *DB) DefineView(name, definition string) error {
+	if db.cat.Has(name) {
+		return fmt.Errorf("core: %q is already a base relation", name)
+	}
+	_, err := db.views.Define(name, definition)
+	return err
+}
+
+// Define registers a new base relation with the given column names.
+func (db *DB) Define(name string, columns ...string) (*relation.Relation, error) {
+	return db.cat.Define(name, relation.NewSchema(columns...))
+}
+
+// MustDefine is Define for static setup; it panics on duplicates.
+func (db *DB) MustDefine(name string, columns ...string) *relation.Relation {
+	return db.cat.MustDefine(name, relation.NewSchema(columns...))
+}
+
+// Strategy selects the evaluation pipeline.
+type Strategy int
+
+// Evaluation strategies.
+const (
+	// StrategyBry is the paper's method (the default).
+	StrategyBry Strategy = iota
+	// StrategyCodd is the classical reduction baseline.
+	StrategyCodd
+	// StrategyCoddImproved is the [PAL 72]-style refinement of the
+	// classical baseline: per-variable ranges instead of the full domain
+	// for existential and free variables.
+	StrategyCoddImproved
+	// StrategyLoop is the Fig. 1 nested-loop interpreter.
+	StrategyLoop
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBry:
+		return "bry"
+	case StrategyCodd:
+		return "codd"
+	case StrategyCoddImproved:
+		return "codd-improved"
+	case StrategyLoop:
+		return "loop"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Engine evaluates queries against a DB under a chosen strategy.
+type Engine struct {
+	db *DB
+	// Strategy selects the pipeline; the zero value is StrategyBry.
+	Strategy Strategy
+	// Options configures the Bry pipeline's disjunctive-filter strategy.
+	Options translate.Options
+	// UseIndexes lets the executor probe persistent catalog indexes
+	// instead of building per-query hash tables where applicable.
+	UseIndexes bool
+}
+
+// NewEngine builds an engine with the default (Bry) strategy.
+func NewEngine(db *DB) *Engine { return &Engine{db: db} }
+
+// Result is the outcome of one query evaluation.
+type Result struct {
+	// Open reports whether the query returned rows (vs a truth value).
+	Open bool
+	// Rows holds the answer relation of an open query.
+	Rows *relation.Relation
+	// Truth holds the answer of a closed (yes/no) query.
+	Truth bool
+	// Stats are the execution cost counters.
+	Stats exec.Stats
+	// Canonical is the normalized form of the query.
+	Canonical string
+}
+
+// Prepared is a parsed, normalized and translated query, reusable across
+// executions.
+type Prepared struct {
+	Source    parser.Query
+	Canonical parser.Query
+	Plan      algebra.Plan     // open queries (Bry/Codd)
+	BoolPlan  algebra.BoolPlan // closed queries (Bry/Codd)
+	strategy  Strategy
+}
+
+// Explain renders the plan of a prepared query.
+func (p *Prepared) Explain() string {
+	switch {
+	case p.Plan != nil:
+		return algebra.Explain(p.Plan)
+	case p.BoolPlan != nil:
+		return algebra.ExplainBool(p.BoolPlan)
+	default:
+		return "nested-loop interpretation of " + p.Canonical.String() + "\n"
+	}
+}
+
+// Prepare parses, validates, normalizes and translates a query.
+func (e *Engine) Prepare(input string) (*Prepared, error) {
+	q, err := parser.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareQuery(q)
+}
+
+// PrepareQuery is Prepare for an already-parsed query.
+func (e *Engine) PrepareQuery(q parser.Query) (*Prepared, error) {
+	q, err := e.db.views.Expand(q)
+	if err != nil {
+		return nil, err
+	}
+	nq, err := rewrite.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Source: q, Canonical: nq, strategy: e.Strategy}
+	switch e.Strategy {
+	case StrategyBry:
+		tr := translate.NewBryWithOptions(e.db.cat, e.Options)
+		p.Plan, p.BoolPlan, err = tr.Translate(nq)
+	case StrategyCodd:
+		tr := translate.NewCodd(e.db.cat)
+		p.Plan, p.BoolPlan, err = tr.Translate(nq)
+	case StrategyCoddImproved:
+		tr := translate.NewCoddImproved(e.db.cat)
+		p.Plan, p.BoolPlan, err = tr.Translate(nq)
+	case StrategyLoop:
+		// Interpretation happens at Run time; nothing to translate.
+	default:
+		err = fmt.Errorf("core: unknown strategy %v", e.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Defense in depth: a malformed plan is a translator bug; report it at
+	// preparation time rather than as an index panic during execution.
+	if p.Plan != nil {
+		if err := algebra.Validate(p.Plan); err != nil {
+			return nil, fmt.Errorf("core: internal planner error: %w", err)
+		}
+	}
+	if p.BoolPlan != nil {
+		if err := algebra.ValidateBool(p.BoolPlan); err != nil {
+			return nil, fmt.Errorf("core: internal planner error: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Run executes a prepared query.
+func (e *Engine) Run(p *Prepared) (*Result, error) {
+	res := &Result{Open: p.Source.IsOpen(), Canonical: p.Canonical.String()}
+	if p.strategy == StrategyLoop {
+		ev := loopeval.New(e.db.cat)
+		if p.Source.IsOpen() {
+			rows, err := ev.EvalOpen(p.Canonical)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = rows
+		} else {
+			ok, err := ev.EvalClosed(p.Canonical.Body, loopeval.Env{})
+			if err != nil {
+				return nil, err
+			}
+			res.Truth = ok
+		}
+		res.Stats = *ev.Stats
+		return res, nil
+	}
+
+	ctx := exec.NewContext(e.db.cat)
+	ctx.UseIndexes = e.UseIndexes
+	if p.Plan != nil {
+		rows, err := exec.Run(ctx, p.Plan)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+	} else {
+		ok, err := exec.EvalBool(ctx, p.BoolPlan)
+		if err != nil {
+			return nil, err
+		}
+		res.Truth = ok
+	}
+	res.Stats = *ctx.Stats
+	return res, nil
+}
+
+// Stream executes a prepared OPEN query, delivering result tuples to
+// visit as they are produced; visit returns false to stop early (the
+// executor's pipelining makes the early stop effective — downstream work
+// for unrequested tuples is never done). It returns the stats of the
+// partial execution.
+func (e *Engine) Stream(p *Prepared, visit func(relation.Tuple) bool) (exec.Stats, error) {
+	if !p.Source.IsOpen() {
+		return exec.Stats{}, fmt.Errorf("core: Stream needs an open query")
+	}
+	if p.strategy == StrategyLoop || p.Plan == nil {
+		// The loop interpreter has its own control flow; materialize.
+		res, err := e.Run(p)
+		if err != nil {
+			return exec.Stats{}, err
+		}
+		for _, t := range res.Rows.Tuples() {
+			if !visit(t) {
+				break
+			}
+		}
+		return res.Stats, nil
+	}
+	ctx := exec.NewContext(e.db.cat)
+	ctx.UseIndexes = e.UseIndexes
+	it, err := exec.Build(ctx, p.Plan)
+	if err != nil {
+		return exec.Stats{}, err
+	}
+	it.Open()
+	defer it.Close()
+	seen := make(map[string]struct{})
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		// Preserve the set semantics of materialized results.
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		ctx.Stats.OutputTuples++
+		if !visit(t) {
+			break
+		}
+	}
+	return *ctx.Stats, nil
+}
+
+// Query prepares and runs a query in one step.
+func (e *Engine) Query(input string) (*Result, error) {
+	p, err := e.Prepare(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(p)
+}
+
+// Check evaluates a closed formula used as an integrity constraint; it
+// reports whether the database satisfies it. This is the paper's motivating
+// application (handling general integrity constraints).
+func (e *Engine) Check(constraint string) (bool, error) {
+	res, err := e.Query(constraint)
+	if err != nil {
+		return false, err
+	}
+	if res.Open {
+		return false, fmt.Errorf("core: integrity constraints must be closed formulas")
+	}
+	return res.Truth, nil
+}
+
+// ExplainCost returns the canonical form and the plan annotated with the
+// cost model's estimated rows and cost per node (closed queries estimate
+// the whole boolean plan).
+func (e *Engine) ExplainCost(input string) (string, error) {
+	p, err := e.Prepare(input)
+	if err != nil {
+		return "", err
+	}
+	m := cost.New(e.db.cat)
+	out := "canonical: " + p.Canonical.String() + "\n"
+	if p.Plan != nil {
+		annotated, err := m.Explain(p.Plan)
+		if err != nil {
+			return "", err
+		}
+		return out + annotated, nil
+	}
+	if p.BoolPlan != nil {
+		est, err := m.EstimateBool(p.BoolPlan)
+		if err != nil {
+			return "", err
+		}
+		return out + fmt.Sprintf("boolean plan, estimated cost≈%.0f\n", est.Cost) + p.Explain(), nil
+	}
+	return out + p.Explain(), nil
+}
+
+// Explain returns the canonical form and the plan of a query without
+// executing it.
+func (e *Engine) Explain(input string) (string, error) {
+	p, err := e.Prepare(input)
+	if err != nil {
+		return "", err
+	}
+	return "canonical: " + p.Canonical.String() + "\n" + p.Explain(), nil
+}

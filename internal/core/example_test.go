@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Example shows the basic query pipeline: define relations, load tuples,
+// and evaluate a universally quantified open query.
+func Example() {
+	db := core.NewDB()
+	student := db.MustDefine("student", "name")
+	lecture := db.MustDefine("lecture", "id")
+	attends := db.MustDefine("attends", "name", "lecture")
+
+	for _, n := range []string{"ann", "bob"} {
+		student.InsertValues(relation.Str(n))
+	}
+	for _, l := range []string{"l1", "l2"} {
+		lecture.InsertValues(relation.Str(l))
+	}
+	attends.InsertValues(relation.Str("ann"), relation.Str("l1"))
+	attends.InsertValues(relation.Str("ann"), relation.Str("l2"))
+	attends.InsertValues(relation.Str("bob"), relation.Str("l1"))
+
+	eng := core.NewEngine(db)
+	res, err := eng.Query(`{ x | student(x) and forall y: lecture(y) => attends(x, y) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Rows.Tuples() {
+		fmt.Println(t[0])
+	}
+	// Output:
+	// ann
+}
+
+// ExampleEngine_Check evaluates an integrity constraint (the paper's
+// motivating application).
+func ExampleEngine_Check() {
+	db := core.NewDB()
+	emp := db.MustDefine("emp", "name", "dept")
+	db.MustDefine("dept", "id")
+	emp.InsertValues(relation.Str("ann"), relation.Str("cs"))
+
+	eng := core.NewEngine(db)
+	ok, err := eng.Check(`forall x, d: emp(x, d) => dept(d)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ok)
+	// Output:
+	// false
+}
+
+// ExampleDB_DefineView queries through a derived view.
+func ExampleDB_DefineView() {
+	db := core.NewDB()
+	member := db.MustDefine("member", "name", "dept")
+	member.InsertValues(relation.Str("ann"), relation.Str("cs"))
+	member.InsertValues(relation.Str("eve"), relation.Str("math"))
+	if err := db.DefineView("cs_member", `{ x | member(x, "cs") }`); err != nil {
+		log.Fatal(err)
+	}
+
+	eng := core.NewEngine(db)
+	res, err := eng.Query(`{ x | cs_member(x) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows.Len())
+	// Output:
+	// 1
+}
+
+// ExampleEngine_Explain shows the canonical form and the algebra plan of a
+// negated-existential query: the complement-join at work.
+func ExampleEngine_Explain() {
+	db := core.NewDB()
+	db.MustDefine("p", "v")
+	db.MustDefine("q", "v")
+	eng := core.NewEngine(db)
+	out, err := eng.Explain(`{ x | p(x) and not q(x) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	// Output:
+	// canonical: {x | p(x) ∧ ¬q(x)}
+	// ⊼[1=1] (complement-join)
+	//   Scan p
+	//   Scan q
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEngineWithViews(t *testing.T) {
+	db := demoDB()
+	if err := db.DefineView("busy", `{ x | exists y: attends(x, y) }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineView("idle", `{ x | student(x) and not busy(x) }`); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(db)
+	res, err := eng.Query(`{ x | idle(x) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewUnnamed(res.Rows.Schema())
+	want.InsertValues(relation.Str("eve"))
+	if !res.Rows.Equal(want) {
+		t.Fatalf("got:\n%s\nwant eve", res.Rows)
+	}
+
+	// Views as universal ranges (Definition 1: "a relation or a view").
+	res, err = eng.Query(`forall x: busy(x) => student(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truth {
+		t.Fatal("every busy person is a student here")
+	}
+
+	// All three strategies agree on view queries.
+	for _, s := range []Strategy{StrategyBry, StrategyCodd, StrategyLoop} {
+		eng.Strategy = s
+		r2, err := eng.Query(`{ x | idle(x) }`)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !r2.Rows.Equal(want) {
+			t.Fatalf("%v disagrees:\n%s", s, r2.Rows)
+		}
+	}
+}
+
+func TestDefineViewConflicts(t *testing.T) {
+	db := demoDB()
+	if err := db.DefineView("student", `{ x | attends(x, "db101") }`); err == nil {
+		t.Fatal("view shadowing a base relation must be rejected")
+	}
+	if err := db.DefineView("v", `exists x: student(x)`); err == nil {
+		t.Fatal("closed view definitions must be rejected")
+	}
+}

@@ -1,0 +1,272 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/translate"
+)
+
+func fixture() *storage.Catalog {
+	cat := storage.NewCatalog()
+	p := cat.MustDefine("P", relation.NewSchema("v"))
+	for i := 0; i < 100; i++ {
+		p.InsertValues(relation.Int(int64(i)))
+	}
+	q := cat.MustDefine("Q", relation.NewSchema("v", "w"))
+	for i := 0; i < 50; i++ {
+		q.InsertValues(relation.Int(int64(i)), relation.Int(int64(i%5)))
+	}
+	return cat
+}
+
+func scan(cat *storage.Catalog, name string) *algebra.Scan {
+	r, _ := cat.Relation(name)
+	return algebra.NewScan(name, r.Schema())
+}
+
+func TestEstimateScanExact(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	e, err := m.Estimate(scan(cat, "P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows != 100 || e.Cost != 100 {
+		t.Fatalf("scan estimate = %+v, want rows=100 cost=100", e)
+	}
+}
+
+func TestEstimateSelectUsesDistinct(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	// Q's second column has exactly 5 distinct values: equality against a
+	// constant must estimate 50/5 = 10 rows.
+	sel := &algebra.Select{Input: scan(cat, "Q"), Pred: algebra.CmpConst{Col: 1, Op: algebra.OpEq, Const: relation.Int(3)}}
+	e, err := m.Estimate(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows < 9 || e.Rows > 11 {
+		t.Fatalf("selectivity from distinct count: rows = %.1f, want ≈10", e.Rows)
+	}
+}
+
+func TestEstimateMonotonicity(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	base, _ := m.Estimate(scan(cat, "P"))
+	sel, _ := m.Estimate(&algebra.Select{Input: scan(cat, "P"), Pred: algebra.CmpConst{Col: 0, Op: algebra.OpLt, Const: relation.Int(10)}})
+	if sel.Rows > base.Rows {
+		t.Fatal("selection must not increase rows")
+	}
+	if sel.Cost < base.Cost {
+		t.Fatal("selection adds cost")
+	}
+	prod, _ := m.Estimate(&algebra.Product{Left: scan(cat, "P"), Right: scan(cat, "Q")})
+	join, _ := m.Estimate(&algebra.Join{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: []algebra.ColPair{{Left: 0, Right: 0}}})
+	if join.Rows >= prod.Rows {
+		t.Fatal("an equi-join must estimate fewer rows than the product")
+	}
+	if prod.Cost <= join.Cost {
+		t.Fatal("the product must cost more than the hash join")
+	}
+}
+
+func TestEstimateJoinFamilyShares(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	on := []algebra.ColPair{{Left: 0, Right: 0}}
+	semi, _ := m.Estimate(&algebra.SemiJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: on})
+	comp, _ := m.Estimate(&algebra.ComplementJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: on})
+	if semi.Cost != comp.Cost {
+		t.Fatalf("the paper's point: one cost schema for the join family; semi %.0f vs complement %.0f", semi.Cost, comp.Cost)
+	}
+	if semi.Rows+comp.Rows < 99 || semi.Rows+comp.Rows > 101 {
+		t.Fatalf("semi+complement shares must partition the left: %.0f + %.0f", semi.Rows, comp.Rows)
+	}
+	coj, _ := m.Estimate(&algebra.ConstrainedOuterJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: on})
+	if coj.Rows != 100 {
+		t.Fatalf("constrained outer-join is left-preserving: rows = %.0f", coj.Rows)
+	}
+	gated, _ := m.Estimate(&algebra.ConstrainedOuterJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: on,
+		Constraint: []algebra.NullCond{{Col: 0, IsNull: true}}})
+	if gated.Cost >= coj.Cost {
+		t.Fatal("a constraint must reduce estimated probe cost")
+	}
+}
+
+// TestModelRanksStrategies: the model must order the translation
+// strategies like the measured costs do — Bry cheapest, Codd worst —
+// on the paper's nested query (E11).
+func TestModelRanksStrategies(t *testing.T) {
+	cat := dataset.University(dataset.DefaultUniversity(60))
+	m := New(cat)
+	q, err := rewrite.Normalize(parser.MustParse(`{ x | student(x) and exists y: cs_lecture(y) and attends(x, y) and not skill(x, "db") }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bryPlan, err := translate.NewBry(cat).TranslateOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coddPlan, err := translate.NewCodd(cat).TranslateOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bryEst, err := m.Estimate(bryPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coddEst, err := m.Estimate(coddPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bryEst.Cost >= coddEst.Cost {
+		t.Fatalf("model must rank Bry (%.0f) below Codd (%.0f)", bryEst.Cost, coddEst.Cost)
+	}
+	// And the measured ordering agrees.
+	bryCtx := exec.NewContext(cat)
+	if _, err := exec.Run(bryCtx, bryPlan); err != nil {
+		t.Fatal(err)
+	}
+	coddCtx := exec.NewContext(cat)
+	if _, err := exec.Run(coddCtx, coddPlan); err != nil {
+		t.Fatal(err)
+	}
+	if bryCtx.Stats.Comparisons >= coddCtx.Stats.Comparisons {
+		t.Fatalf("measured ordering disagrees: bry %d vs codd %d", bryCtx.Stats.Comparisons, coddCtx.Stats.Comparisons)
+	}
+}
+
+func TestEstimateBool(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	ne := &algebra.NotEmpty{Input: scan(cat, "P")}
+	full, _ := m.Estimate(scan(cat, "P"))
+	e, err := m.EstimateBool(ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cost >= full.Cost {
+		t.Fatal("emptiness tests must be credited with early termination")
+	}
+	and, err := m.EstimateBool(&algebra.BoolAnd{Inputs: []algebra.BoolPlan{ne, &algebra.IsEmpty{Input: scan(cat, "Q")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if and.Cost <= e.Cost {
+		t.Fatal("conjunction accumulates cost")
+	}
+	c, err := m.EstimateBool(&algebra.BoolConst{Value: true})
+	if err != nil || c.Cost != 0 {
+		t.Fatalf("constants are free: %+v %v", c, err)
+	}
+	if _, err := m.EstimateBool(&algebra.BoolNot{Input: ne}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	if _, err := m.Estimate(algebra.NewScan("missing", relation.NewSchema("v"))); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := m.Explain(algebra.NewScan("missing", relation.NewSchema("v"))); err == nil {
+		t.Fatal("Explain propagates errors")
+	}
+}
+
+func TestExplainAnnotates(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	plan := &algebra.SemiJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: []algebra.ColPair{{Left: 0, Right: 0}}}
+	out, err := m.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rows≈") || !strings.Contains(out, "cost≈") {
+		t.Fatalf("missing annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "Scan P") || !strings.Contains(out, "Scan Q") {
+		t.Fatalf("missing children:\n%s", out)
+	}
+}
+
+// TestEstimateAllOperators walks every node type once; estimates must be
+// positive, finite, and children's errors must propagate.
+func TestEstimateAllOperators(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	on := []algebra.ColPair{{Left: 0, Right: 0}}
+	p, q := scan(cat, "P"), scan(cat, "Q")
+	plans := []algebra.Plan{
+		&algebra.OuterJoin{Left: p, Right: q, On: on},
+		&algebra.Union{Left: p, Right: p},
+		&algebra.Diff{Left: p, Right: p},
+		&algebra.Intersect{Left: p, Right: p},
+		&algebra.Division{Dividend: q, Divisor: p, KeyCols: []int{0}, DivCols: []int{1}},
+		&algebra.GroupCount{Input: q, GroupCols: []int{0}},
+		&algebra.GroupCount{Input: q},
+		&algebra.Materialize{Input: p, Label: "tmp"},
+		&algebra.Project{Input: q, Cols: []int{0}, NoDedup: true},
+		&algebra.Select{Input: p, Pred: algebra.Or{Preds: []algebra.Pred{
+			algebra.IsNull{Col: 0}, algebra.NotNull{Col: 0},
+			algebra.Not{Pred: algebra.True{}},
+			algebra.CmpCols{Left: 0, Op: algebra.OpEq, Right: 0},
+			algebra.CmpCols{Left: 0, Op: algebra.OpNe, Right: 0},
+			algebra.CmpConst{Col: 0, Op: algebra.OpNe, Const: relation.Int(1)},
+			algebra.CmpConst{Col: 0, Op: algebra.OpLt, Const: relation.Int(1)},
+		}}},
+		&algebra.Join{Left: p, Right: q, On: nil}, // degenerate cross join
+		&algebra.Join{Left: p, Right: q, On: on, Residual: algebra.True{}},
+	}
+	for _, plan := range plans {
+		e, err := m.Estimate(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", plan.Describe(), err)
+		}
+		if e.Rows < 0 || e.Cost <= 0 {
+			t.Fatalf("%s: implausible estimate %+v", plan.Describe(), e)
+		}
+	}
+	// Error propagation through each binary side.
+	bad := algebra.NewScan("missing", relation.NewSchema("v"))
+	for _, plan := range []algebra.Plan{
+		&algebra.Join{Left: bad, Right: q, On: on},
+		&algebra.Join{Left: p, Right: bad, On: on},
+		&algebra.Union{Left: bad, Right: q},
+		&algebra.Select{Input: bad, Pred: algebra.True{}},
+		&algebra.GroupCount{Input: bad},
+	} {
+		if _, err := m.Estimate(plan); err == nil {
+			t.Fatalf("%s: error not propagated", plan.Describe())
+		}
+	}
+}
+
+func TestSelectivityDistinctFallbacks(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	// Equality over a non-scan input falls back to the heuristic.
+	proj := &algebra.Project{Input: scan(cat, "Q"), Cols: []int{1}}
+	sel := &algebra.Select{Input: proj, Pred: algebra.CmpConst{Col: 0, Op: algebra.OpEq, Const: relation.Int(3)}}
+	if _, err := m.Estimate(sel); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range column in distinctOf returns the fallback path.
+	if d := m.distinctOf("Q", 99); d != 0 {
+		t.Fatalf("out-of-range distinct = %v", d)
+	}
+	if d := m.distinctOf("missing", 0); d != 0 {
+		t.Fatalf("missing relation distinct = %v", d)
+	}
+}

@@ -1,0 +1,243 @@
+// Package dataset generates the synthetic workloads the benchmark harness
+// runs on. The paper has no evaluation datasets (its claims are about plan
+// shape); these generators provide scalable databases with controlled
+// cardinalities and selectivities so the claims become measurable:
+//
+//   - University — the paper's running example schema (students, lectures,
+//     attendance, departments, languages);
+//   - PTU — a scalable version of the P/T/U relations of Figs. 2-4 for the
+//     disjunctive-filter experiments;
+//   - RSTG — generic R(x,y), S(x,y,z), T(y,z), G(x,y,z) relations for the
+//     Proposition 4 quantifier-nesting experiments.
+//
+// All generators are deterministic in their seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// UniversityParams sizes the university database.
+type UniversityParams struct {
+	Students    int
+	Professors  int
+	Lectures    int // lectures per department is Lectures/len(Departments)
+	Departments []string
+	Languages   []string
+	// AttendProb is the probability a student attends a given lecture.
+	AttendProb float64
+	// SpeakProb is the probability a person speaks a given language.
+	SpeakProb float64
+	// PhDShare is the share of students making a PhD.
+	PhDShare float64
+	Seed     int64
+}
+
+// DefaultUniversity returns parameters scaled by n students.
+func DefaultUniversity(n int) UniversityParams {
+	return UniversityParams{
+		Students:    n,
+		Professors:  n / 10,
+		Lectures:    n / 5,
+		Departments: []string{"cs", "math", "bio"},
+		Languages:   []string{"french", "german", "english"},
+		AttendProb:  0.3,
+		SpeakProb:   0.4,
+		PhDShare:    0.2,
+		Seed:        1,
+	}
+}
+
+// University builds the running-example catalog:
+//
+//	student(name)             prof(name)
+//	lecture(id, dept)         cs_lecture(id)
+//	attends(name, lecture)    enrolled(name, dept)
+//	makes(name, degree)       member(name, dept)
+//	speaks(name, language)    skill(name, topic)
+func University(p UniversityParams) *storage.Catalog {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cat := storage.NewCatalog()
+
+	student := cat.MustDefine("student", relation.NewSchema("name"))
+	prof := cat.MustDefine("prof", relation.NewSchema("name"))
+	lecture := cat.MustDefine("lecture", relation.NewSchema("id", "dept"))
+	csLecture := cat.MustDefine("cs_lecture", relation.NewSchema("id"))
+	attends := cat.MustDefine("attends", relation.NewSchema("name", "lecture"))
+	enrolled := cat.MustDefine("enrolled", relation.NewSchema("name", "dept"))
+	makes := cat.MustDefine("makes", relation.NewSchema("name", "degree"))
+	member := cat.MustDefine("member", relation.NewSchema("name", "dept"))
+	speaks := cat.MustDefine("speaks", relation.NewSchema("name", "language"))
+	skill := cat.MustDefine("skill", relation.NewSchema("name", "topic"))
+
+	if p.Lectures < 1 {
+		p.Lectures = 1
+	}
+	lectures := make([]string, p.Lectures)
+	for i := range lectures {
+		dept := p.Departments[i%len(p.Departments)]
+		id := fmt.Sprintf("%s%03d", dept, i)
+		lectures[i] = id
+		lecture.InsertValues(relation.Str(id), relation.Str(dept))
+		if dept == "cs" {
+			csLecture.InsertValues(relation.Str(id))
+		}
+	}
+
+	person := func(kind string, i int) string { return fmt.Sprintf("%s%04d", kind, i) }
+
+	for i := 0; i < p.Students; i++ {
+		name := person("s", i)
+		student.InsertValues(relation.Str(name))
+		dept := p.Departments[rng.Intn(len(p.Departments))]
+		enrolled.InsertValues(relation.Str(name), relation.Str(dept))
+		member.InsertValues(relation.Str(name), relation.Str(dept))
+		if rng.Float64() < p.PhDShare {
+			makes.InsertValues(relation.Str(name), relation.Str("PhD"))
+		} else if rng.Float64() < 0.5 {
+			makes.InsertValues(relation.Str(name), relation.Str("MSc"))
+		}
+		for _, l := range lectures {
+			if rng.Float64() < p.AttendProb {
+				attends.InsertValues(relation.Str(name), relation.Str(l))
+			}
+		}
+		for _, lang := range p.Languages {
+			if rng.Float64() < p.SpeakProb {
+				speaks.InsertValues(relation.Str(name), relation.Str(lang))
+			}
+		}
+		if rng.Float64() < 0.3 {
+			skill.InsertValues(relation.Str(name), relation.Str([]string{"db", "ai", "math"}[rng.Intn(3)]))
+		}
+	}
+	for i := 0; i < p.Professors; i++ {
+		name := person("p", i)
+		prof.InsertValues(relation.Str(name))
+		dept := p.Departments[rng.Intn(len(p.Departments))]
+		member.InsertValues(relation.Str(name), relation.Str(dept))
+		for _, lang := range p.Languages {
+			if rng.Float64() < p.SpeakProb {
+				speaks.InsertValues(relation.Str(name), relation.Str(lang))
+			}
+		}
+		if rng.Float64() < 0.5 {
+			skill.InsertValues(relation.Str(name), relation.Str([]string{"db", "ai", "math"}[rng.Intn(3)]))
+		}
+	}
+	return cat
+}
+
+// PTUParams sizes the scalable Fig. 2 database: P has N unary tuples; each
+// value of P is in T (respectively U) with the given probability, and T/U
+// additionally carry ExtraShare·N values outside P.
+type PTUParams struct {
+	N          int
+	TProb      float64
+	UProb      float64
+	ExtraShare float64
+	// Branches > 2 adds relations T2, T3, … for n-way disjunction sweeps.
+	Branches int
+	Seed     int64
+}
+
+// PTU builds P, T, U (and T2…Tk for k-way disjunctions).
+func PTU(p PTUParams) *storage.Catalog {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cat := storage.NewCatalog()
+	pr := cat.MustDefine("P", relation.NewSchema("v"))
+	names := []string{"T", "U"}
+	for i := 2; i < p.Branches; i++ {
+		names = append(names, fmt.Sprintf("T%d", i))
+	}
+	rels := make([]*relation.Relation, len(names))
+	probs := make([]float64, len(names))
+	for i, n := range names {
+		rels[i] = cat.MustDefine(n, relation.NewSchema("v"))
+		if i == 0 {
+			probs[i] = p.TProb
+		} else {
+			probs[i] = p.UProb
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		v := relation.Str(fmt.Sprintf("v%06d", i))
+		pr.InsertValues(v)
+		for j, r := range rels {
+			if rng.Float64() < probs[j] {
+				r.InsertValues(v)
+			}
+		}
+	}
+	extra := int(float64(p.N) * p.ExtraShare)
+	for i := 0; i < extra; i++ {
+		v := relation.Str(fmt.Sprintf("w%06d", i))
+		for _, r := range rels {
+			if rng.Float64() < 0.5 {
+				r.InsertValues(v)
+			}
+		}
+	}
+	return cat
+}
+
+// RSTGParams sizes the Proposition 4 database: R(x,y), S(x,y,z), T(y,z),
+// G(x,y,z) over integer domains of the given sizes.
+type RSTGParams struct {
+	Xs, Ys, Zs int
+	// RProb etc. are tuple-inclusion probabilities.
+	RProb, SProb, TProb, GProb float64
+	Seed                       int64
+}
+
+// DefaultRSTG returns moderate densities over an n-sized x-domain.
+func DefaultRSTG(n int) RSTGParams {
+	return RSTGParams{
+		Xs: n, Ys: n / 2, Zs: 8,
+		RProb: 0.2, SProb: 0.1, TProb: 0.4, GProb: 0.5,
+		Seed: 7,
+	}
+}
+
+// RSTG builds the four generic relations.
+func RSTG(p RSTGParams) *storage.Catalog {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cat := storage.NewCatalog()
+	r := cat.MustDefine("R", relation.NewSchema("x", "y"))
+	s := cat.MustDefine("S", relation.NewSchema("x", "y", "z"))
+	t := cat.MustDefine("T", relation.NewSchema("y", "z"))
+	g := cat.MustDefine("G", relation.NewSchema("x", "y", "z"))
+	if p.Ys < 1 {
+		p.Ys = 1
+	}
+	if p.Zs < 1 {
+		p.Zs = 1
+	}
+	for x := 0; x < p.Xs; x++ {
+		for y := 0; y < p.Ys; y++ {
+			if rng.Float64() < p.RProb {
+				r.InsertValues(relation.Int(int64(x)), relation.Int(int64(y)))
+			}
+			for z := 0; z < p.Zs; z++ {
+				if rng.Float64() < p.SProb {
+					s.InsertValues(relation.Int(int64(x)), relation.Int(int64(y)), relation.Int(int64(z)))
+				}
+				if rng.Float64() < p.GProb {
+					g.InsertValues(relation.Int(int64(x)), relation.Int(int64(y)), relation.Int(int64(z)))
+				}
+			}
+		}
+	}
+	for y := 0; y < p.Ys; y++ {
+		for z := 0; z < p.Zs; z++ {
+			if rng.Float64() < p.TProb {
+				t.InsertValues(relation.Int(int64(y)), relation.Int(int64(z)))
+			}
+		}
+	}
+	return cat
+}

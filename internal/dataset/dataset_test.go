@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestUniversityShape(t *testing.T) {
+	cat := University(DefaultUniversity(100))
+	for _, name := range []string{"student", "prof", "lecture", "cs_lecture", "attends", "enrolled", "makes", "member", "speaks", "skill"} {
+		if !cat.Has(name) {
+			t.Fatalf("missing relation %q", name)
+		}
+	}
+	st, _ := cat.Relation("student")
+	if st.Len() != 100 {
+		t.Fatalf("students = %d, want 100", st.Len())
+	}
+	// Every attendance references a student and a lecture.
+	att, _ := cat.Relation("attends")
+	stud, _ := cat.Relation("student")
+	lec, _ := cat.Relation("lecture")
+	lecIDs := make(map[string]bool)
+	for _, tu := range lec.Tuples() {
+		lecIDs[tu[0].AsString()] = true
+	}
+	for _, tu := range att.Tuples() {
+		if !stud.Contains(relation.NewTuple(tu[0])) {
+			t.Fatalf("attends references unknown student %s", tu[0])
+		}
+		if !lecIDs[tu[1].AsString()] {
+			t.Fatalf("attends references unknown lecture %s", tu[1])
+		}
+	}
+	// cs_lecture is exactly the cs-department slice of lecture.
+	cs, _ := cat.Relation("cs_lecture")
+	n := 0
+	for _, tu := range lec.Tuples() {
+		if tu[1].AsString() == "cs" {
+			n++
+			if !cs.Contains(relation.NewTuple(tu[0])) {
+				t.Fatalf("cs lecture %s missing from cs_lecture", tu[0])
+			}
+		}
+	}
+	if cs.Len() != n {
+		t.Fatalf("cs_lecture has %d rows, want %d", cs.Len(), n)
+	}
+}
+
+func TestUniversityDeterministic(t *testing.T) {
+	a := University(DefaultUniversity(50))
+	b := University(DefaultUniversity(50))
+	for _, name := range a.Names() {
+		ra, _ := a.Relation(name)
+		rb, _ := b.Relation(name)
+		if !ra.Equal(rb) {
+			t.Fatalf("relation %q differs between identically-seeded runs", name)
+		}
+	}
+}
+
+func TestPTUShape(t *testing.T) {
+	cat := PTU(PTUParams{N: 200, TProb: 0.5, UProb: 0.3, ExtraShare: 0.2, Branches: 4, Seed: 3})
+	p, _ := cat.Relation("P")
+	if p.Len() != 200 {
+		t.Fatalf("P = %d, want 200", p.Len())
+	}
+	for _, name := range []string{"T", "U", "T2", "T3"} {
+		if !cat.Has(name) {
+			t.Fatalf("missing branch relation %q", name)
+		}
+	}
+	tr, _ := cat.Relation("T")
+	if tr.Len() == 0 || tr.Len() >= 200+40 {
+		t.Fatalf("T size %d implausible for prob 0.5", tr.Len())
+	}
+}
+
+func TestRSTGShape(t *testing.T) {
+	cat := RSTG(DefaultRSTG(40))
+	for _, name := range []string{"R", "S", "T", "G"} {
+		if !cat.Has(name) {
+			t.Fatalf("missing %q", name)
+		}
+		r, _ := cat.Relation(name)
+		if r.Len() == 0 {
+			t.Fatalf("%q is empty", name)
+		}
+	}
+	g, _ := cat.Relation("G")
+	if g.Arity() != 3 {
+		t.Fatalf("G arity = %d", g.Arity())
+	}
+}

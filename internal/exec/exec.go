@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Context carries everything an execution needs: the catalog holding the
+// base relations and the stats record charged by every operator.
+type Context struct {
+	Catalog *storage.Catalog
+	Stats   *Stats
+	// UseIndexes lets join-like operators probe persistent catalog hash
+	// indexes instead of building transient hash tables when their right
+	// side is a (selection over a) base relation scan. Index probes charge
+	// comparisons and the reads of fetched candidates, but no build cost —
+	// which is what makes the §3.2 emptiness tests terminate after
+	// near-constant work.
+	UseIndexes bool
+}
+
+// NewContext builds a context with a fresh stats record.
+func NewContext(cat *storage.Catalog) *Context {
+	return &Context{Catalog: cat, Stats: &Stats{}}
+}
+
+// NewIndexedContext builds a context with UseIndexes enabled.
+func NewIndexedContext(cat *storage.Catalog) *Context {
+	ctx := NewContext(cat)
+	ctx.UseIndexes = true
+	return ctx
+}
+
+// Iterator is the volcano interface. Open prepares the operator (blocking
+// operators do their buffering here), Next yields the next tuple, Close
+// releases resources. Iterators are single-use.
+type Iterator interface {
+	Open()
+	Next() (relation.Tuple, bool)
+	Close()
+}
+
+// Build compiles a plan into an iterator tree against the context's catalog.
+// All catalog resolution errors surface here, so Next can stay error-free.
+func Build(ctx *Context, p algebra.Plan) (Iterator, error) {
+	switch n := p.(type) {
+	case *algebra.Scan:
+		r, err := ctx.Catalog.Relation(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		if r.Arity() != n.Sch.Arity() {
+			return nil, fmt.Errorf("exec: scan of %q expects arity %d, catalog has %d", n.Name, n.Sch.Arity(), r.Arity())
+		}
+		return &scanIter{ctx: ctx, rel: r}, nil
+	case *algebra.Select:
+		in, err := Build(ctx, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &selectIter{ctx: ctx, in: in, pred: n.Pred}, nil
+	case *algebra.Project:
+		in, err := Build(ctx, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectIter(ctx, in, n.Cols, !n.NoDedup), nil
+	case *algebra.Product:
+		l, r, err := buildPair(ctx, n.Left, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &productIter{ctx: ctx, left: l, right: r}, nil
+	case *algebra.Join:
+		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
+		if err != nil {
+			return nil, err
+		}
+		return &joinIter{ctx: ctx, left: l, spec: spec, lk: lk, residual: n.Residual}, nil
+	case *algebra.SemiJoin:
+		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
+		if err != nil {
+			return nil, err
+		}
+		return &semiJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, complement: false}, nil
+	case *algebra.ComplementJoin:
+		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
+		if err != nil {
+			return nil, err
+		}
+		return &semiJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, complement: true}, nil
+	case *algebra.OuterJoin:
+		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
+		if err != nil {
+			return nil, err
+		}
+		return &outerJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, rightArity: n.Right.Schema().Arity()}, nil
+	case *algebra.ConstrainedOuterJoin:
+		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
+		if err != nil {
+			return nil, err
+		}
+		return &cojIter{ctx: ctx, left: l, spec: spec, lk: lk, node: n}, nil
+	case *algebra.Union:
+		l, r, err := buildPair(ctx, n.Left, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &unionIter{ctx: ctx, left: l, right: r}, nil
+	case *algebra.Diff:
+		l, r, err := buildPair(ctx, n.Left, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &diffIter{ctx: ctx, left: l, right: r, keep: false}, nil
+	case *algebra.Intersect:
+		l, r, err := buildPair(ctx, n.Left, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &diffIter{ctx: ctx, left: l, right: r, keep: true}, nil
+	case *algebra.Division:
+		l, r, err := buildPair(ctx, n.Dividend, n.Divisor)
+		if err != nil {
+			return nil, err
+		}
+		return &divisionIter{ctx: ctx, dividend: l, divisor: r, keyCols: n.KeyCols, divCols: n.DivCols}, nil
+	case *algebra.GroupCount:
+		in, err := Build(ctx, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &groupCountIter{ctx: ctx, in: in, groupCols: n.GroupCols}, nil
+	case *algebra.Materialize:
+		in, err := Build(ctx, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &materializeIter{ctx: ctx, in: in, schema: n.Schema()}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", p)
+	}
+}
+
+// buildProbeSide compiles the left input and picks the right side's
+// probing strategy for a join-like node.
+func buildProbeSide(ctx *Context, left, right algebra.Plan, on []algebra.ColPair) (Iterator, *proberSpec, []int, error) {
+	l, err := Build(ctx, left)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lk, rk := splitPairs(on)
+	spec, err := newProberSpec(ctx, right, rk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return l, spec, lk, nil
+}
+
+func buildPair(ctx *Context, l, r algebra.Plan) (Iterator, Iterator, error) {
+	li, err := Build(ctx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, err := Build(ctx, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return li, ri, nil
+}
+
+// Run executes a plan to completion and materializes its result.
+func Run(ctx *Context, p algebra.Plan) (*relation.Relation, error) {
+	it, err := Build(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewUnnamed(p.Schema())
+	it.Open()
+	defer it.Close()
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out.Insert(t)
+		ctx.Stats.OutputTuples++
+	}
+	return out, nil
+}
+
+// EvalBool evaluates a boolean plan (§3.2). Emptiness tests pull at most
+// one tuple from their relational input; connectives short-circuit left to
+// right. This realizes algebraically the early termination of the Fig. 1
+// loop algorithms.
+func EvalBool(ctx *Context, p algebra.BoolPlan) (bool, error) {
+	switch n := p.(type) {
+	case *algebra.NotEmpty:
+		return probeNonEmpty(ctx, n.Input)
+	case *algebra.IsEmpty:
+		ok, err := probeNonEmpty(ctx, n.Input)
+		return !ok, err
+	case *algebra.BoolAnd:
+		for _, c := range n.Inputs {
+			ok, err := EvalBool(ctx, c)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	case *algebra.BoolOr:
+		for _, c := range n.Inputs {
+			ok, err := EvalBool(ctx, c)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *algebra.BoolNot:
+		ok, err := EvalBool(ctx, n.Input)
+		return !ok, err
+	case *algebra.BoolConst:
+		return n.Value, nil
+	default:
+		return false, fmt.Errorf("exec: unknown boolean plan node %T", p)
+	}
+}
+
+// probeNonEmpty opens the plan and asks for a single tuple.
+func probeNonEmpty(ctx *Context, p algebra.Plan) (bool, error) {
+	it, err := Build(ctx, p)
+	if err != nil {
+		return false, err
+	}
+	it.Open()
+	defer it.Close()
+	_, ok := it.Next()
+	return ok, nil
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// TestIndexedSemiJoinAgrees: index-probed and hash-probed plans return the
+// same sets; the indexed run buffers nothing.
+func TestIndexedSemiJoinAgrees(t *testing.T) {
+	cat := ptuCatalog(t)
+	on := []algebra.ColPair{{Left: 0, Right: 0}}
+	for _, mk := range []func() algebra.Plan{
+		func() algebra.Plan { return &algebra.SemiJoin{Left: scan(cat, "P"), Right: scan(cat, "T"), On: on} },
+		func() algebra.Plan {
+			return &algebra.ComplementJoin{Left: scan(cat, "P"), Right: scan(cat, "T"), On: on}
+		},
+		func() algebra.Plan { return &algebra.OuterJoin{Left: scan(cat, "P"), Right: scan(cat, "T"), On: on} },
+		func() algebra.Plan { return &algebra.Join{Left: scan(cat, "P"), Right: scan(cat, "T"), On: on} },
+		func() algebra.Plan {
+			return &algebra.ConstrainedOuterJoin{Left: scan(cat, "P"), Right: scan(cat, "T"), On: on}
+		},
+	} {
+		plain := NewContext(cat)
+		a, err := Run(plain, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed := NewIndexedContext(cat)
+		b, err := Run(indexed, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("%T: indexed result differs:\n%s\nvs\n%s", mk(), a, b)
+		}
+		if indexed.Stats.IntermediateTuples != 0 {
+			t.Errorf("%T: indexed run buffered %d tuples, want 0", mk(), indexed.Stats.IntermediateTuples)
+		}
+		if indexed.Stats.HashInserts != 0 {
+			t.Errorf("%T: indexed run inserted %d hash entries, want 0", mk(), indexed.Stats.HashInserts)
+		}
+	}
+}
+
+// TestIndexedSelectScanResidual: a Select over a Scan on the right side is
+// indexable; the selection becomes a residual check per candidate.
+func TestIndexedSelectScanResidual(t *testing.T) {
+	cat := storage.NewCatalog()
+	emp := cat.MustDefine("emp", relation.NewSchema("name", "dept"))
+	emp.InsertValues(s("ann"), s("cs"))
+	emp.InsertValues(s("ann"), s("math")) // second membership
+	emp.InsertValues(s("bob"), s("math"))
+	people := cat.MustDefine("people", relation.NewSchema("name"))
+	people.InsertValues(s("ann"))
+	people.InsertValues(s("bob"))
+
+	right := &algebra.Select{
+		Input: algebra.NewScan("emp", emp.Schema()),
+		Pred:  algebra.CmpConst{Col: 1, Op: algebra.OpEq, Const: s("cs")},
+	}
+	sj := &algebra.SemiJoin{Left: scan(cat, "people"), Right: right, On: []algebra.ColPair{{Left: 0, Right: 0}}}
+
+	ctx := NewIndexedContext(cat)
+	got, err := Run(ctx, sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, got, [][]relation.Value{{s("ann")}})
+	if ctx.Stats.HashInserts != 0 {
+		t.Fatalf("expected index path, saw %d hash inserts", ctx.Stats.HashInserts)
+	}
+}
+
+// TestIndexedEmptinessEarlyTermination: with indexes, a NotEmpty test over
+// a semi-join does constant work instead of building the right side.
+func TestIndexedEmptinessEarlyTermination(t *testing.T) {
+	cat := storage.NewCatalog()
+	big := cat.MustDefine("big", relation.NewSchema("k"))
+	small := cat.MustDefine("small", relation.NewSchema("k"))
+	for i := 0; i < 1000; i++ {
+		big.InsertValues(relation.Int(int64(i)))
+	}
+	small.InsertValues(relation.Int(0))
+
+	sj := &algebra.SemiJoin{Left: scan(cat, "small"), Right: scan(cat, "big"), On: []algebra.ColPair{{Left: 0, Right: 0}}}
+
+	plain := NewContext(cat)
+	ok, err := EvalBool(plain, &algebra.NotEmpty{Input: sj})
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	indexed := NewIndexedContext(cat)
+	ok, err = EvalBool(indexed, &algebra.NotEmpty{Input: sj})
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if plain.Stats.BaseTuplesRead < 1000 {
+		t.Fatalf("hash path must read the big relation: %d", plain.Stats.BaseTuplesRead)
+	}
+	if indexed.Stats.BaseTuplesRead > 5 {
+		t.Fatalf("indexed emptiness test read %d tuples, want a handful", indexed.Stats.BaseTuplesRead)
+	}
+}
+
+// TestIndexablePlanRecognition covers the right-side pattern matcher.
+func TestIndexablePlanRecognition(t *testing.T) {
+	sch := relation.NewSchema("a")
+	sc := algebra.NewScan("r", sch)
+	if name, res, ok := indexablePlan(sc); !ok || name != "r" || res != nil {
+		t.Fatalf("bare scan: %v %v %v", name, res, ok)
+	}
+	sel := &algebra.Select{Input: sc, Pred: algebra.True{}}
+	if name, res, ok := indexablePlan(sel); !ok || name != "r" || res == nil {
+		t.Fatalf("select over scan: %v %v %v", name, res, ok)
+	}
+	sel2 := &algebra.Select{Input: sel, Pred: algebra.True{}}
+	if _, res, ok := indexablePlan(sel2); !ok || res == nil {
+		t.Fatalf("stacked selects must fold into one residual: %v %v", res, ok)
+	}
+	proj := &algebra.Project{Input: sc, Cols: []int{0}}
+	if _, _, ok := indexablePlan(proj); ok {
+		t.Fatal("projection is not indexable")
+	}
+}
+
+// TestIndexedRunFallsBackForComplexRight: non-indexable right sides use the
+// hash path even with UseIndexes on.
+func TestIndexedFallback(t *testing.T) {
+	cat := ptuCatalog(t)
+	right := &algebra.Union{Left: scan(cat, "T"), Right: scan(cat, "U")}
+	sj := &algebra.SemiJoin{Left: scan(cat, "P"), Right: right, On: []algebra.ColPair{{Left: 0, Right: 0}}}
+	ctx := NewIndexedContext(cat)
+	got, err := Run(ctx, sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, got, [][]relation.Value{{s("a")}, {s("b")}, {s("c")}})
+	if ctx.Stats.HashInserts == 0 {
+		t.Fatal("union right side must take the hash path")
+	}
+}

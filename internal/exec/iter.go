@@ -1,0 +1,609 @@
+package exec
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// scanIter streams a base relation, charging one base read per tuple.
+type scanIter struct {
+	ctx *Context
+	rel *relation.Relation
+	pos int
+}
+
+func (it *scanIter) Open() { it.pos = 0 }
+
+func (it *scanIter) Next() (relation.Tuple, bool) {
+	if it.pos >= it.rel.Len() {
+		return nil, false
+	}
+	t := it.rel.At(it.pos)
+	it.pos++
+	it.ctx.Stats.BaseTuplesRead++
+	return t, true
+}
+
+func (it *scanIter) Close() {}
+
+// selectIter filters by a predicate, charging its comparisons.
+type selectIter struct {
+	ctx  *Context
+	in   Iterator
+	pred algebra.Pred
+}
+
+func (it *selectIter) Open() { it.in.Open() }
+
+func (it *selectIter) Next() (relation.Tuple, bool) {
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		keep, c := it.pred.Eval(t)
+		it.ctx.Stats.Comparisons += int64(c)
+		if keep {
+			return t, true
+		}
+	}
+}
+
+func (it *selectIter) Close() { it.in.Close() }
+
+// projectIter projects columns, deduplicating unless the planner proved the
+// projection duplicate-free.
+type projectIter struct {
+	ctx  *Context
+	in   Iterator
+	cols []int
+	seen map[string]struct{}
+}
+
+func newProjectIter(ctx *Context, in Iterator, cols []int, dedup bool) *projectIter {
+	it := &projectIter{ctx: ctx, in: in, cols: cols}
+	if dedup {
+		it.seen = make(map[string]struct{})
+	}
+	return it
+}
+
+func (it *projectIter) Open() { it.in.Open() }
+
+func (it *projectIter) Next() (relation.Tuple, bool) {
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		out := t.Project(it.cols)
+		if it.seen == nil {
+			return out, true
+		}
+		k := out.Key()
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		it.ctx.Stats.HashInserts++
+		return out, true
+	}
+}
+
+func (it *projectIter) Close() { it.in.Close() }
+
+// productIter is the cartesian product; the right input is buffered at Open.
+type productIter struct {
+	ctx         *Context
+	left, right Iterator
+	rightBuf    []relation.Tuple
+	cur         relation.Tuple
+	curOK       bool
+	ri          int
+}
+
+func (it *productIter) Open() {
+	it.left.Open()
+	it.right.Open()
+	for {
+		t, ok := it.right.Next()
+		if !ok {
+			break
+		}
+		it.rightBuf = append(it.rightBuf, t)
+		it.ctx.Stats.IntermediateTuples++
+	}
+	it.curOK = false
+	it.ri = 0
+}
+
+func (it *productIter) Next() (relation.Tuple, bool) {
+	for {
+		if !it.curOK {
+			t, ok := it.left.Next()
+			if !ok {
+				return nil, false
+			}
+			it.cur, it.curOK, it.ri = t, true, 0
+		}
+		if it.ri >= len(it.rightBuf) {
+			it.curOK = false
+			continue
+		}
+		r := it.rightBuf[it.ri]
+		it.ri++
+		return it.cur.Concat(r), true
+	}
+}
+
+func (it *productIter) Close() { it.left.Close(); it.right.Close() }
+
+// hashBuild drains an iterator into a key->tuples table, charging inserts
+// and intermediate buffering. keyCols selects the key projection.
+type hashTable struct {
+	buckets map[string][]relation.Tuple
+}
+
+func buildHash(ctx *Context, in Iterator, keyCols []int) *hashTable {
+	h := &hashTable{buckets: make(map[string][]relation.Tuple)}
+	in.Open()
+	for {
+		t, ok := in.Next()
+		if !ok {
+			break
+		}
+		k := t.Project(keyCols).Key()
+		h.buckets[k] = append(h.buckets[k], t)
+		ctx.Stats.HashInserts++
+		ctx.Stats.IntermediateTuples++
+	}
+	return h
+}
+
+// probe returns the matching tuples for a left tuple, charging one
+// comparison for the lookup.
+func (h *hashTable) probe(ctx *Context, t relation.Tuple, keyCols []int) []relation.Tuple {
+	ctx.Stats.Comparisons++
+	return h.buckets[t.Project(keyCols).Key()]
+}
+
+func splitPairs(on []algebra.ColPair) (left, right []int) {
+	left = make([]int, len(on))
+	right = make([]int, len(on))
+	for i, p := range on {
+		left[i] = p.Left
+		right[i] = p.Right
+	}
+	return left, right
+}
+
+// joinIter is an equi-join (probe right per left tuple) with an optional
+// residual predicate over the concatenated tuple. The probing side is
+// either a transient hash table or a persistent catalog index (see
+// proberSpec).
+type joinIter struct {
+	ctx      *Context
+	left     Iterator
+	spec     *proberSpec
+	lk       []int
+	residual algebra.Pred
+
+	table    prober
+	cur      relation.Tuple
+	matches  []relation.Tuple
+	matchPos int
+}
+
+func (it *joinIter) Open() {
+	it.table = it.spec.open()
+	it.left.Open()
+}
+
+func (it *joinIter) Next() (relation.Tuple, bool) {
+	for {
+		for it.matchPos < len(it.matches) {
+			r := it.matches[it.matchPos]
+			it.matchPos++
+			out := it.cur.Concat(r)
+			if it.residual != nil {
+				ok, c := it.residual.Eval(out)
+				it.ctx.Stats.Comparisons += int64(c)
+				if !ok {
+					continue
+				}
+			}
+			return out, true
+		}
+		t, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = t
+		it.matches = it.table.probe(it.ctx, t, it.lk)
+		it.matchPos = 0
+	}
+}
+
+func (it *joinIter) Close() { it.left.Close(); it.spec.close() }
+
+// semiJoinIter implements both the semi-join (complement=false) and the
+// paper's complement-join (complement=true, Definition 6): it keeps the
+// left tuples that do (do not) have a join partner. Implemented, as the
+// paper suggests, "by modifying any semi-join algorithm".
+type semiJoinIter struct {
+	ctx        *Context
+	left       Iterator
+	spec       *proberSpec
+	lk         []int
+	complement bool
+
+	table prober
+}
+
+func (it *semiJoinIter) Open() {
+	it.table = it.spec.open()
+	it.left.Open()
+}
+
+func (it *semiJoinIter) Next() (relation.Tuple, bool) {
+	for {
+		t, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		matched := len(it.table.probe(it.ctx, t, it.lk)) > 0
+		if matched != it.complement {
+			return t, true
+		}
+	}
+}
+
+func (it *semiJoinIter) Close() { it.left.Close(); it.spec.close() }
+
+// outerJoinIter is the unidirectional outer-join of [LP 76]: every left
+// tuple survives, padded with ∅ in the right columns when unmatched.
+type outerJoinIter struct {
+	ctx        *Context
+	left       Iterator
+	spec       *proberSpec
+	lk         []int
+	rightArity int
+
+	table    prober
+	cur      relation.Tuple
+	matches  []relation.Tuple
+	matchPos int
+	nulls    relation.Tuple
+}
+
+func (it *outerJoinIter) Open() {
+	it.table = it.spec.open()
+	it.left.Open()
+	it.nulls = make(relation.Tuple, it.rightArity)
+	for i := range it.nulls {
+		it.nulls[i] = relation.Null()
+	}
+}
+
+func (it *outerJoinIter) Next() (relation.Tuple, bool) {
+	for {
+		if it.matchPos < len(it.matches) {
+			r := it.matches[it.matchPos]
+			it.matchPos++
+			return it.cur.Concat(r), true
+		}
+		t, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = t
+		it.matches = it.table.probe(it.ctx, t, it.lk)
+		it.matchPos = 0
+		if len(it.matches) == 0 {
+			return t.Concat(it.nulls), true
+		}
+	}
+}
+
+func (it *outerJoinIter) Close() { it.left.Close(); it.spec.close() }
+
+// cojIter implements the constrained outer-join (Definition 7). Left tuples
+// failing the 'const' gate are NOT probed against the right input; the flag
+// column records ⊥ (probed, matched) or ∅ (unmatched or not probed).
+type cojIter struct {
+	ctx  *Context
+	left Iterator
+	spec *proberSpec
+	node *algebra.ConstrainedOuterJoin
+	lk   []int
+
+	table prober
+}
+
+func (it *cojIter) Open() {
+	it.table = it.spec.open()
+	it.left.Open()
+}
+
+func (it *cojIter) Next() (relation.Tuple, bool) {
+	t, ok := it.left.Next()
+	if !ok {
+		return nil, false
+	}
+	// Checking the 'const' gate examines flag columns the tuple already
+	// carries — no data access, so no comparison is charged; the point of
+	// the gate is precisely to avoid the (charged) probe below.
+	if !it.node.ConstraintHolds(t) {
+		return t.Append(relation.Null()), true
+	}
+	if len(it.table.probe(it.ctx, t, it.lk)) > 0 {
+		return t.Append(relation.Mark()), true
+	}
+	return t.Append(relation.Null()), true
+}
+
+func (it *cojIter) Close() { it.left.Close(); it.spec.close() }
+
+// unionIter streams left then right, deduplicating across both. The dedup
+// buffer is charged as intermediate storage: a union result is held in full,
+// which is precisely the cost the constrained outer-join strategy avoids.
+type unionIter struct {
+	ctx         *Context
+	left, right Iterator
+	seen        map[string]struct{}
+	onRight     bool
+}
+
+func (it *unionIter) Open() {
+	it.left.Open()
+	it.right.Open()
+	it.seen = make(map[string]struct{})
+	it.onRight = false
+}
+
+func (it *unionIter) Next() (relation.Tuple, bool) {
+	for {
+		var t relation.Tuple
+		var ok bool
+		if !it.onRight {
+			t, ok = it.left.Next()
+			if !ok {
+				it.onRight = true
+				continue
+			}
+		} else {
+			t, ok = it.right.Next()
+			if !ok {
+				return nil, false
+			}
+		}
+		k := t.Key()
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		it.ctx.Stats.HashInserts++
+		it.ctx.Stats.IntermediateTuples++
+		return t, true
+	}
+}
+
+func (it *unionIter) Close() { it.left.Close(); it.right.Close() }
+
+// diffIter implements set difference (keep=false) and intersection
+// (keep=true) by materializing the right side's keys and streaming the left.
+type diffIter struct {
+	ctx         *Context
+	left, right Iterator
+	keep        bool
+	rightKeys   map[string]struct{}
+	emitted     map[string]struct{}
+}
+
+func (it *diffIter) Open() {
+	it.right.Open()
+	it.rightKeys = make(map[string]struct{})
+	for {
+		t, ok := it.right.Next()
+		if !ok {
+			break
+		}
+		it.rightKeys[t.Key()] = struct{}{}
+		it.ctx.Stats.HashInserts++
+		it.ctx.Stats.IntermediateTuples++
+	}
+	it.left.Open()
+	it.emitted = make(map[string]struct{})
+}
+
+func (it *diffIter) Next() (relation.Tuple, bool) {
+	for {
+		t, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		k := t.Key()
+		it.ctx.Stats.Comparisons++
+		_, inRight := it.rightKeys[k]
+		if inRight != it.keep {
+			continue
+		}
+		if _, dup := it.emitted[k]; dup {
+			continue
+		}
+		it.emitted[k] = struct{}{}
+		return t, true
+	}
+}
+
+func (it *diffIter) Close() { it.left.Close(); it.right.Close() }
+
+// divisionIter implements the generalized division of the paper's Prop. 4
+// case 5. Both inputs are blocking: the divisor's key set and the dividend's
+// key groups are built at Open.
+type divisionIter struct {
+	ctx      *Context
+	dividend Iterator
+	divisor  Iterator
+	keyCols  []int
+	divCols  []int
+
+	order  []string
+	reps   map[string]relation.Tuple
+	groups map[string]map[string]struct{}
+	divset map[string]struct{}
+	pos    int
+}
+
+func (it *divisionIter) Open() {
+	it.divisor.Open()
+	it.divset = make(map[string]struct{})
+	for {
+		t, ok := it.divisor.Next()
+		if !ok {
+			break
+		}
+		it.divset[t.Key()] = struct{}{}
+		it.ctx.Stats.HashInserts++
+		it.ctx.Stats.IntermediateTuples++
+	}
+	it.dividend.Open()
+	it.reps = make(map[string]relation.Tuple)
+	it.groups = make(map[string]map[string]struct{})
+	for {
+		t, ok := it.dividend.Next()
+		if !ok {
+			break
+		}
+		key := t.Project(it.keyCols)
+		kk := key.Key()
+		g, seen := it.groups[kk]
+		if !seen {
+			g = make(map[string]struct{})
+			it.groups[kk] = g
+			it.reps[kk] = key
+			it.order = append(it.order, kk)
+		}
+		g[t.Project(it.divCols).Key()] = struct{}{}
+		it.ctx.Stats.HashInserts++
+		it.ctx.Stats.IntermediateTuples++
+	}
+	it.pos = 0
+}
+
+func (it *divisionIter) Next() (relation.Tuple, bool) {
+	for it.pos < len(it.order) {
+		kk := it.order[it.pos]
+		it.pos++
+		g := it.groups[kk]
+		all := true
+		for d := range it.divset {
+			it.ctx.Stats.Comparisons++
+			if _, ok := g[d]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return it.reps[kk], true
+		}
+	}
+	return nil, false
+}
+
+func (it *divisionIter) Close() { it.dividend.Close(); it.divisor.Close() }
+
+// groupCountIter implements the aggregate of the Quel-style baseline: it
+// drains its input at Open, groups by the listed columns, and emits one
+// tuple per group carrying the group's cardinality. Like any aggregate it
+// is blocking; its buffering is charged as intermediate storage — exactly
+// the cost the paper's introduction holds against the counting approach
+// ("intermediate results … in principle not needed for answering").
+type groupCountIter struct {
+	ctx       *Context
+	in        Iterator
+	groupCols []int
+
+	order  []string
+	reps   map[string]relation.Tuple
+	counts map[string]int64
+	pos    int
+}
+
+func (it *groupCountIter) Open() {
+	it.in.Open()
+	it.reps = make(map[string]relation.Tuple)
+	it.counts = make(map[string]int64)
+	it.order = nil
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			break
+		}
+		key := t.Project(it.groupCols)
+		kk := key.Key()
+		if _, seen := it.counts[kk]; !seen {
+			it.reps[kk] = key
+			it.order = append(it.order, kk)
+		}
+		it.counts[kk]++
+		it.ctx.Stats.HashInserts++
+		it.ctx.Stats.IntermediateTuples++
+	}
+	// With no group columns the count of an empty input is still a row.
+	if len(it.groupCols) == 0 && len(it.order) == 0 {
+		it.reps[""] = relation.Tuple{}
+		it.counts[""] = 0
+		it.order = append(it.order, "")
+	}
+	it.pos = 0
+}
+
+func (it *groupCountIter) Next() (relation.Tuple, bool) {
+	if it.pos >= len(it.order) {
+		return nil, false
+	}
+	kk := it.order[it.pos]
+	it.pos++
+	return it.reps[kk].Append(relation.Int(it.counts[kk])), true
+}
+
+func (it *groupCountIter) Close() { it.in.Close() }
+
+// materializeIter drains its child into a temporary relation at Open and
+// then streams the buffered tuples. It models the conventional strategy of
+// storing intermediate results, and is charged as such.
+type materializeIter struct {
+	ctx    *Context
+	in     Iterator
+	schema relation.Schema
+	buf    *relation.Relation
+	pos    int
+}
+
+func (it *materializeIter) Open() {
+	it.in.Open()
+	it.buf = relation.NewUnnamed(it.schema)
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			break
+		}
+		if it.buf.Insert(t) {
+			it.ctx.Stats.IntermediateTuples++
+		}
+	}
+	it.ctx.Stats.Materializations++
+	it.pos = 0
+}
+
+func (it *materializeIter) Next() (relation.Tuple, bool) {
+	if it.pos >= it.buf.Len() {
+		return nil, false
+	}
+	t := it.buf.At(it.pos)
+	it.pos++
+	return t, true
+}
+
+func (it *materializeIter) Close() { it.in.Close() }

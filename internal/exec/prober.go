@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// prober answers "which right-side tuples join with this left tuple?".
+// Two implementations exist: the transient hash table built by the
+// operator itself (the default), and a persistent catalog index consulted
+// lazily (Context.UseIndexes) — the latter charges no build cost, which
+// lets emptiness tests (§3.2) terminate after genuinely constant work.
+type prober interface {
+	// probe returns the matching right tuples for the left tuple's key
+	// projection, charging the lookup.
+	probe(ctx *Context, t relation.Tuple, keyCols []int) []relation.Tuple
+}
+
+// probe on the hashTable is defined in iter.go.
+
+// indexProber probes a persistent catalog hash index, optionally
+// re-checking a residual selection predicate on each candidate (the case
+// of an indexed Select(Scan) right side).
+type indexProber struct {
+	idx  indexLookup
+	pred algebra.Pred // nil when the right side is a bare scan
+}
+
+// indexLookup is the part of storage.HashIndex the prober needs; the
+// indirection keeps the iterator testable.
+type indexLookup interface {
+	LookupTuples(key relation.Tuple) []relation.Tuple
+}
+
+func (p *indexProber) probe(ctx *Context, t relation.Tuple, keyCols []int) []relation.Tuple {
+	ctx.Stats.Comparisons++
+	cands := p.idx.LookupTuples(t.Project(keyCols))
+	if len(cands) == 0 {
+		return nil
+	}
+	// Candidates are fetched from the base relation: charge the reads.
+	ctx.Stats.BaseTuplesRead += int64(len(cands))
+	if p.pred == nil {
+		return cands
+	}
+	out := cands[:0:0]
+	for _, c := range cands {
+		ok, n := p.pred.Eval(c)
+		ctx.Stats.Comparisons += int64(n)
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// indexablePlan recognizes right-side plans a catalog index can serve:
+// a bare Scan, or Select layers over a Scan (their predicates become the
+// prober's residual). It returns the relation name and the residual.
+func indexablePlan(p algebra.Plan) (name string, residual algebra.Pred, ok bool) {
+	var preds []algebra.Pred
+	for {
+		switch n := p.(type) {
+		case *algebra.Scan:
+			switch len(preds) {
+			case 0:
+				return n.Name, nil, true
+			case 1:
+				return n.Name, preds[0], true
+			default:
+				return n.Name, algebra.And{Preds: preds}, true
+			}
+		case *algebra.Select:
+			preds = append(preds, n.Pred)
+			p = n.Input
+		default:
+			return "", nil, false
+		}
+	}
+}
+
+// proberSpec is the plan-time choice of probing strategy; the actual work
+// (hash build) is deferred to Open so Build stays side-effect free.
+type proberSpec struct {
+	ctx  *Context
+	cols []int
+	// exactly one of the two is set
+	index     *indexProber
+	rightIter Iterator
+}
+
+// open realizes the prober; for the hash path this drains the right input.
+func (s *proberSpec) open() prober {
+	if s.index != nil {
+		return s.index
+	}
+	return buildHash(s.ctx, s.rightIter, s.cols)
+}
+
+func (s *proberSpec) close() {
+	if s.rightIter != nil {
+		s.rightIter.Close()
+	}
+}
+
+// newProberSpec picks the probing strategy for a join-like operator: a
+// persistent index when enabled and applicable, else a transient hash
+// table over the compiled right input.
+func newProberSpec(ctx *Context, rightPlan algebra.Plan, rightCols []int) (*proberSpec, error) {
+	if ctx.UseIndexes {
+		if name, residual, ok := indexablePlan(rightPlan); ok {
+			if idx, err := ctx.Catalog.EnsureIndex(name, rightCols); err == nil {
+				return &proberSpec{ctx: ctx, cols: rightCols, index: &indexProber{idx: idx, pred: residual}}, nil
+			}
+			// Fall through: unknown-relation errors resurface below.
+		}
+	}
+	it, err := Build(ctx, rightPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &proberSpec{ctx: ctx, cols: rightCols, rightIter: it}, nil
+}

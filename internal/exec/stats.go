@@ -1,0 +1,46 @@
+// Package exec evaluates algebra plans over a storage catalog with a
+// volcano-style (open/next/close) iterator model. Every operator charges
+// its work to a Stats record carried by the execution context, so that the
+// paper's efficiency claims — relations searched once, no cartesian
+// products, no materialized unions, early termination of emptiness tests —
+// become measurable quantities rather than assertions.
+package exec
+
+import "fmt"
+
+// Stats accumulates the cost counters of one plan execution.
+type Stats struct {
+	// BaseTuplesRead counts tuples fetched from base relation scans. The
+	// paper's "each range relation is searched only once" claim bounds this
+	// by the sum of base relation cardinalities.
+	BaseTuplesRead int64
+	// Comparisons counts atomic value comparisons, including one per hash
+	// probe and one per bucket candidate examined.
+	Comparisons int64
+	// HashInserts counts tuples inserted into operator hash tables.
+	HashInserts int64
+	// IntermediateTuples counts tuples buffered by blocking operators
+	// (hash-table builds, explicit materializations, division grouping).
+	IntermediateTuples int64
+	// Materializations counts explicitly materialized temporary relations.
+	Materializations int64
+	// OutputTuples counts tuples delivered at the plan root.
+	OutputTuples int64
+}
+
+// Add accumulates another stats record into s.
+func (s *Stats) Add(o Stats) {
+	s.BaseTuplesRead += o.BaseTuplesRead
+	s.Comparisons += o.Comparisons
+	s.HashInserts += o.HashInserts
+	s.IntermediateTuples += o.IntermediateTuples
+	s.Materializations += o.Materializations
+	s.OutputTuples += o.OutputTuples
+}
+
+// String renders the counters on one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("read=%d cmp=%d hash=%d interm=%d mat=%d out=%d",
+		s.BaseTuplesRead, s.Comparisons, s.HashInserts, s.IntermediateTuples,
+		s.Materializations, s.OutputTuples)
+}

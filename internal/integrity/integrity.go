@@ -1,0 +1,177 @@
+// Package integrity implements the paper's motivating application:
+// "handling integrity constraints that are more complex than
+// dependencies" (§1) — general closed formulas with quantifiers and
+// disjunctions checked against the database. This continues the line of
+// the paper's companion work [BDM 88] on constraint satisfaction in
+// deductive databases.
+//
+// Beyond yes/no checking, the manager derives violation WITNESSES: the
+// constraint is negated, normalized by the Phase-1 rewriting system, and
+// when the canonical negation is an existential block (always the case
+// for ∀-shaped constraints) the block's variables become an open query
+// whose answers are exactly the violating tuples.
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// Constraint is a named closed formula that must hold in every database
+// state.
+type Constraint struct {
+	Name   string
+	Source string
+	Query  parser.Query
+}
+
+// Report is the outcome of checking one constraint.
+type Report struct {
+	Name      string
+	Satisfied bool
+	// WitnessVars names the columns of Witnesses; empty when no witness
+	// query is derivable (e.g. purely existential constraints, whose
+	// violation is an absence rather than a set of offending tuples).
+	WitnessVars []string
+	// Witnesses holds the violating tuples; nil when satisfied or when no
+	// witness query is derivable.
+	Witnesses *relation.Relation
+}
+
+// Manager owns a set of constraints over one database.
+type Manager struct {
+	db          *core.DB
+	eng         *core.Engine
+	constraints []*Constraint
+	byName      map[string]*Constraint
+}
+
+// NewManager builds a manager over the database.
+func NewManager(db *core.DB) *Manager {
+	return &Manager{db: db, eng: core.NewEngine(db), byName: make(map[string]*Constraint)}
+}
+
+// Define registers a constraint. The formula must be closed and safe
+// (restricted quantifications); both are checked here so violations
+// surface at definition time, not at first check.
+func (m *Manager) Define(name, source string) (*Constraint, error) {
+	if _, dup := m.byName[name]; dup {
+		return nil, fmt.Errorf("integrity: constraint %q already defined", name)
+	}
+	q, err := parser.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: constraint %q: %w", name, err)
+	}
+	if q.IsOpen() {
+		return nil, fmt.Errorf("integrity: constraint %q must be a closed formula", name)
+	}
+	// Validate safety by normalizing once (views expanded first).
+	if _, err := m.eng.PrepareQuery(q); err != nil {
+		return nil, fmt.Errorf("integrity: constraint %q: %w", name, err)
+	}
+	c := &Constraint{Name: name, Source: source, Query: q}
+	m.constraints = append(m.constraints, c)
+	m.byName[name] = c
+	return c, nil
+}
+
+// MustDefine is Define for static setup; it panics on error.
+func (m *Manager) MustDefine(name, source string) *Constraint {
+	c, err := m.Define(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Constraints returns the defined constraints in definition order.
+func (m *Manager) Constraints() []*Constraint { return m.constraints }
+
+// Check evaluates one constraint and, if violated, its witnesses.
+func (m *Manager) Check(name string) (Report, error) {
+	c, ok := m.byName[name]
+	if !ok {
+		return Report{}, fmt.Errorf("integrity: unknown constraint %q", name)
+	}
+	return m.check(c)
+}
+
+// CheckAll evaluates every constraint in definition order.
+func (m *Manager) CheckAll() ([]Report, error) {
+	out := make([]Report, 0, len(m.constraints))
+	for _, c := range m.constraints {
+		r, err := m.check(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Violated returns the reports of all violated constraints.
+func (m *Manager) Violated() ([]Report, error) {
+	all, err := m.CheckAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Report
+	for _, r := range all {
+		if !r.Satisfied {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (m *Manager) check(c *Constraint) (Report, error) {
+	res, err := m.eng.Query(c.Source)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Name: c.Name, Satisfied: res.Truth}
+	if rep.Satisfied {
+		return rep, nil
+	}
+	vars, body, ok := m.witnessQuery(c)
+	if !ok {
+		return rep, nil
+	}
+	wres, err := m.eng.PrepareQuery(parser.Query{OpenVars: vars, Body: body})
+	if err != nil {
+		// The derived query can be unsafe in exotic cases; the check
+		// result stands, only witnesses are unavailable.
+		return rep, nil
+	}
+	r, err := m.eng.Run(wres)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.WitnessVars = vars
+	rep.Witnesses = r.Rows
+	return rep, nil
+}
+
+// witnessQuery derives the open violation query: normalize ¬C and, if the
+// canonical form is a single existential block ∃x̄ B, answer { x̄ | B }.
+func (m *Manager) witnessQuery(c *Constraint) ([]string, calculus.Formula, bool) {
+	expanded, err := m.db.Views().Expand(c.Query)
+	if err != nil {
+		return nil, nil, false
+	}
+	neg := parser.Query{Body: calculus.Not{F: expanded.Body}}
+	nq, err := rewrite.Normalize(neg)
+	if err != nil {
+		return nil, nil, false
+	}
+	ex, ok := nq.Body.(calculus.Exists)
+	if !ok {
+		return nil, nil, false
+	}
+	return ex.Vars, ex.Body, true
+}

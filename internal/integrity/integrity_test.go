@@ -1,0 +1,162 @@
+package integrity
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func s(x string) relation.Value { return relation.Str(x) }
+
+func deptDB() *core.DB {
+	db := core.NewDB()
+	emp := db.MustDefine("emp", "name", "dept")
+	dept := db.MustDefine("dept", "id", "head")
+	for _, r := range [][2]string{{"ann", "cs"}, {"bob", "cs"}, {"eve", "math"}, {"joe", "bio"}} {
+		emp.InsertValues(s(r[0]), s(r[1]))
+	}
+	for _, r := range [][2]string{{"cs", "ann"}, {"math", "eve"}} {
+		dept.InsertValues(s(r[0]), s(r[1]))
+	}
+	return db
+}
+
+func TestCheckSatisfied(t *testing.T) {
+	m := NewManager(deptDB())
+	m.MustDefine("heads-are-members", `forall d, h: dept(d, h) => emp(h, d)`)
+	rep, err := m.Check("heads-are-members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied || rep.Witnesses != nil {
+		t.Fatalf("want satisfied with no witnesses, got %+v", rep)
+	}
+}
+
+func TestCheckViolatedWithWitnesses(t *testing.T) {
+	m := NewManager(deptDB())
+	m.MustDefine("ref", `forall x, d: emp(x, d) => exists h: dept(d, h)`)
+	rep, err := m.Check("ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("joe works in the undefined bio department")
+	}
+	if rep.Witnesses == nil || rep.Witnesses.Len() != 1 {
+		t.Fatalf("want exactly one witness, got %+v", rep.Witnesses)
+	}
+	w := rep.Witnesses.At(0)
+	// The witness carries the constraint's universal variables; their
+	// order follows the canonical form, so check as a set.
+	if len(w) != 2 {
+		t.Fatalf("witness = %s", w)
+	}
+	got := map[string]bool{w[0].AsString(): true, w[1].AsString(): true}
+	if !got["joe"] || !got["bio"] {
+		t.Fatalf("witness = %s, want {joe, bio}", w)
+	}
+	if len(rep.WitnessVars) != 2 {
+		t.Fatalf("witness vars = %v", rep.WitnessVars)
+	}
+}
+
+func TestCheckExistentialNoWitnessQuery(t *testing.T) {
+	m := NewManager(deptDB())
+	// Violated existential constraint: its violation is an absence, no
+	// witness tuples exist.
+	m.MustDefine("has-phy", `exists h: dept("phy", h)`)
+	rep, err := m.Check("has-phy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("no physics department exists")
+	}
+	if rep.Witnesses != nil {
+		t.Fatalf("existential violations have no witnesses, got %s", rep.Witnesses)
+	}
+}
+
+func TestCheckAllAndViolated(t *testing.T) {
+	m := NewManager(deptDB())
+	m.MustDefine("a", `forall d, h: dept(d, h) => emp(h, d)`)
+	m.MustDefine("b", `forall x, d: emp(x, d) => exists h: dept(d, h)`)
+	m.MustDefine("c", `exists x: emp(x, "cs")`)
+	all, err := m.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("reports = %d", len(all))
+	}
+	bad, err := m.Violated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].Name != "b" {
+		t.Fatalf("violated = %+v", bad)
+	}
+}
+
+func TestDefineErrors(t *testing.T) {
+	m := NewManager(deptDB())
+	if _, err := m.Define("open", `{ x | emp(x, "cs") }`); err == nil {
+		t.Fatal("open queries are not constraints")
+	}
+	if _, err := m.Define("bad", `forall x: x != "a" => emp(x, "cs")`); err == nil {
+		t.Fatal("unsafe constraints must be rejected at definition")
+	}
+	if _, err := m.Define("syntax", `forall x: (`); err == nil {
+		t.Fatal("syntax errors must be rejected")
+	}
+	m.MustDefine("ok", `forall d, h: dept(d, h) => emp(h, d)`)
+	if _, err := m.Define("ok", `exists x: emp(x, "cs")`); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+	if _, err := m.Check("missing"); err == nil {
+		t.Fatal("unknown constraint must error")
+	}
+	if len(m.Constraints()) != 1 {
+		t.Fatalf("constraints = %d", len(m.Constraints()))
+	}
+}
+
+func TestConstraintOverViews(t *testing.T) {
+	db := deptDB()
+	if err := db.DefineView("headed", `{ d | exists h: dept(d, h) }`); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(db)
+	m.MustDefine("emp-depts-headed", `forall x, d: emp(x, d) => headed(d)`)
+	rep, err := m.Check("emp-depts-headed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied {
+		t.Fatal("bio is not headed")
+	}
+	if rep.Witnesses == nil || rep.Witnesses.Len() != 1 {
+		t.Fatalf("want one witness through the view, got %+v", rep.Witnesses)
+	}
+}
+
+func TestWitnessesDisappearAfterRepair(t *testing.T) {
+	db := deptDB()
+	m := NewManager(db)
+	m.MustDefine("ref", `forall x, d: emp(x, d) => exists h: dept(d, h)`)
+	rep, _ := m.Check("ref")
+	if rep.Satisfied {
+		t.Fatal("precondition: violated")
+	}
+	dept, _ := db.Catalog().Relation("dept")
+	dept.InsertValues(s("bio"), s("joe"))
+	rep, err := m.Check("ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Fatal("constraint must hold after the repair")
+	}
+}

@@ -1,0 +1,162 @@
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// This file implements incremental constraint checking on updates, in the
+// spirit of the constraint-satisfaction method of the paper's companion
+// work [BDM 88] (and of Nicolas' simplification method it builds on): an
+// insertion into relation R can only violate constraints in which R occurs
+// with NEGATIVE polarity relative to satisfaction — for a satisfied
+// universal constraint ∀x̄ R(x̄) ⇒ F, a new R-tuple adds one proof
+// obligation, namely F specialized to that tuple. The manager therefore
+//
+//  1. skips constraints not mentioning the updated relation at all,
+//  2. specializes single-range universal constraints to the inserted
+//     tuple (a closed formula, usually constant-time to check), and
+//  3. falls back to a full recheck for other shapes.
+
+// InsertChecked inserts the tuple and checks the affected constraints; on
+// violation the insertion is rolled back and the violated constraint
+// reported in the returned error. The database is unchanged on error.
+func (m *Manager) InsertChecked(relName string, t relation.Tuple) error {
+	rel, err := m.db.Catalog().Relation(relName)
+	if err != nil {
+		return err
+	}
+	if !rel.Insert(t) {
+		return nil // duplicate: the database state did not change
+	}
+	violated, err := m.CheckInsertion(relName, t)
+	if err != nil {
+		rel.Delete(t)
+		return err
+	}
+	if violated != "" {
+		rel.Delete(t)
+		return fmt.Errorf("integrity: inserting %s into %q violates constraint %q", t, relName, violated)
+	}
+	return nil
+}
+
+// CheckInsertion checks the constraints affected by a just-inserted tuple
+// and returns the name of the first violated one ("" when all hold). The
+// tuple must already be present; the caller owns rollback.
+func (m *Manager) CheckInsertion(relName string, t relation.Tuple) (string, error) {
+	for _, c := range m.constraints {
+		if !mentions(c.Query.Body, relName, m) {
+			continue
+		}
+		ok, err := m.checkSpecialized(c, relName, t)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return c.Name, nil
+		}
+	}
+	return "", nil
+}
+
+// mentions reports whether the formula (with views expanded) contains an
+// atom over the relation.
+func mentions(f calculus.Formula, relName string, m *Manager) bool {
+	expanded, err := m.db.Views().ExpandFormula(f)
+	if err != nil {
+		expanded = f
+	}
+	found := false
+	calculus.Walk(expanded, func(g calculus.Formula) {
+		if a, ok := g.(calculus.Atom); ok && a.Pred == relName {
+			found = true
+		}
+	})
+	return found
+}
+
+// checkSpecialized evaluates the constraint restricted to the inserted
+// tuple when the shape allows it, else fully.
+func (m *Manager) checkSpecialized(c *Constraint, relName string, t relation.Tuple) (bool, error) {
+	expanded, err := m.db.Views().Expand(c.Query)
+	if err != nil {
+		return false, err
+	}
+	if spec, ok := specializeForall(expanded.Body, relName, t); ok {
+		res, err := m.eng.PrepareQuery(parser.Query{Body: spec})
+		if err == nil {
+			r, err := m.eng.Run(res)
+			if err != nil {
+				return false, err
+			}
+			return r.Truth, nil
+		}
+		// Fall through to the full check on preparation problems.
+	}
+	res, err := m.eng.Query(c.Source)
+	if err != nil {
+		return false, err
+	}
+	return res.Truth, nil
+}
+
+// specializeForall recognizes ∀x̄ R(args) ⇒ F where R is the updated
+// relation and every quantified variable occurs in args; it returns F with
+// the variables bound to the inserted tuple's values. Constant or repeated
+// arguments that the tuple does not match make the constraint trivially
+// unaffected (the new tuple is outside the constrained range).
+func specializeForall(f calculus.Formula, relName string, t relation.Tuple) (calculus.Formula, bool) {
+	fa, ok := f.(calculus.Forall)
+	if !ok {
+		return nil, false
+	}
+	imp, ok := fa.Body.(calculus.Implies)
+	if !ok {
+		return nil, false
+	}
+	atom, ok := imp.L.(calculus.Atom)
+	if !ok || atom.Pred != relName || len(atom.Args) != len(t) {
+		return nil, false
+	}
+	// Soundness guard: if R occurs NEGATIVELY in the consequent, inserting
+	// a tuple can falsify the obligations of OLD tuples (e.g.
+	// ∀x,y r(x,y) ⇒ ¬r(y,y) ∨ q(x)), which checking only the new tuple's
+	// obligation would miss. Positive occurrences are monotone and safe.
+	if calculus.AtomPolarity(imp.R, relName)&calculus.Negative != 0 {
+		return nil, false
+	}
+	sub := make(map[string]calculus.Term, len(atom.Args))
+	for i, arg := range atom.Args {
+		if !arg.IsVar() {
+			if !arg.Const.Equal(t[i]) {
+				// The inserted tuple is outside the range: unaffected.
+				return trueFormula(), true
+			}
+			continue
+		}
+		if prev, seen := sub[arg.Var]; seen {
+			if !prev.Const.Equal(t[i]) {
+				return trueFormula(), true
+			}
+			continue
+		}
+		sub[arg.Var] = calculus.C(t[i])
+	}
+	// Every quantified variable must be bound by the atom; otherwise the
+	// remaining quantification needs its own range and we fall back.
+	for _, v := range fa.Vars {
+		if _, ok := sub[v]; !ok {
+			return nil, false
+		}
+	}
+	return calculus.Subst(imp.R, sub), true
+}
+
+// trueFormula is a trivially satisfied closed formula (1 = 1).
+func trueFormula() calculus.Formula {
+	return calculus.Cmp{Left: calculus.CInt(1), Op: relation.OpEq, Right: calculus.CInt(1)}
+}

@@ -1,0 +1,139 @@
+package integrity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestInsertCheckedAcceptsAndRejects(t *testing.T) {
+	db := deptDB()
+	m := NewManager(db)
+	m.MustDefine("ref", `forall x, d: emp(x, d) => exists h: dept(d, h)`)
+
+	// A valid insert goes through.
+	if err := m.InsertChecked("emp", relation.NewTuple(s("kim"), s("cs"))); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+	emp, _ := db.Catalog().Relation("emp")
+	if !emp.Contains(relation.NewTuple(s("kim"), s("cs"))) {
+		t.Fatal("insert lost")
+	}
+
+	// A violating insert is rolled back with a named error.
+	err := m.InsertChecked("emp", relation.NewTuple(s("zed"), s("phy")))
+	if err == nil || !strings.Contains(err.Error(), "ref") {
+		t.Fatalf("want violation of ref, got %v", err)
+	}
+	if emp.Contains(relation.NewTuple(s("zed"), s("phy"))) {
+		t.Fatal("violating insert not rolled back")
+	}
+
+	// Duplicates are no-ops even when the database is otherwise consistent.
+	if err := m.InsertChecked("emp", relation.NewTuple(s("kim"), s("cs"))); err != nil {
+		t.Fatalf("duplicate insert must be a no-op: %v", err)
+	}
+}
+
+func TestCheckInsertionSkipsUnrelated(t *testing.T) {
+	db := deptDB()
+	m := NewManager(db)
+	db.MustDefine("project_of", "p", "d")
+	m.MustDefine("dept-heads", `forall d, h: dept(d, h) => emp(h, d)`)
+	m.MustDefine("projectless", `not exists p, d: project_of(p, d)`)
+
+	// Violate the project_of-only constraint, then insert into emp: the
+	// insertion keeps dept-heads satisfied, and CheckInsertion must NOT
+	// recheck "projectless" (emp does not occur in it), so no violation is
+	// reported even though the database as a whole is inconsistent.
+	pr, _ := db.Catalog().Relation("project_of")
+	pr.InsertValues(s("p9"), s("cs")) // violates "projectless"
+	name, err := m.CheckInsertion("emp", relation.NewTuple(s("joe2"), s("cs")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Fatalf("insertion into emp flagged %q; projectless must not be rechecked", name)
+	}
+}
+
+// TestSpecializationTriviallyUnaffected: a constraint over emp(x, "cs")
+// does not constrain tuples of other departments.
+func TestSpecializationTriviallyUnaffected(t *testing.T) {
+	db := deptDB()
+	db.MustDefine("skill_of", "who", "what")
+	m := NewManager(db)
+	m.MustDefine("cs-skilled", `forall x: emp(x, "cs") => exists s: skill_of(x, s)`)
+	// Every current cs employee violates this, so full rechecks would
+	// fail; but inserting a MATH employee is outside the range and must
+	// pass under specialization.
+	emp, _ := db.Catalog().Relation("emp")
+	emp.Insert(relation.NewTuple(s("mia"), s("math")))
+	name, err := m.CheckInsertion("emp", relation.NewTuple(s("mia"), s("math")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Fatalf("math insert flagged %q; it is outside the cs range", name)
+	}
+	// A cs insert without a skill is caught.
+	emp.Insert(relation.NewTuple(s("nik"), s("cs")))
+	name, err = m.CheckInsertion("emp", relation.NewTuple(s("nik"), s("cs")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "cs-skilled" {
+		t.Fatalf("cs insert must be flagged, got %q", name)
+	}
+}
+
+// TestSpecializationNegativePolarityGuard: the antisymmetry-like shape
+// where the updated relation occurs negatively in the consequent must NOT
+// be specialized — a new tuple can falsify an old tuple's obligation.
+func TestSpecializationNegativePolarityGuard(t *testing.T) {
+	db := deptDB()
+	r := db.MustDefine("r", "a", "b")
+	q := db.MustDefine("qq", "a")
+	m := NewManager(db)
+	// ∀x,y r(x,y) ⇒ (¬r(y,y) ∨ qq(x))
+	m.MustDefine("tricky", `forall x, y: r(x, y) => (not r(y, y) or qq(x))`)
+
+	// r = {(a,b)}, qq(b) only: the old obligation for (a,b) is ¬r(b,b) —
+	// satisfied. Now insert (b,b): the NEW obligation is ¬r(b,b) ∨ qq(b),
+	// which holds via qq(b); only the OLD tuple's obligation breaks. The
+	// polarity guard must force a full check that catches it.
+	r.InsertValues(s("a"), s("b"))
+	q.InsertValues(s("b"))
+	rel, _ := db.Catalog().Relation("r")
+	rel.Insert(relation.NewTuple(s("b"), s("b")))
+	name, err := m.CheckInsertion("r", relation.NewTuple(s("b"), s("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tricky" {
+		t.Fatalf("negative-polarity violation missed (got %q)", name)
+	}
+}
+
+func TestInsertCheckedUnknownRelation(t *testing.T) {
+	m := NewManager(deptDB())
+	if err := m.InsertChecked("nosuch", relation.NewTuple(s("x"))); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+}
+
+func TestInsertCheckedThroughViews(t *testing.T) {
+	db := deptDB()
+	if err := db.DefineView("headed", `{ d | exists h: dept(d, h) }`); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(db)
+	m.MustDefine("emp-headed", `forall x, d: emp(x, d) => headed(d)`)
+	if err := m.InsertChecked("emp", relation.NewTuple(s("pat"), s("math"))); err != nil {
+		t.Fatalf("valid insert through view rejected: %v", err)
+	}
+	if err := m.InsertChecked("emp", relation.NewTuple(s("pat"), s("phy"))); err == nil {
+		t.Fatal("unheaded department must be rejected")
+	}
+}

@@ -1,0 +1,238 @@
+package loopeval
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+func s(x string) relation.Value { return relation.Str(x) }
+
+func testCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	st := cat.MustDefine("student", relation.NewSchema("name"))
+	for _, n := range []string{"ann", "bob", "eve"} {
+		st.InsertValues(s(n))
+	}
+	lec := cat.MustDefine("lecture", relation.NewSchema("id"))
+	lec.InsertValues(s("db"))
+	lec.InsertValues(s("ai"))
+	att := cat.MustDefine("attends", relation.NewSchema("name", "lecture"))
+	att.InsertValues(s("ann"), s("db"))
+	att.InsertValues(s("ann"), s("ai"))
+	att.InsertValues(s("bob"), s("db"))
+	return cat
+}
+
+// TestFigure1aClosedExistential: Fig. 1a with early termination.
+func TestFigure1aClosedExistential(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`exists x: student(x) and attends(x, "db")`)
+	ok, err := ev.EvalClosed(q.Body, Env{})
+	if err != nil || !ok {
+		t.Fatalf("got %v, %v", ok, err)
+	}
+	// ann is the first student and attends db: the loop must stop after
+	// scanning one student tuple (plus the attends membership check).
+	if ev.Stats.BaseTuplesRead != 1 {
+		t.Fatalf("read %d tuples, want 1 (early termination of Fig. 1a)", ev.Stats.BaseTuplesRead)
+	}
+}
+
+// TestFigure1bClosedUniversal: Fig. 1b stops at the first counterexample.
+func TestFigure1bClosedUniversal(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`forall x: student(x) => attends(x, "db")`)
+	ok, err := ev.EvalClosed(q.Body, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("eve attends nothing; the universal must fail")
+	}
+	// ann ✓, bob ✓, eve ✗ — stops at the third student.
+	if ev.Stats.BaseTuplesRead != 3 {
+		t.Fatalf("read %d tuples, want 3", ev.Stats.BaseTuplesRead)
+	}
+}
+
+// TestFigure1cOpenQuantified: Fig. 1c computes all answers.
+func TestFigure1cOpenQuantified(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`{ x | student(x) and forall y: lecture(y) => attends(x, y) }`)
+	out, err := ev.EvalOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewUnnamed(out.Schema())
+	want.InsertValues(s("ann"))
+	if !out.Equal(want) {
+		t.Fatalf("got:\n%s\nwant ann only", out)
+	}
+}
+
+func TestEvalOpenDisjunction(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`{ x | student(x) or lecture(x) }`)
+	out, err := ev.EvalOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("got %d rows, want 5", out.Len())
+	}
+}
+
+func TestEvalProjectionRange(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`{ x | (exists y: attends(x, y)) and student(x) }`)
+	out, err := ev.EvalOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 { // ann, bob
+		t.Fatalf("got %d rows, want 2:\n%s", out.Len(), out)
+	}
+}
+
+func TestEvalComparisonFilter(t *testing.T) {
+	ev := New(testCatalog())
+	q := parser.MustParse(`{ x | student(x) and x != "ann" }`)
+	out, err := ev.EvalOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("got %d rows, want 2", out.Len())
+	}
+}
+
+func TestEvalClosedConnectives(t *testing.T) {
+	ev := New(testCatalog())
+	cases := map[string]bool{
+		`student("ann") and lecture("db")`:          true,
+		`student("ann") and lecture("nope")`:        false,
+		`student("nope") or lecture("db")`:          true,
+		`not student("nope")`:                       true,
+		`forall x: not attends(x, "nope")`:          true,
+		`exists x, y: attends(x, y) and x = "ann"`:  true,
+		`exists x, y: attends(x, y) and y = "nope"`: false,
+	}
+	for input, want := range cases {
+		got, err := ev.EvalClosed(parser.MustParse(input).Body, Env{})
+		if err != nil {
+			t.Fatalf("%q: %v", input, err)
+		}
+		if got != want {
+			t.Errorf("%q = %v, want %v", input, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev := New(testCatalog())
+	if _, err := ev.EvalClosed(parser.MustParse(`unknown("a")`).Body, Env{}); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := ev.EvalOpen(parser.MustParse(`exists x: student(x)`)); err == nil {
+		t.Fatal("EvalOpen on a closed query must fail")
+	}
+	if _, err := ev.EvalClosed(parser.MustParse(`student(x)`).Body, Env{}); err == nil {
+		t.Fatal("unbound variable must fail")
+	}
+	// Arity mismatch.
+	if _, err := ev.EvalOpen(parser.MustParse(`{ x | attends(x) }`)); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}
+
+func TestEvalViaEval(t *testing.T) {
+	ev := New(testCatalog())
+	res, err := ev.Eval(parser.MustParse(`exists x: student(x)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("closed true query yields one 0-ary tuple, got %d", res.Len())
+	}
+	res, err = ev.Eval(parser.MustParse(`exists x: student(x) and attends(x, "nope")`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatal("closed false query yields the empty relation")
+	}
+}
+
+func TestOracleBasics(t *testing.T) {
+	cat := testCatalog()
+	o := NewOracle(cat)
+	ok, err := o.Closed(parser.MustParse(`forall x: student(x) => exists y: attends(x, y)`).Body, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("eve attends nothing")
+	}
+	ans, err := o.Answers(parser.MustParse(`{ x | student(x) and not attends(x, "db") }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewUnnamed(ans.Schema())
+	want.InsertValues(s("eve"))
+	if !ans.Equal(want) {
+		t.Fatalf("got:\n%s\nwant eve", ans)
+	}
+}
+
+func TestOracleDomainClosure(t *testing.T) {
+	cat := testCatalog()
+	o := NewOracle(cat)
+	// ∃x ¬student(x): true under the DCA — e.g. the value "db".
+	ok, err := o.Closed(parser.MustParse(`exists x: not student(x)`).Body, Env{})
+	if err != nil || !ok {
+		t.Fatalf("DCA existential failed: %v %v", ok, err)
+	}
+}
+
+// TestNestedLoopsMultiProducer: two producers drive nested scans (Fig. 1's
+// loop nesting) and parameters propagate inward.
+func TestNestedLoopsMultiProducer(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.MustDefine("r", relation.NewSchema("a", "b"))
+	sRel := cat.MustDefine("srel", relation.NewSchema("b", "c"))
+	r.InsertValues(s("x"), s("y"))
+	r.InsertValues(s("x"), s("z"))
+	sRel.InsertValues(s("y"), s("k"))
+	sRel.InsertValues(s("w"), s("k"))
+
+	// (Declaring b is the safety layer's job — rewrite.Normalize rejects
+	// the undeclared-variable variant; the interpreter assumes valid input.)
+	ev := New(cat)
+	out, err := ev.EvalOpen(parser.MustParse(`{ a, c | exists b: r(a, b) and srel(b, c) }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewUnnamed(out.Schema())
+	want.InsertValues(s("x"), s("k"))
+	if !out.Equal(want) {
+		t.Fatalf("got:\n%s\nwant (x,k)", out)
+	}
+}
+
+// TestEarlyExitPropagatesThroughOr: stopping inside the second disjunct of
+// an open disjunction must stop the whole enumeration.
+func TestEarlyExitThroughProducers(t *testing.T) {
+	cat := testCatalog()
+	ev := New(cat)
+	// Closed existential over a disjunctive range: stops at first witness.
+	ok, err := ev.EvalClosed(parser.MustParse(`exists x: (student(x) or lecture(x))`).Body, Env{})
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	if ev.Stats.BaseTuplesRead != 1 {
+		t.Fatalf("read %d, want 1", ev.Stats.BaseTuplesRead)
+	}
+}

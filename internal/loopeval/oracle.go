@@ -1,0 +1,152 @@
+package loopeval
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Oracle evaluates formulas under the textbook semantics of §2.1: by the
+// Domain Closure Assumption every quantifier ranges over the database
+// domain (the set of all values occurring anywhere in the database), and by
+// the Closed World Assumption an atom not in the database is false.
+//
+// The oracle is deliberately naive — it enumerates domainᵏ for a k-variable
+// quantifier — which makes it slow but an implementation-independent
+// ground truth: it never consults ranges, producers, normalization or
+// translation, so agreement with it is meaningful evidence for all of them.
+type Oracle struct {
+	cat    *storage.Catalog
+	domain []relation.Value
+}
+
+// NewOracle snapshots the database domain of the catalog.
+func NewOracle(cat *storage.Catalog) *Oracle {
+	dom := cat.Domain()
+	vals := make([]relation.Value, 0, dom.Len())
+	for _, t := range dom.Tuples() {
+		vals = append(vals, t[0])
+	}
+	return &Oracle{cat: cat, domain: vals}
+}
+
+// Closed evaluates a closed formula under env.
+func (o *Oracle) Closed(f calculus.Formula, env Env) (bool, error) {
+	switch n := f.(type) {
+	case calculus.Atom:
+		t := make(relation.Tuple, len(n.Args))
+		for i, arg := range n.Args {
+			v, err := groundTerm(arg, env)
+			if err != nil {
+				return false, fmt.Errorf("oracle: %w in %s", err, f)
+			}
+			t[i] = v
+		}
+		rel, err := o.cat.Relation(n.Pred)
+		if err != nil {
+			return false, err
+		}
+		return rel.Contains(t), nil
+	case calculus.Cmp:
+		l, err := groundTerm(n.Left, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := groundTerm(n.Right, env)
+		if err != nil {
+			return false, err
+		}
+		return n.Op.Apply(l, r), nil
+	case calculus.Not:
+		ok, err := o.Closed(n.F, env)
+		return !ok, err
+	case calculus.And:
+		ok, err := o.Closed(n.L, env)
+		if err != nil || !ok {
+			return false, err
+		}
+		return o.Closed(n.R, env)
+	case calculus.Or:
+		ok, err := o.Closed(n.L, env)
+		if err != nil || ok {
+			return ok, err
+		}
+		return o.Closed(n.R, env)
+	case calculus.Implies:
+		ok, err := o.Closed(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return o.Closed(n.R, env)
+	case calculus.Exists:
+		return o.quant(n.Vars, n.Body, env, true)
+	case calculus.Forall:
+		return o.quant(n.Vars, n.Body, env, false)
+	default:
+		return false, fmt.Errorf("oracle: unknown formula %T", f)
+	}
+}
+
+// quant enumerates domain^len(vars); existential stops on the first true,
+// universal on the first false.
+func (o *Oracle) quant(vars []string, body calculus.Formula, env Env, existential bool) (bool, error) {
+	if len(vars) == 0 {
+		return o.Closed(body, env)
+	}
+	for _, v := range o.domain {
+		ne := env.clone()
+		ne[vars[0]] = v
+		ok, err := o.quant(vars[1:], body, ne, existential)
+		if err != nil {
+			return false, err
+		}
+		if ok == existential {
+			return existential, nil
+		}
+	}
+	return !existential, nil
+}
+
+// Answers computes the answer set of an open query by enumerating the
+// domain for every open variable.
+func (o *Oracle) Answers(q parser.Query) (*relation.Relation, error) {
+	if !q.IsOpen() {
+		return nil, fmt.Errorf("oracle: Answers needs an open query")
+	}
+	out := relation.NewUnnamed(relation.NewSchema(q.OpenVars...))
+	var rec func(i int, env Env) error
+	rec = func(i int, env Env) error {
+		if i == len(q.OpenVars) {
+			ok, err := o.Closed(q.Body, env)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t := make(relation.Tuple, len(q.OpenVars))
+				for j, v := range q.OpenVars {
+					t[j] = env[v]
+				}
+				out.Insert(t)
+			}
+			return nil
+		}
+		for _, v := range o.domain {
+			ne := env.clone()
+			ne[q.OpenVars[i]] = v
+			if err := rec(i+1, ne); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, Env{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

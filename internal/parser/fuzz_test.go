@@ -1,0 +1,39 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/calculus"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// every successfully parsed query survives a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`exists x: p(x)`,
+		`{ x, y | r(x, y) and not s(y, x) }`,
+		`forall y: lecture(y, "db") => attends(x, y)`,
+		`p(x) and (q(x) or not r(x, 42)) and x != "a"`,
+		`∃x (p(x) ∧ ¬q(x))`,
+		`a <= b and b >= c and a <=> d`,
+		`not not not p("quoted string", -17)`,
+		`{x|p(x)}`,
+		`exists x_1, y2: r(x_1, y2)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if !calculus.Equal(q.Body, q2.Body) {
+			t.Fatalf("round trip changed %q: %s vs %s", input, q.Body, q2.Body)
+		}
+	})
+}

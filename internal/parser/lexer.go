@@ -1,0 +1,284 @@
+// Package parser implements a small textual surface language for the
+// domain relational calculus of the paper. Two query forms are accepted:
+//
+//	closed (yes/no) queries:  exists x: student(x) and not enrolled(x, "cs")
+//	open queries:             { x | student(x) and makes(x, "PhD") }
+//
+// Grammar (ASCII keywords; Unicode connectives also accepted):
+//
+//	query    := '{' vars '|' formula '}' | formula
+//	formula  := iff
+//	iff      := implies ( '<=>' implies )*
+//	implies  := or ( '=>' or )*            (right associative)
+//	or       := and ( 'or' and )*
+//	and      := unary ( 'and' unary )*
+//	unary    := 'not' unary | 'exists' vars ':' unary | 'forall' vars ':' unary | primary
+//	primary  := '(' formula ')' | atom | comparison
+//	atom     := ident '(' term ( ',' term )* ')'
+//	comp     := term op term,  op ∈ { '=', '!=', '<', '<=', '>', '>=' }
+//	term     := ident | integer | string
+//
+// Following the paper, an implication directly under a universal quantifier
+// is kept as the range form ∀x̄ R ⇒ F; anywhere else F₁ => F₂ is expanded
+// to ¬F₁ ∨ F₂ and F₁ <=> F₂ to (¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokColon
+	tokPipe
+	tokAnd
+	tokOr
+	tokNot
+	tokExists
+	tokForall
+	tokImplies
+	tokIff
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokPipe:
+		return "'|'"
+	case tokAnd:
+		return "'and'"
+	case tokOr:
+		return "'or'"
+	case tokNot:
+		return "'not'"
+	case tokExists:
+		return "'exists'"
+	case tokForall:
+		return "'forall'"
+	case tokImplies:
+		return "'=>'"
+	case tokIff:
+		return "'<=>'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]tokenKind{
+	"and":    tokAnd,
+	"or":     tokOr,
+	"not":    tokNot,
+	"exists": tokExists,
+	"forall": tokForall,
+}
+
+// lex tokenizes the input; it returns an error with a byte offset on any
+// unrecognized rune or unterminated string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(kind tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: kind, text: text, pos: pos})
+	}
+	for i < len(input) {
+		r, sz := utf8.DecodeRuneInString(input[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += sz
+		case r == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case r == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case r == '{':
+			emit(tokLBrace, "{", i)
+			i++
+		case r == '}':
+			emit(tokRBrace, "}", i)
+			i++
+		case r == ',':
+			emit(tokComma, ",", i)
+			i++
+		case r == ':':
+			emit(tokColon, ":", i)
+			i++
+		case r == '|':
+			emit(tokPipe, "|", i)
+			i++
+		case r == '∧':
+			emit(tokAnd, "∧", i)
+			i += sz
+		case r == '∨':
+			emit(tokOr, "∨", i)
+			i += sz
+		case r == '¬':
+			emit(tokNot, "¬", i)
+			i += sz
+		case r == '∃':
+			emit(tokExists, "∃", i)
+			i += sz
+		case r == '∀':
+			emit(tokForall, "∀", i)
+			i += sz
+		case r == '≠':
+			emit(tokNe, "≠", i)
+			i += sz
+		case r == '≤':
+			emit(tokLe, "≤", i)
+			i += sz
+		case r == '≥':
+			emit(tokGe, "≥", i)
+			i += sz
+		case r == '⇒':
+			emit(tokImplies, "⇒", i)
+			i += sz
+		case r == '=':
+			if strings.HasPrefix(input[i:], "=>") {
+				emit(tokImplies, "=>", i)
+				i += 2
+			} else {
+				emit(tokEq, "=", i)
+				i++
+			}
+		case r == '!':
+			if strings.HasPrefix(input[i:], "!=") {
+				emit(tokNe, "!=", i)
+				i += 2
+			} else {
+				return nil, fmt.Errorf("parser: unexpected '!' at offset %d (did you mean '!=')", i)
+			}
+		case r == '<':
+			switch {
+			case strings.HasPrefix(input[i:], "<=>"):
+				emit(tokIff, "<=>", i)
+				i += 3
+			case strings.HasPrefix(input[i:], "<="):
+				emit(tokLe, "<=", i)
+				i += 2
+			default:
+				emit(tokLt, "<", i)
+				i++
+			}
+		case r == '>':
+			if strings.HasPrefix(input[i:], ">=") {
+				emit(tokGe, ">=", i)
+				i += 2
+			} else {
+				emit(tokGt, ">", i)
+				i++
+			}
+		case r == '"':
+			// Scan to the closing quote, honoring Go-style escapes, then
+			// decode with strconv.Unquote so rendered constants (which use
+			// %q) round-trip for arbitrary string contents.
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' && j+1 < len(input) {
+					j++
+				}
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("parser: unterminated string at offset %d", i)
+			}
+			text, err := strconv.Unquote(input[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("parser: bad string literal at offset %d: %v", i, err)
+			}
+			emit(tokString, text, i)
+			i = j + 1
+		case r == '-' || unicode.IsDigit(r):
+			j := i
+			if r == '-' {
+				j++
+			}
+			start := j
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			if j == start {
+				return nil, fmt.Errorf("parser: lone '-' at offset %d", i)
+			}
+			emit(tokInt, input[i:j], i)
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(input) {
+				r2, sz2 := utf8.DecodeRuneInString(input[j:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' && r2 != '-' {
+					break
+				}
+				j += sz2
+			}
+			word := input[i:j]
+			if kw, ok := keywords[strings.ToLower(word)]; ok {
+				emit(kw, word, i)
+			} else {
+				emit(tokIdent, word, i)
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("parser: unexpected character %q at offset %d", r, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

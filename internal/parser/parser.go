@@ -1,0 +1,377 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/calculus"
+	"repro/internal/relation"
+)
+
+// Query is the result of parsing: a closed (yes/no) formula when OpenVars
+// is nil, or an open query { OpenVars | Body } otherwise.
+type Query struct {
+	OpenVars []string
+	Body     calculus.Formula
+}
+
+// IsOpen reports whether the query returns tuples rather than a truth value.
+func (q Query) IsOpen() bool { return q.OpenVars != nil }
+
+// String renders the query back in surface syntax.
+func (q Query) String() string {
+	if !q.IsOpen() {
+		return q.Body.String()
+	}
+	vars := ""
+	for i, v := range q.OpenVars {
+		if i > 0 {
+			vars += ","
+		}
+		vars += v
+	}
+	return "{" + vars + " | " + q.Body.String() + "}"
+}
+
+// Parse parses a query in the surface language.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return Query{}, p.errf("trailing input starting with %s", p.peek().kind)
+	}
+	q.Body = desugar(q.Body, false)
+	return q, nil
+}
+
+// ParseFormula parses a bare formula (closed or with free variables); it is
+// the form used by tests and by integrity-constraint checking.
+func ParseFormula(input string) (calculus.Formula, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if q.IsOpen() {
+		return nil, fmt.Errorf("parser: expected a formula, got an open query")
+	}
+	return q.Body, nil
+}
+
+// MustParse is Parse for static test/example inputs; it panics on error.
+func MustParse(input string) Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errf("expected %s, found %s", k, t.kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	if p.at(tokLBrace) {
+		p.next()
+		vars, err := p.parseVarList()
+		if err != nil {
+			return Query{}, err
+		}
+		if _, err := p.expect(tokPipe); err != nil {
+			return Query{}, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return Query{}, err
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return Query{}, err
+		}
+		return Query{OpenVars: vars, Body: body}, nil
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Body: body}, nil
+}
+
+func (p *parser) parseVarList() ([]string, error) {
+	var vars []string
+	seen := make(map[string]bool)
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if seen[t.text] {
+			return nil, fmt.Errorf("parser: duplicate variable %q in list", t.text)
+		}
+		seen[t.text] = true
+		vars = append(vars, t.text)
+		if !p.at(tokComma) {
+			return vars, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseFormula() (calculus.Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (calculus.Formula, error) {
+	l, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokIff) {
+		p.next()
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		// F₁ <=> F₂ expands per the paper: (¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁).
+		l = calculus.And{
+			L: calculus.Or{L: calculus.Not{F: l}, R: r},
+			R: calculus.Or{L: calculus.Not{F: r}, R: l},
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseImplies() (calculus.Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokImplies) {
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseImplies() // right associative
+	if err != nil {
+		return nil, err
+	}
+	return calculus.Implies{L: l, R: r}, nil
+}
+
+func (p *parser) parseOr() (calculus.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOr) {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = calculus.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (calculus.Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAnd) {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = calculus.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (calculus.Formula, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Not{F: f}, nil
+	case tokExists, tokForall:
+		isExists := p.next().kind == tokExists
+		vars, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		// A ':' separates variables from the body; it may be omitted when
+		// the body is parenthesized, so printed formulas (∃x (…)) re-parse.
+		if p.at(tokColon) {
+			p.next()
+		} else if !p.at(tokLParen) {
+			return nil, p.errf("expected ':' or a parenthesized body after quantified variables")
+		}
+		// The quantifier body extends as far right as possible.
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if isExists {
+			return calculus.Exists{Vars: vars, Body: body}, nil
+		}
+		return calculus.Forall{Vars: vars, Body: body}, nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *parser) parsePrimary() (calculus.Formula, error) {
+	switch p.peek().kind {
+	case tokLParen:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		// Atom R(…) or a comparison starting with a variable.
+		if p.toks[p.pos+1].kind == tokLParen {
+			return p.parseAtom()
+		}
+		return p.parseComparison()
+	case tokInt, tokString:
+		return p.parseComparison()
+	default:
+		return nil, p.errf("expected a formula, found %s", p.peek().kind)
+	}
+}
+
+func (p *parser) parseAtom() (calculus.Formula, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []calculus.Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return calculus.Atom{Pred: name.text, Args: args}, nil
+}
+
+func (p *parser) parseComparison() (calculus.Formula, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	var op relation.CmpOp
+	switch p.peek().kind {
+	case tokEq:
+		op = relation.OpEq
+	case tokNe:
+		op = relation.OpNe
+	case tokLt:
+		op = relation.OpLt
+	case tokLe:
+		op = relation.OpLe
+	case tokGt:
+		op = relation.OpGt
+	case tokGe:
+		op = relation.OpGe
+	default:
+		return nil, p.errf("expected a comparison operator, found %s", p.peek().kind)
+	}
+	p.next()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return calculus.Cmp{Left: l, Op: op, Right: r}, nil
+}
+
+func (p *parser) parseTerm() (calculus.Term, error) {
+	switch t := p.peek(); t.kind {
+	case tokIdent:
+		p.next()
+		return calculus.V(t.text), nil
+	case tokString:
+		p.next()
+		return calculus.CStr(t.text), nil
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return calculus.Term{}, fmt.Errorf("parser: bad integer %q: %v", t.text, err)
+		}
+		return calculus.CInt(n), nil
+	default:
+		return calculus.Term{}, p.errf("expected a term, found %s", t.kind)
+	}
+}
+
+// desugar expands implications to ¬F₁ ∨ F₂ everywhere except directly under
+// a universal quantifier, where the paper keeps the range form ∀x̄ R ⇒ F.
+func desugar(f calculus.Formula, underForall bool) calculus.Formula {
+	switch n := f.(type) {
+	case calculus.Atom, calculus.Cmp:
+		return f
+	case calculus.Not:
+		return calculus.Not{F: desugar(n.F, false)}
+	case calculus.And:
+		return calculus.And{L: desugar(n.L, false), R: desugar(n.R, false)}
+	case calculus.Or:
+		return calculus.Or{L: desugar(n.L, false), R: desugar(n.R, false)}
+	case calculus.Implies:
+		l := desugar(n.L, false)
+		r := desugar(n.R, false)
+		if underForall {
+			return calculus.Implies{L: l, R: r}
+		}
+		return calculus.Or{L: calculus.Not{F: l}, R: r}
+	case calculus.Exists:
+		return calculus.Exists{Vars: n.Vars, Body: desugar(n.Body, false)}
+	case calculus.Forall:
+		return calculus.Forall{Vars: n.Vars, Body: desugar(n.Body, true)}
+	default:
+		panic(fmt.Sprintf("parser: unknown formula %T", f))
+	}
+}

@@ -1,0 +1,228 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calculus"
+	"repro/internal/relation"
+)
+
+func parseOK(t *testing.T, input string) Query {
+	t.Helper()
+	q, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return q
+}
+
+func TestParseAtom(t *testing.T) {
+	q := parseOK(t, `student(x)`)
+	want := calculus.NewAtom("student", calculus.V("x"))
+	if !calculus.Equal(q.Body, want) {
+		t.Fatalf("got %s, want %s", q.Body, want)
+	}
+	if q.IsOpen() {
+		t.Fatal("bare formula must not be an open query")
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q := parseOK(t, `enrolled(x, "cs") and age(x, 42)`)
+	and, ok := q.Body.(calculus.And)
+	if !ok {
+		t.Fatalf("got %T, want And", q.Body)
+	}
+	l := and.L.(calculus.Atom)
+	if l.Args[1].Const.AsString() != "cs" {
+		t.Errorf("string constant lost: %s", l)
+	}
+	r := and.R.(calculus.Atom)
+	if r.Args[1].Const.AsInt() != 42 {
+		t.Errorf("integer constant lost: %s", r)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// not binds tighter than and, and tighter than or.
+	q := parseOK(t, `not p(x) and q(x) or r(x)`)
+	or, ok := q.Body.(calculus.Or)
+	if !ok {
+		t.Fatalf("top must be Or, got %T", q.Body)
+	}
+	and, ok := or.L.(calculus.And)
+	if !ok {
+		t.Fatalf("left of or must be And, got %T", or.L)
+	}
+	if _, ok := and.L.(calculus.Not); !ok {
+		t.Fatalf("left of and must be Not, got %T", and.L)
+	}
+}
+
+func TestParseQuantifierBodyExtends(t *testing.T) {
+	// The quantifier body extends maximally: ∃x (p(x) ∧ q(x)).
+	q := parseOK(t, `exists x: p(x) and q(x)`)
+	ex, ok := q.Body.(calculus.Exists)
+	if !ok {
+		t.Fatalf("got %T, want Exists", q.Body)
+	}
+	if _, ok := ex.Body.(calculus.And); !ok {
+		t.Fatalf("body must be And, got %T", ex.Body)
+	}
+}
+
+func TestParseMultiVarQuantifier(t *testing.T) {
+	q := parseOK(t, `exists x, y, z: p(x, y, z)`)
+	ex := q.Body.(calculus.Exists)
+	if len(ex.Vars) != 3 {
+		t.Fatalf("vars = %v", ex.Vars)
+	}
+}
+
+func TestParseForallKeepsRangeImplication(t *testing.T) {
+	q := parseOK(t, `forall y: lecture(y, "cs") => attends(x, y)`)
+	fa, ok := q.Body.(calculus.Forall)
+	if !ok {
+		t.Fatalf("got %T, want Forall", q.Body)
+	}
+	if _, ok := fa.Body.(calculus.Implies); !ok {
+		t.Fatalf("the range implication under forall must be preserved, got %T", fa.Body)
+	}
+}
+
+func TestParseImpliesDesugarsElsewhere(t *testing.T) {
+	q := parseOK(t, `p(x) => q(x)`)
+	or, ok := q.Body.(calculus.Or)
+	if !ok {
+		t.Fatalf("implication outside forall must desugar to Or, got %T", q.Body)
+	}
+	if _, ok := or.L.(calculus.Not); !ok {
+		t.Fatalf("left disjunct must be negated, got %T", or.L)
+	}
+}
+
+func TestParseIffDesugars(t *testing.T) {
+	q := parseOK(t, `p(x) <=> q(x)`)
+	and, ok := q.Body.(calculus.And)
+	if !ok {
+		t.Fatalf("iff must desugar to conjunction, got %T", q.Body)
+	}
+	if _, ok := and.L.(calculus.Or); !ok {
+		t.Fatalf("each side must be a disjunction, got %T", and.L)
+	}
+}
+
+func TestParseOpenQuery(t *testing.T) {
+	q := parseOK(t, `{ x, z | member(x, z) and not skill(x, "db") }`)
+	if !q.IsOpen() {
+		t.Fatal("must be an open query")
+	}
+	if len(q.OpenVars) != 2 || q.OpenVars[0] != "x" || q.OpenVars[1] != "z" {
+		t.Fatalf("open vars = %v", q.OpenVars)
+	}
+	if _, ok := q.Body.(calculus.And); !ok {
+		t.Fatalf("body = %T", q.Body)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	cases := map[string]relation.CmpOp{
+		`x = y`:  relation.OpEq,
+		`x != y`: relation.OpNe,
+		`x < y`:  relation.OpLt,
+		`x <= y`: relation.OpLe,
+		`x > y`:  relation.OpGt,
+		`x >= y`: relation.OpGe,
+	}
+	for input, op := range cases {
+		q := parseOK(t, input)
+		c, ok := q.Body.(calculus.Cmp)
+		if !ok {
+			t.Fatalf("%q: got %T", input, q.Body)
+		}
+		if c.Op != op {
+			t.Errorf("%q: op = %s, want %s", input, c.Op, op)
+		}
+	}
+}
+
+func TestParseUnicodeConnectives(t *testing.T) {
+	a := parseOK(t, `∃x: p(x) ∧ ¬q(x) ∨ r(x)`)
+	b := parseOK(t, `exists x: p(x) and not q(x) or r(x)`)
+	if !calculus.Equal(a.Body, b.Body) {
+		t.Fatalf("unicode parse %s != ascii parse %s", a.Body, b.Body)
+	}
+}
+
+func TestParsePaperQueryQ(t *testing.T) {
+	// §3.2: ∃xy [enrolled(x,y) ∧ y≠cs ∧ makes(x,PhD) ∧ ∃z (lecture(z,cs) ∧ attends(x,z))]
+	q := parseOK(t, `exists x, y: enrolled(x, y) and y != "cs" and makes(x, "PhD") and exists z: lecture(z, "cs") and attends(x, z)`)
+	ex, ok := q.Body.(calculus.Exists)
+	if !ok || len(ex.Vars) != 2 {
+		t.Fatalf("got %s", q.Body)
+	}
+	fv := calculus.FreeVars(q.Body)
+	if len(fv) != 0 {
+		t.Fatalf("closed query has free vars %v", fv.Sorted())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`p(`,
+		`p(x`,
+		`{ x | p(x)`,
+		`{ x, x | p(x) }`,
+		`exists : p(x)`,
+		`exists x p(x)`,
+		`p(x) and`,
+		`p(x) !`,
+		`"unclosed`,
+		`p(x)) `,
+		`x ==`,
+		`p(x) extra(y)`,
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", input)
+		}
+	}
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	_, err := Parse(`p(x) and !`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error should mention offset, got %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		`exists x: student(x) and forall y: cs_lecture(y) => attends(x, y)`,
+		`{ x | professor(x) and (member(x, "cs") or skill(x, "math")) }`,
+		`forall x: not p(x)`,
+		`exists x, y: r(x, y) and x != y`,
+	}
+	for _, input := range inputs {
+		q := parseOK(t, input)
+		// Rendering re-parses to the same AST.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", input, q.String(), err)
+		}
+		if !calculus.Equal(q.Body, q2.Body) {
+			t.Errorf("round trip changed %q: %s vs %s", input, q.Body, q2.Body)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse(`p(`)
+}

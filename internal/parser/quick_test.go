@@ -1,0 +1,112 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calculus"
+	"repro/internal/relation"
+)
+
+// randomFormula builds an arbitrary well-formed formula for round-trip
+// testing (not necessarily safe — the parser and printer don't care).
+func randomFormula(rng *rand.Rand, depth int, scope []string) calculus.Formula {
+	atom := func() calculus.Formula {
+		preds := []struct {
+			name  string
+			arity int
+		}{{"p", 1}, {"q", 1}, {"r", 2}, {"s", 3}}
+		p := preds[rng.Intn(len(preds))]
+		args := make([]calculus.Term, p.arity)
+		for i := range args {
+			switch {
+			case len(scope) > 0 && rng.Intn(3) != 0:
+				args[i] = calculus.V(scope[rng.Intn(len(scope))])
+			case rng.Intn(2) == 0:
+				args[i] = calculus.CInt(int64(rng.Intn(100) - 50))
+			default:
+				args[i] = calculus.CStr(string(rune('a' + rng.Intn(4))))
+			}
+		}
+		return calculus.Atom{Pred: p.name, Args: args}
+	}
+	if depth <= 0 {
+		if len(scope) > 0 && rng.Intn(4) == 0 {
+			ops := []relation.CmpOp{relation.OpEq, relation.OpNe, relation.OpLt, relation.OpLe, relation.OpGt, relation.OpGe}
+			return calculus.Cmp{
+				Left:  calculus.V(scope[rng.Intn(len(scope))]),
+				Op:    ops[rng.Intn(len(ops))],
+				Right: calculus.CInt(int64(rng.Intn(10))),
+			}
+		}
+		return atom()
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return calculus.And{L: randomFormula(rng, depth-1, scope), R: randomFormula(rng, depth-1, scope)}
+	case 1:
+		return calculus.Or{L: randomFormula(rng, depth-1, scope), R: randomFormula(rng, depth-1, scope)}
+	case 2:
+		return calculus.Not{F: randomFormula(rng, depth-1, scope)}
+	case 3:
+		v := string(rune('u'+len(scope))) + "v"
+		return calculus.Exists{Vars: []string{v}, Body: randomFormula(rng, depth-1, append(append([]string{}, scope...), v))}
+	case 4:
+		v := string(rune('u'+len(scope))) + "w"
+		inner := append(append([]string{}, scope...), v)
+		// Forall bodies print/parse through the range-implication form.
+		return calculus.Forall{Vars: []string{v}, Body: calculus.Implies{
+			L: calculus.Atom{Pred: "p", Args: []calculus.Term{calculus.V(v)}},
+			R: randomFormula(rng, depth-1, inner),
+		}}
+	default:
+		return atom()
+	}
+}
+
+// TestQuickPrintParseRoundTrip: for arbitrary formulas, parsing the
+// rendering yields the identical AST.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		formula := randomFormula(local, 4, nil)
+		parsed, err := ParseFormula(formula.String())
+		if err != nil {
+			t.Logf("render %q failed to parse: %v", formula.String(), err)
+			return false
+		}
+		if !calculus.Equal(parsed, formula) {
+			t.Logf("round trip changed %s into %s", formula, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOpenQueryRoundTrip: open queries survive String → Parse.
+func TestQuickOpenQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		scope := []string{"x"}
+		body := calculus.And{
+			L: calculus.Atom{Pred: "p", Args: []calculus.Term{calculus.V("x")}},
+			R: randomFormula(rng, 3, scope),
+		}
+		q := Query{OpenVars: []string{"x"}, Body: body}
+		parsed, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q.String(), err)
+		}
+		if !parsed.IsOpen() || parsed.OpenVars[0] != "x" {
+			t.Fatalf("open vars lost in %q", q.String())
+		}
+		if !calculus.Equal(parsed.Body, q.Body) {
+			t.Fatalf("round trip changed %s into %s", q.Body, parsed.Body)
+		}
+	}
+}

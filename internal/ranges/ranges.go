@@ -1,0 +1,241 @@
+// Package ranges implements the syntactic safety machinery of §2.1 and §2.3
+// of the paper: ranges (Definition 1), closed formulas with restricted
+// quantifications (Definition 2), open formulas with restricted variables
+// (Definition 3) and the producer/filter decomposition (Definition 5).
+//
+// The central primitive is ProducesIn: the set of variables a formula can
+// bind when evaluated as a producer, with every other free variable treated
+// as a parameter supplied by the enclosing scope. The recursive clauses
+// mirror Definition 1:
+//
+//	atom                      produces its variable arguments        (case 1)
+//	R₁ ∧ R₂                   produces the union                     (cases 2, 4)
+//	R₁ ∨ R₂                   produces the intersection              (case 3)
+//	∃y̅ R                      produces R's variables minus y̅         (case 5)
+//	¬F, comparisons, ∀        produce nothing
+package ranges
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+)
+
+// ProducesIn returns the subset of candidates that f can bind when used as
+// a producer. Quantified variables inside f shadow candidates of the same
+// name (the rewrite engine standardizes bound variables apart, so shadowing
+// is rare but handled).
+func ProducesIn(f calculus.Formula, candidates calculus.VarSet) calculus.VarSet {
+	switch n := f.(type) {
+	case calculus.Atom:
+		out := make(calculus.VarSet)
+		for _, t := range n.Args {
+			if t.IsVar() && candidates.Has(t.Var) {
+				out.Add(t.Var)
+			}
+		}
+		return out
+	case calculus.Cmp, calculus.Not, calculus.Forall, calculus.Implies:
+		return make(calculus.VarSet)
+	case calculus.And:
+		out := ProducesIn(n.L, candidates)
+		out.AddAll(ProducesIn(n.R, candidates))
+		return out
+	case calculus.Or:
+		l := ProducesIn(n.L, candidates)
+		r := ProducesIn(n.R, candidates)
+		out := make(calculus.VarSet)
+		for v := range l {
+			if r.Has(v) {
+				out.Add(v)
+			}
+		}
+		return out
+	case calculus.Exists:
+		inner := make(calculus.VarSet)
+		inner.AddAll(candidates)
+		for _, v := range n.Vars {
+			delete(inner, v)
+		}
+		return ProducesIn(n.Body, inner)
+	default:
+		panic(fmt.Sprintf("ranges: unknown formula %T", f))
+	}
+}
+
+// IsRangeFor reports whether f is a range for every one of vars
+// (Definition 1, with free variables outside vars read as parameters bound
+// by the enclosing scope).
+func IsRangeFor(f calculus.Formula, vars []string) bool {
+	cand := calculus.NewVarSet(vars...)
+	return ProducesIn(f, cand).Equal(cand)
+}
+
+// IsFilter reports whether f filters rather than produces: all its free
+// variables are already bound by the enclosing producers (Definition 5).
+func IsFilter(f calculus.Formula, bound calculus.VarSet) bool {
+	return bound.ContainsAll(calculus.FreeVars(f))
+}
+
+// Validate checks that a formula has restricted quantifications
+// (Definition 2): every existential subformula ∃x̄ B binds each xᵢ through a
+// producer in B, and every universal subformula has one of the range forms
+// ∀x̄ ¬R or ∀x̄ R ⇒ F with R a range for x̄. The free variables of the whole
+// formula must be in openVars (nil for closed queries); for open queries
+// each open variable must itself be produced (Definition 3).
+//
+// Validate reports the first violation with the offending subformula, e.g.
+// the paper's rejected F₁: ∃x₁x₂ [r(x₁) ∨ s(x₂)] ∧ ¬p(x₁,x₂).
+func Validate(f calculus.Formula, openVars []string) error {
+	free := calculus.FreeVars(f)
+	declared := calculus.NewVarSet(openVars...)
+	if !declared.ContainsAll(free) {
+		for _, v := range free.Sorted() {
+			if !declared.Has(v) {
+				return fmt.Errorf("ranges: variable %q is free but not declared", v)
+			}
+		}
+	}
+	if len(openVars) > 0 {
+		if !free.Equal(declared) {
+			return fmt.Errorf("ranges: open variables %v must all occur in the formula (free: %v)", openVars, free.Sorted())
+		}
+		produced := ProducesIn(f, declared)
+		if !produced.Equal(declared) {
+			return fmt.Errorf("ranges: open query does not restrict variables %v in %s", missing(declared, produced), f)
+		}
+	}
+	return validateQuantifiers(f)
+}
+
+func validateQuantifiers(f calculus.Formula) error {
+	switch n := f.(type) {
+	case calculus.Atom, calculus.Cmp:
+		return nil
+	case calculus.Not:
+		return validateQuantifiers(n.F)
+	case calculus.And:
+		if err := validateQuantifiers(n.L); err != nil {
+			return err
+		}
+		return validateQuantifiers(n.R)
+	case calculus.Or:
+		if err := validateQuantifiers(n.L); err != nil {
+			return err
+		}
+		return validateQuantifiers(n.R)
+	case calculus.Implies:
+		if err := validateQuantifiers(n.L); err != nil {
+			return err
+		}
+		return validateQuantifiers(n.R)
+	case calculus.Exists:
+		want := occurring(n.Vars, n.Body) // useless variables fall to Rules 6/7
+		got := ProducesIn(n.Body, want)
+		if !got.Equal(want) {
+			return fmt.Errorf("ranges: existential variables %v have no range in %s", missing(want, got), f)
+		}
+		return validateQuantifiers(n.Body)
+	case calculus.Forall:
+		want := occurring(n.Vars, n.Body)
+		switch body := n.Body.(type) {
+		case calculus.Not:
+			// ∀x̄ ¬R[x̄]
+			got := ProducesIn(body.F, want)
+			if !got.Equal(want) {
+				return fmt.Errorf("ranges: universal variables %v have no range in %s", missing(want, got), f)
+			}
+			return validateQuantifiers(body.F)
+		case calculus.Implies:
+			// ∀x̄ R[x̄] ⇒ F
+			got := ProducesIn(body.L, want)
+			if !got.Equal(want) {
+				return fmt.Errorf("ranges: universal variables %v have no range in %s", missing(want, got), f)
+			}
+			if err := validateQuantifiers(body.L); err != nil {
+				return err
+			}
+			return validateQuantifiers(body.R)
+		case calculus.Or:
+			// ∀x̄ (¬R₁ ∨ … ∨ ¬Rₖ ∨ F₁ ∨ …): the negated disjuncts together
+			// must range x̄ (the ¬R ∨ F spelling of the range implication,
+			// folded back by the ∀∨⇒ rule during normalization).
+			var rangeParts []calculus.Formula
+			for _, d := range calculus.Disjuncts(body) {
+				if neg, ok := d.(calculus.Not); ok {
+					rangeParts = append(rangeParts, neg.F)
+				}
+			}
+			if len(rangeParts) > 0 {
+				got := ProducesIn(calculus.AndAll(rangeParts...), want)
+				if got.Equal(want) {
+					for _, d := range calculus.Disjuncts(body) {
+						if err := validateQuantifiers(d); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+			}
+			return fmt.Errorf("ranges: universal quantification must carry a range for %v, got %s", want.Sorted(), f)
+		default:
+			return fmt.Errorf("ranges: universal quantification must have the form ∀x̄ ¬R or ∀x̄ R ⇒ F, got %s", f)
+		}
+	default:
+		panic(fmt.Sprintf("ranges: unknown formula %T", f))
+	}
+}
+
+// occurring returns the subset of vars free in body.
+func occurring(vars []string, body calculus.Formula) calculus.VarSet {
+	free := calculus.FreeVars(body)
+	out := make(calculus.VarSet)
+	for _, v := range vars {
+		if free.Has(v) {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+func missing(want, got calculus.VarSet) []string {
+	var out []string
+	for _, v := range want.Sorted() {
+		if !got.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SplitProducerFilter partitions the top-level conjuncts of a body into
+// producers and filters for the given variables (Definition 5): scanning
+// left to right, a conjunct that binds a still-unbound variable (or that a
+// later producer needs, transitively) joins the producer side; conjuncts
+// whose free variables are covered become filters. It returns an error if
+// the conjunction cannot bind every variable.
+//
+// Parameters (outer-bound variables) may appear free in any conjunct.
+func SplitProducerFilter(conjuncts []calculus.Formula, vars []string) (producers, filters []calculus.Formula, err error) {
+	need := calculus.NewVarSet(vars...)
+	covered := make(calculus.VarSet)
+	for _, c := range conjuncts {
+		adds := ProducesIn(c, need)
+		newVar := false
+		for v := range adds {
+			if !covered.Has(v) {
+				newVar = true
+			}
+		}
+		if newVar {
+			producers = append(producers, c)
+			covered.AddAll(adds)
+		} else {
+			filters = append(filters, c)
+		}
+	}
+	if !covered.Equal(need) {
+		return nil, nil, fmt.Errorf("ranges: conjunction does not produce %v", missing(need, covered))
+	}
+	return producers, filters, nil
+}

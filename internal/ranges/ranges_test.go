@@ -1,0 +1,200 @@
+package ranges
+
+import (
+	"testing"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+)
+
+func body(t *testing.T, input string) calculus.Formula {
+	t.Helper()
+	f, err := parser.ParseFormula(input)
+	if err != nil {
+		t.Fatalf("parse %q: %v", input, err)
+	}
+	return f
+}
+
+func TestProducesAtom(t *testing.T) {
+	f := body(t, `member(x, z)`)
+	got := ProducesIn(f, calculus.NewVarSet("x", "z", "w"))
+	if !got.Equal(calculus.NewVarSet("x", "z")) {
+		t.Fatalf("ProducesIn = %v", got.Sorted())
+	}
+}
+
+func TestProducesAtomWithConstant(t *testing.T) {
+	// lecture(y, "db") ranges y; the constant acts as a selection.
+	f := body(t, `lecture(y, "db")`)
+	if !IsRangeFor(f, []string{"y"}) {
+		t.Fatal("atom with constant must range its variables")
+	}
+}
+
+func TestProducesConjunction(t *testing.T) {
+	// Definition 1 case 2: r(x) ∧ s(y) ranges {x,y}.
+	f := body(t, `r(x) and s(y)`)
+	if !IsRangeFor(f, []string{"x", "y"}) {
+		t.Fatal("conjunction of ranges must range the union")
+	}
+}
+
+func TestProducesDisjunctionIntersects(t *testing.T) {
+	// Definition 1 case 3: r(x) ∨ s(x) ranges x...
+	f := body(t, `r(x) or s(x)`)
+	if !IsRangeFor(f, []string{"x"}) {
+		t.Fatal("r(x) ∨ s(x) must range x")
+	}
+	// ...but the paper's rejected F₁ body [r(x1) ∨ s(x2)] ranges neither.
+	g := body(t, `r(x1) or s(x2)`)
+	got := ProducesIn(g, calculus.NewVarSet("x1", "x2"))
+	if len(got) != 0 {
+		t.Fatalf("r(x1) ∨ s(x2) must produce nothing, got %v", got.Sorted())
+	}
+}
+
+func TestProducesNegationNothing(t *testing.T) {
+	f := body(t, `not p(x)`)
+	if got := ProducesIn(f, calculus.NewVarSet("x")); len(got) != 0 {
+		t.Fatalf("negation produces nothing, got %v", got.Sorted())
+	}
+}
+
+func TestProducesExistsProjects(t *testing.T) {
+	// Definition 1 case 5: ∃y,z p(x,y,z) ranges x (a projection).
+	f := body(t, `exists y, z: p(x, y, z)`)
+	if !IsRangeFor(f, []string{"x"}) {
+		t.Fatal("existential projection must range x")
+	}
+}
+
+func TestProducesRangeWithLocalFilter(t *testing.T) {
+	// Definition 1 case 4: R ∧ F with quantified F local to the range.
+	f := body(t, `professor(x) and (forall y: roman(y) => speaks(x, y))`)
+	if !IsRangeFor(f, []string{"x"}) {
+		t.Fatal("range with quantified filter must still range x")
+	}
+}
+
+func TestValidateClosedOK(t *testing.T) {
+	// §3.2's query Q is a closed formula with restricted quantifications.
+	f := body(t, `exists x, y: enrolled(x, y) and y != "cs" and makes(x, "PhD") and exists z: lecture(z, "cs") and attends(x, z)`)
+	if err := Validate(f, nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsPaperF1(t *testing.T) {
+	// §2.1 rejects F₁: ∃x1x2 [r(x1) ∨ s(x2)] ∧ ¬p(x1,x2).
+	f := body(t, `exists x1, x2: (r(x1) or s(x2)) and not p(x1, x2)`)
+	if err := Validate(f, nil); err == nil {
+		t.Fatal("the paper's F₁ must be rejected")
+	}
+}
+
+func TestValidateUniversalForms(t *testing.T) {
+	ok := []string{
+		`forall x: student(x) => exists y: attends(x, y)`,
+		`forall x: not orphan(x)`,
+		`forall x, y: enrolled(x, y) => registered(x)`,
+	}
+	for _, s := range ok {
+		if err := Validate(body(t, s), nil); err != nil {
+			t.Errorf("Validate(%q): %v", s, err)
+		}
+	}
+	bad := []string{
+		// No range on the left of the implication.
+		`forall x: x != "a" => p(x)`,
+		// Universal without range form at all (bare atom body).
+		`forall x: p(x)`,
+	}
+	for _, s := range bad {
+		if err := Validate(body(t, s), nil); err == nil {
+			t.Errorf("Validate(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestValidateFreeVariable(t *testing.T) {
+	f := body(t, `student(x)`)
+	if err := Validate(f, nil); err == nil {
+		t.Fatal("closed validation must reject free variables")
+	}
+	if err := Validate(f, []string{"x"}); err != nil {
+		t.Fatalf("open validation must accept declared variables: %v", err)
+	}
+}
+
+func TestValidateOpenUnproduced(t *testing.T) {
+	// {x | ¬p(x)} is unsafe under the closed world without a range.
+	f := body(t, `not p(x)`)
+	if err := Validate(f, []string{"x"}); err == nil {
+		t.Fatal("negated open query without range must be rejected")
+	}
+}
+
+func TestValidateOpenDisjunction(t *testing.T) {
+	// Definition 3 case 2: F₁ ∨ F₂ open with the same restricted variables.
+	f := body(t, `student(x) or prof(x)`)
+	if err := Validate(f, []string{"x"}); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	g := body(t, `student(x) or tenured(y)`)
+	if err := Validate(g, []string{"x", "y"}); err == nil {
+		t.Fatal("mismatched disjuncts must be rejected")
+	}
+}
+
+func TestValidateDeclaredButAbsent(t *testing.T) {
+	f := body(t, `student(x)`)
+	if err := Validate(f, []string{"x", "y"}); err == nil {
+		t.Fatal("declared variable absent from the formula must be rejected")
+	}
+}
+
+func TestIsFilter(t *testing.T) {
+	f := body(t, `speaks(x, "french") or speaks(x, "german")`)
+	if !IsFilter(f, calculus.NewVarSet("x")) {
+		t.Fatal("disjunction over bound x is a filter")
+	}
+	if IsFilter(f, calculus.NewVarSet("y")) {
+		t.Fatal("x unbound: not a filter")
+	}
+}
+
+func TestSplitProducerFilter(t *testing.T) {
+	// §2.3 Q₁: range [(student ∧ makes) ∨ prof] produces, speaks-disjunction filters.
+	f := body(t, `((student(x) and makes(x, "PhD")) or prof(x)) and (speaks(x, "french") or speaks(x, "german"))`)
+	conjs := calculus.Conjuncts(f)
+	prods, filts, err := SplitProducerFilter(conjs, []string{"x"})
+	if err != nil {
+		t.Fatalf("SplitProducerFilter: %v", err)
+	}
+	if len(prods) != 1 || len(filts) != 1 {
+		t.Fatalf("split = %d producers, %d filters; want 1, 1", len(prods), len(filts))
+	}
+	if _, ok := filts[0].(calculus.Or); !ok {
+		t.Fatalf("filter must be the speaks disjunction, got %s", filts[0])
+	}
+}
+
+func TestSplitProducerFilterUnproduced(t *testing.T) {
+	f := body(t, `p(x) and q(x)`)
+	if _, _, err := SplitProducerFilter(calculus.Conjuncts(f), []string{"x", "y"}); err == nil {
+		t.Fatal("unproduced variable must be an error")
+	}
+}
+
+func TestSplitKeepsParameterFilters(t *testing.T) {
+	// With x bound outside, skill(x,"db") is a filter for producing z.
+	f := body(t, `member(x, z) and not skill(x, "db")`)
+	prods, filts, err := SplitProducerFilter(calculus.Conjuncts(f), []string{"z"})
+	if err != nil {
+		t.Fatalf("SplitProducerFilter: %v", err)
+	}
+	if len(prods) != 1 || len(filts) != 1 {
+		t.Fatalf("split = %d, %d; want 1 producer, 1 filter", len(prods), len(filts))
+	}
+}

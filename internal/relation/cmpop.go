@@ -1,0 +1,84 @@
+package relation
+
+import "fmt"
+
+// CmpOp is a comparison operator shared by the calculus (comparison atoms
+// such as y ≠ cs) and the algebra (selection and join predicates).
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in infix notation.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "≠"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "≤"
+	case OpGt:
+		return ">"
+	case OpGe:
+		return "≥"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Negate returns the complementary operator (¬(a < b) ⇔ a ≥ b, etc.), used
+// when normalization pushes a negation into a comparison atom.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	default:
+		return OpLt
+	}
+}
+
+// EvalCmp applies the operator to an ordering result from Value.Compare.
+func (op CmpOp) EvalCmp(cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// Apply evaluates v op w under user-level semantics: pairs that are not
+// Comparable (different kinds, or involving the internal symbols ∅/⊥) never
+// satisfy any operator.
+func (op CmpOp) Apply(v, w Value) bool {
+	if !v.Comparable(w) {
+		return false
+	}
+	return op.EvalCmp(v.Compare(w))
+}

@@ -1,0 +1,286 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Str("ab"), KindString, "ab"},
+		{Null(), KindNull, "∅"},
+		{Mark(), KindMark, "⊥"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v String = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if !Null().IsNull() || Null().IsMark() {
+		t.Error("Null classification broken")
+	}
+	if !Mark().IsMark() || Mark().IsNull() {
+		t.Error("Mark classification broken")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(1).Equal(Int(1)) || Int(1).Equal(Int(2)) {
+		t.Error("int equality broken")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Error("string equality broken")
+	}
+	if Int(1).Equal(Str("1")) {
+		t.Error("cross-kind values must differ")
+	}
+	// The internal symbols are identical to themselves under set equality.
+	if !Null().Equal(Null()) || !Mark().Equal(Mark()) || Null().Equal(Mark()) {
+		t.Error("internal symbol identity broken")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(1).Compare(Int(1)) != 0 {
+		t.Error("int ordering broken")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Error("string ordering broken")
+	}
+	// Total order across kinds: ints before strings.
+	if Int(999).Compare(Str("a")) != -1 {
+		t.Error("ints must order before strings")
+	}
+	if Null().Comparable(Int(1)) || Mark().Comparable(Str("a")) {
+		t.Error("internal symbols must be incomparable")
+	}
+}
+
+func TestCmpOpNegateIsInvolution(t *testing.T) {
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive for %s", op)
+		}
+	}
+	// Property: for all comparable pairs, op(a,b) XOR negate(op)(a,b).
+	f := func(a, b int64) bool {
+		for _, op := range ops {
+			if op.Apply(Int(a), Int(b)) == op.Negate().Apply(Int(a), Int(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpOpApplyIncomparable(t *testing.T) {
+	// Comparisons never hold against the internal symbols.
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if op.Apply(Null(), Int(1)) || op.Apply(Int(1), Mark()) {
+			t.Errorf("%s must not hold for internal symbols", op)
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Keys must distinguish tuples even with adversarial string content.
+	pairs := [][2]Tuple{
+		{NewTuple(Str("a"), Str("b")), NewTuple(Str("ab"))},
+		{NewTuple(Str("a|"), Str("b")), NewTuple(Str("a"), Str("|b"))},
+		{NewTuple(Int(12)), NewTuple(Str("12"))},
+		{NewTuple(Null()), NewTuple(Mark())},
+		{NewTuple(Str("")), NewTuple()},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision between %s and %s", p[0], p[1])
+		}
+	}
+	f := func(a, b string) bool {
+		ta := NewTuple(Str(a))
+		tb := NewTuple(Str(b))
+		return (a == b) == (ta.Key() == tb.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := NewTuple(Int(1), Int(2))
+	b := NewTuple(Int(3))
+	c := a.Concat(b)
+	if len(c) != 3 || !c[2].Equal(Int(3)) {
+		t.Fatalf("Concat = %s", c)
+	}
+	p := c.Project([]int{2, 0})
+	if !p.Equal(NewTuple(Int(3), Int(1))) {
+		t.Fatalf("Project = %s", p)
+	}
+	ap := a.Append(Null())
+	if len(ap) != 3 || !ap[2].IsNull() {
+		t.Fatalf("Append = %s", ap)
+	}
+	if !a.Clone().Equal(a) {
+		t.Fatal("Clone broken")
+	}
+	if a.Equal(b) {
+		t.Fatal("different arity tuples must differ")
+	}
+	if a.String() != "(1, 2)" {
+		t.Fatalf("String = %s", a.String())
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := New("r", NewSchema("a"))
+	if !r.Insert(NewTuple(Int(1))) {
+		t.Fatal("first insert must report new")
+	}
+	if r.Insert(NewTuple(Int(1))) {
+		t.Fatal("duplicate insert must report old")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains(NewTuple(Int(1))) || r.Contains(NewTuple(Int(2))) {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestRelationArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	r := New("r", NewSchema("a"))
+	r.Insert(NewTuple(Int(1), Int(2)))
+}
+
+func TestRelationEqualOrderInsensitive(t *testing.T) {
+	a := New("a", NewSchema("v"))
+	b := New("b", NewSchema("v"))
+	a.InsertValues(Int(1))
+	a.InsertValues(Int(2))
+	b.InsertValues(Int(2))
+	b.InsertValues(Int(1))
+	if !a.Equal(b) {
+		t.Fatal("Equal must ignore insertion order")
+	}
+	b.InsertValues(Int(3))
+	if a.Equal(b) {
+		t.Fatal("different sets must differ")
+	}
+}
+
+func TestRelationCloneIndependent(t *testing.T) {
+	a := New("a", NewSchema("v"))
+	a.InsertValues(Int(1))
+	c := a.Clone()
+	c.InsertValues(Int(2))
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	a := New("P", NewSchema("v"))
+	a.InsertValues(Str("a"))
+	out := a.String()
+	if !strings.Contains(out, "P") || !strings.Contains(out, "a") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestSchemaOps(t *testing.T) {
+	s := NewSchema("a", "b")
+	if s.Arity() != 2 {
+		t.Fatal("arity")
+	}
+	c := s.Concat(NewSchema("c"))
+	if c.Arity() != 3 || c[2].Name != "c" {
+		t.Fatalf("Concat = %v", c)
+	}
+	p := c.Project([]int{2})
+	if p[0].Name != "c" {
+		t.Fatalf("Project = %v", p)
+	}
+	ap := s.Append(Attribute{Name: "m", Internal: true})
+	if !ap[2].Internal {
+		t.Fatal("Append lost Internal flag")
+	}
+	if s.String() != "(a, b)" {
+		t.Fatalf("String = %s", s.String())
+	}
+	if NewSchema("", "x").String() != "(c1, x)" {
+		t.Fatalf("anonymous column rendering: %s", NewSchema("", "x").String())
+	}
+}
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	a := New("a", NewSchema("v"))
+	a.InsertValues(Int(2))
+	a.InsertValues(Int(1))
+	b := New("b", NewSchema("v"))
+	b.InsertValues(Int(1))
+	b.InsertValues(Int(2))
+	ka, kb := a.SortedKeys(), b.SortedKeys()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("SortedKeys must be order-insensitive")
+		}
+	}
+}
+
+func TestRelationDelete(t *testing.T) {
+	r := New("r", NewSchema("v"))
+	for i := 0; i < 4; i++ {
+		r.InsertValues(Int(int64(i)))
+	}
+	v := r.Version()
+	if !r.Delete(NewTuple(Int(1))) {
+		t.Fatal("delete of present tuple must succeed")
+	}
+	if r.Delete(NewTuple(Int(1))) {
+		t.Fatal("second delete must report absent")
+	}
+	if r.Len() != 3 || r.Contains(NewTuple(Int(1))) {
+		t.Fatalf("delete left %d tuples, contains(1)=%v", r.Len(), r.Contains(NewTuple(Int(1))))
+	}
+	// The remaining tuples are intact and findable.
+	for _, want := range []int64{0, 2, 3} {
+		if !r.Contains(NewTuple(Int(want))) {
+			t.Fatalf("tuple %d lost after delete", want)
+		}
+	}
+	if r.Version() == v {
+		t.Fatal("delete must bump the version")
+	}
+	// Delete-then-insert at same length must still change the version.
+	v2 := r.Version()
+	r.Delete(NewTuple(Int(0)))
+	r.InsertValues(Int(99))
+	if r.Version() == v2 {
+		t.Fatal("mutations at constant length must still bump the version")
+	}
+	// Deleting the last slot works too.
+	r2 := New("r2", NewSchema("v"))
+	r2.InsertValues(Int(7))
+	if !r2.Delete(NewTuple(Int(7))) || r2.Len() != 0 {
+		t.Fatal("deleting the only tuple broke")
+	}
+}

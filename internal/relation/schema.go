@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a relation. Attribute names are for
+// explanation only; the calculus and algebra address columns by position,
+// following the paper's positional notation π₁, σ₂≠∅ and so on.
+type Attribute struct {
+	// Name is a human-readable column label, possibly empty.
+	Name string
+	// Internal marks columns holding the internal symbols ∅/⊥ added by
+	// (constrained) outer-joins; such columns never escape to users.
+	Internal bool
+}
+
+// Schema is the ordered list of attributes of a relation.
+type Schema []Attribute
+
+// NewSchema builds a schema from plain column names.
+func NewSchema(names ...string) Schema {
+	s := make(Schema, len(names))
+	for i, n := range names {
+		s[i] = Attribute{Name: n}
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s) }
+
+// Concat returns the schema of a product/join of two relations.
+func (s Schema) Concat(t Schema) Schema {
+	out := make(Schema, 0, len(s)+len(t))
+	out = append(out, s...)
+	return append(out, t...)
+}
+
+// Project returns the schema restricted to the given 0-based columns.
+func (s Schema) Project(cols []int) Schema {
+	out := make(Schema, len(cols))
+	for i, c := range cols {
+		out[i] = s[c]
+	}
+	return out
+}
+
+// Append returns the schema with one extra attribute.
+func (s Schema) Append(a Attribute) Schema {
+	out := make(Schema, 0, len(s)+1)
+	out = append(out, s...)
+	return append(out, a)
+}
+
+// String renders the schema as (a, b, c).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if a.Name == "" {
+			fmt.Fprintf(&b, "c%d", i+1)
+		} else {
+			b.WriteString(a.Name)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package relation
+
+import "strings"
+
+// Tuple is an ordered list of values. Tuples are treated as immutable once
+// inserted into a relation; operators build new tuples rather than mutating.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Equal reports component-wise structural equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the tuple suitable for use as a
+// map key. Distinct tuples always have distinct keys.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// Concat returns the concatenation t ++ u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	return append(out, u...)
+}
+
+// Project returns the subtuple at the given 0-based column indexes.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Append returns a fresh tuple with v appended.
+func (t Tuple) Append(v Value) Tuple {
+	out := make(Tuple, 0, len(t)+1)
+	out = append(out, t...)
+	return append(out, v)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,196 @@
+// Package relation provides the data model shared by every layer of the
+// library: values, tuples, schemas and set-semantics relations.
+//
+// The model follows Bry (SIGMOD 1989). Besides ordinary integer and string
+// constants it includes two internal symbols used by the paper's extended
+// algebra: the null symbol ∅ produced by outer-joins, and the mark symbol ⊥
+// produced by constrained outer-joins (Definition 7). Neither symbol is
+// available in the user query language; they exist only inside plans.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit integer constant.
+	KindInt Kind = iota
+	// KindString is a string constant.
+	KindString
+	// KindNull is the internal null symbol ∅ introduced by outer-joins.
+	KindNull
+	// KindMark is the internal mark symbol ⊥ introduced by constrained
+	// outer-joins (Definition 7 of the paper).
+	KindMark
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindNull:
+		return "null"
+	case KindMark:
+		return "mark"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single attribute value. The zero value is the integer 0.
+//
+// Values are small immutable records; they are passed by value everywhere.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// String_ returns a string value. The trailing underscore avoids colliding
+// with the String method required by fmt.Stringer.
+func String_(s string) Value { return Value{kind: KindString, s: s} }
+
+// Str is a shorthand alias for String_.
+func Str(s string) Value { return String_(s) }
+
+// Null returns the internal null symbol ∅.
+func Null() Value { return Value{kind: KindNull} }
+
+// Mark returns the internal mark symbol ⊥.
+func Mark() Value { return Value{kind: KindMark} }
+
+// Kind reports the variant of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the internal null symbol ∅.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsMark reports whether v is the internal mark symbol ⊥.
+func (v Value) IsMark() bool { return v.kind == KindMark }
+
+// AsInt returns the integer payload. It panics if v is not an integer;
+// callers are expected to have checked Kind first.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("relation: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsString returns the string payload. It panics if v is not a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Equal reports structural identity of two values. The internal symbols are
+// identical only to themselves: ∅ = ∅ and ⊥ = ⊥ hold under Equal. Equal is
+// the equality used by set operations (deduplication, set difference); it is
+// NOT the user-level comparison predicate, for which see Compare and EqualSQL.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == w.i
+	case KindString:
+		return v.s == w.s
+	default: // KindNull, KindMark: identical to themselves
+		return true
+	}
+}
+
+// Comparable reports whether the pair can be ordered by the user-level
+// comparison predicates: both values must be ordinary constants.
+// Comparisons involving ∅ or ⊥ are never satisfied in user predicates (the
+// symbols serve only the internal selections σ[i=∅], σ[i≠∅]).
+//
+// Ordinary constants of different kinds ARE comparable, under a total
+// order that ranks integers before strings. A total order over the whole
+// database domain is required for the logical identity ¬(t₁ op t₂) ⇔
+// t₁ op̄ t₂ that normalization (and the Codd baseline's negation pushing)
+// relies on: with partial comparability, ¬(x = y) and x ≠ y would diverge
+// on mixed-kind pairs.
+func (v Value) Comparable(w Value) bool {
+	return v.kind != KindNull && v.kind != KindMark && w.kind != KindNull && w.kind != KindMark
+}
+
+// Compare orders two comparable values: -1 if v < w, 0 if equal, +1 if
+// v > w. Values of different kinds order by kind (integers before
+// strings). It panics if the values are not Comparable; predicate
+// evaluation checks Comparable first and treats incomparable pairs as
+// unsatisfied.
+func (v Value) Compare(w Value) int {
+	if !v.Comparable(w) {
+		panic(fmt.Sprintf("relation: Compare on incomparable values %s and %s", v, w))
+	}
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		default:
+			return 0
+		}
+	default: // KindString
+		switch {
+		case v.s < w.s:
+			return -1
+		case v.s > w.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// String renders the value for plan explanations and figure tables.
+// The internal symbols use the paper's notation.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	case KindNull:
+		return "∅"
+	default:
+		return "⊥"
+	}
+}
+
+// appendKey appends a canonical, collision-free encoding of the value to b.
+// Used to key tuples in hash structures.
+func (v Value) appendKey(b []byte) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		b = strconv.AppendInt(b, v.i, 16)
+	case KindString:
+		b = strconv.AppendInt(b, int64(len(v.s)), 16)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	}
+	return append(b, '|')
+}

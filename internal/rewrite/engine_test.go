@@ -1,0 +1,456 @@
+package rewrite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+)
+
+func normalize(t *testing.T, input string) parser.Query {
+	t.Helper()
+	q := parser.MustParse(input)
+	out, err := Normalize(q)
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", input, err)
+	}
+	return out
+}
+
+func TestNormalizeDoubleNegation(t *testing.T) {
+	out := normalize(t, `exists x: p(x) and not not q(x)`)
+	if strings.Contains(out.Body.String(), "¬¬") {
+		t.Fatalf("double negation survived: %s", out.Body)
+	}
+}
+
+func TestNormalizeDeMorgan(t *testing.T) {
+	out := normalize(t, `exists x: p(x) and not (q(x) and r(x))`)
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+	// ¬(q ∧ r) must become ¬q ∨ ¬r, kept as a disjunctive filter.
+	s := out.Body.String()
+	if !strings.Contains(s, "∨") {
+		t.Fatalf("expected a disjunctive filter in %s", s)
+	}
+}
+
+func TestNormalizeNegatedComparison(t *testing.T) {
+	out := normalize(t, `exists x, y: p(x, y) and not x = y`)
+	if strings.Contains(out.Body.String(), "¬") {
+		t.Fatalf("negated comparison survived: %s", out.Body)
+	}
+	if !strings.Contains(out.Body.String(), "≠") {
+		t.Fatalf("expected ≠ in %s", out.Body)
+	}
+}
+
+// TestNormalizeRule4 checks ∀x̄ R ⇒ F → ¬(∃x̄ R ∧ ¬F).
+func TestNormalizeRule4(t *testing.T) {
+	out := normalize(t, `forall x: student(x) => exists y: attends(x, y)`)
+	not, ok := out.Body.(calculus.Not)
+	if !ok {
+		t.Fatalf("canonical form must be a negated existential, got %s", out.Body)
+	}
+	ex, ok := not.F.(calculus.Exists)
+	if !ok {
+		t.Fatalf("¬ must wrap an ∃, got %s", not.F)
+	}
+	// Body: student(x) ∧ ¬∃y attends(x,y).
+	conjs := calculus.Conjuncts(ex.Body)
+	if len(conjs) != 2 {
+		t.Fatalf("body must have 2 conjuncts, got %s", ex.Body)
+	}
+}
+
+// TestNormalizeRule5 checks ∀x̄ ¬R → ¬(∃x̄ R).
+func TestNormalizeRule5(t *testing.T) {
+	out := normalize(t, `forall x: not orphan(x)`)
+	want := calculus.Not{F: calculus.Exists{Vars: []string{"x"}, Body: calculus.NewAtom("orphan", calculus.V("x"))}}
+	if !calculus.AlphaEqual(out.Body, want) {
+		t.Fatalf("got %s, want %s", out.Body, want)
+	}
+}
+
+// TestNormalizeForallDisjunctionForm: a universal body written ¬R ∨ F is
+// recognized as the range form.
+func TestNormalizeForallOr(t *testing.T) {
+	out := normalize(t, `forall y: not q(y) or r(y)`)
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+	// Equivalent to ¬∃y (q(y) ∧ ¬r(y)).
+	want := parser.MustParse(`not exists y: q(y) and not r(y)`).Body
+	if StructuralKey(out.Body) != StructuralKey(want) {
+		t.Fatalf("got %s, want ≡ %s", out.Body, want)
+	}
+}
+
+// TestNormalizeRules67 checks useless quantifications are removed.
+func TestNormalizeRules67(t *testing.T) {
+	// ∃x (∀y p(y) ⇒ q(y)): x useless (the paper's example after Rule 6).
+	q := parser.Query{Body: calculus.Exists{Vars: []string{"x"}, Body: calculus.Forall{
+		Vars: []string{"y"},
+		Body: calculus.Implies{L: calculus.NewAtom("p", calculus.V("y")), R: calculus.NewAtom("q", calculus.V("y"))},
+	}}}
+	out, err := Normalize(q)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if strings.Contains(out.Body.String(), "x") {
+		t.Fatalf("useless ∃x must vanish: %s", out.Body)
+	}
+	// ∃x,z p(x): z useless, x kept (Rule 7).
+	q2 := parser.Query{Body: calculus.Exists{Vars: []string{"x", "z"}, Body: calculus.NewAtom("p", calculus.V("x"))}}
+	out2, err := Normalize(q2)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	ex, ok := out2.Body.(calculus.Exists)
+	if !ok || len(ex.Vars) != 1 {
+		t.Fatalf("Rule 7 must shrink the block: %s", out2.Body)
+	}
+}
+
+// TestNormalizeMiniscopePaperQ1 reproduces §2.2: the ¬enrolled(x,cs) atom
+// moves out of the ∀y scope.
+func TestNormalizeMiniscopePaperQ1(t *testing.T) {
+	out := normalize(t, `exists x: student(x) and forall y: cs_lecture(y) => attends(x, y) and not enrolled(x, "cs")`)
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+	if !IsMiniscope(out.Body) {
+		t.Fatalf("not miniscope: %s", out.Body)
+	}
+	// enrolled must no longer appear under any quantifier binding y.
+	calculus.Walk(out.Body, func(g calculus.Formula) {
+		if ex, ok := g.(calculus.Exists); ok {
+			inner := calculus.FreeVars(ex.Body)
+			for _, v := range ex.Vars {
+				_ = v
+				_ = inner
+			}
+			calculus.Walk(ex.Body, func(h calculus.Formula) {
+				if a, ok := h.(calculus.Atom); ok && a.Pred == "enrolled" {
+					// enrolled may appear under ∃x (it mentions x) but not
+					// under any quantifier over lecture variables.
+					for _, v := range ex.Vars {
+						if strings.HasPrefix(v, "y") {
+							t.Fatalf("enrolled stayed under the lecture quantifier: %s", out.Body)
+						}
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestNormalizeProducerDisjunctionSplits reproduces §2.3 Q₁ → Q₃: the
+// producer disjunction distributes, the speaks filter disjunction stays.
+func TestNormalizeProducerDisjunctionSplits(t *testing.T) {
+	out := normalize(t, `exists x: ((student(x) and makes(x, "PhD")) or prof(x)) and (speaks(x, "french") or speaks(x, "german"))`)
+	or, ok := out.Body.(calculus.Or)
+	if !ok {
+		t.Fatalf("producer disjunction must split the query, got %s", out.Body)
+	}
+	for _, d := range calculus.Disjuncts(or) {
+		ex, ok := d.(calculus.Exists)
+		if !ok {
+			t.Fatalf("each branch must be quantified: %s", d)
+		}
+		// Each branch keeps its speaks-disjunction as a filter.
+		found := false
+		calculus.Walk(ex.Body, func(g calculus.Formula) {
+			if o, ok := g.(calculus.Or); ok {
+				for _, dd := range calculus.Disjuncts(o) {
+					if a, ok := dd.(calculus.Atom); ok && a.Pred == "speaks" {
+						found = true
+					}
+				}
+			}
+		})
+		if !found {
+			t.Fatalf("branch lost its disjunctive filter: %s", d)
+		}
+	}
+}
+
+// TestNormalizeFilterDisjunctionKept reproduces §2.3 Q₄: the disjunction
+// inside the range is a filter (professor produces x) and must be kept.
+func TestNormalizeFilterDisjunctionKept(t *testing.T) {
+	out := normalize(t, `exists x: professor(x) and (member(x, "cs") or skill(x, "math")) and speaks(x, "french")`)
+	if _, split := out.Body.(calculus.Or); split {
+		t.Fatalf("filter disjunction must not split the query: %s", out.Body)
+	}
+	ex, ok := out.Body.(calculus.Exists)
+	if !ok {
+		t.Fatalf("got %T", out.Body)
+	}
+	hasOr := false
+	for _, c := range calculus.Conjuncts(ex.Body) {
+		if _, ok := c.(calculus.Or); ok {
+			hasOr = true
+		}
+	}
+	if !hasOr {
+		t.Fatalf("the member∨skill filter disappeared: %s", out.Body)
+	}
+}
+
+// TestNormalizeF1PaperSplit reproduces §2.2 F₁→F₄ on a closed variant:
+// ∃y t(y) ∧ ∃x (p(x) ∧ (q(y) ∨ r(x))) — the q(y) atom must escape ∃x.
+func TestNormalizeF1Split(t *testing.T) {
+	out := normalize(t, `exists y: t(y) and exists x: p(x) and (q(y) or r(x))`)
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+	if !IsMiniscope(out.Body) {
+		t.Fatalf("not miniscope: %s", out.Body)
+	}
+	// q must not remain inside a quantifier that also binds p's variable.
+	calculus.Walk(out.Body, func(g calculus.Formula) {
+		ex, ok := g.(calculus.Exists)
+		if !ok {
+			return
+		}
+		qIn, pIn := false, false
+		calculus.Walk(ex.Body, func(h calculus.Formula) {
+			if a, ok := h.(calculus.Atom); ok {
+				switch a.Pred {
+				case "q":
+					for _, arg := range a.Args {
+						for _, v := range ex.Vars {
+							if arg.IsVar() && arg.Var == v {
+								qIn = true
+							}
+						}
+					}
+				case "p":
+					for _, arg := range a.Args {
+						for _, v := range ex.Vars {
+							if arg.IsVar() && arg.Var == v {
+								pIn = true
+							}
+						}
+					}
+				}
+			}
+		})
+		if qIn && pIn {
+			t.Fatalf("q and p still share a quantifier: %s", out.Body)
+		}
+	})
+}
+
+// TestNormalizeGovernedBlocked reproduces §2.2 F₅:
+// ∃x p(x) ∧ [∀y ¬q(y) ∨ r(x,y)] is already miniscope — x governs y, so
+// q(y) must NOT move out.
+func TestNormalizeGovernedBlocked(t *testing.T) {
+	out := normalize(t, `exists x: p(x) and forall y: not q(y) or r(x, y)`)
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+	// The canonical form is ∃x p(x) ∧ ¬∃y (q(y) ∧ ¬r(x,y)); q stays inside.
+	want := parser.MustParse(`exists x: p(x) and not exists y: q(y) and not r(x, y)`).Body
+	if StructuralKey(out.Body) != StructuralKey(want) {
+		t.Fatalf("got %s, want ≡ %s", out.Body, want)
+	}
+}
+
+func TestNormalizeOpenQuery(t *testing.T) {
+	out := normalize(t, `{ x, z | member(x, z) and not skill(x, "db") }`)
+	if len(out.OpenVars) != 2 {
+		t.Fatalf("open vars lost: %v", out.OpenVars)
+	}
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatalf("CheckCanonical: %v", err)
+	}
+}
+
+func TestNormalizeRejectsUnsafe(t *testing.T) {
+	bad := []string{
+		`exists x1, x2: (r(x1) or s(x2)) and not p(x1, x2)`,
+		`forall x: p(x)`,
+		`{ x | not p(x) }`,
+	}
+	for _, s := range bad {
+		if _, err := Normalize(parser.MustParse(s)); err == nil {
+			t.Errorf("Normalize(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestNoetherianRandom: Proposition 1 — normalization terminates. The step
+// budget would return an error on divergence.
+func TestNoetherianRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		q := randomQuery(rng, 3)
+		var trace []Step
+		e := &Engine{Trace: &trace}
+		if _, err := e.Normalize(q); err != nil {
+			// Validation rejections are fine; step-budget errors are not.
+			if strings.Contains(err.Error(), "noetherian") {
+				t.Fatalf("divergence on %s: %v", q, err)
+			}
+		}
+	}
+}
+
+// TestConfluenceRandom: Proposition 2 — different rule application orders
+// reach the same canonical form (up to bound renaming and ∧/∨ order).
+func TestConfluenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tested := 0
+	for i := 0; i < 120 && tested < 60; i++ {
+		q := randomQuery(rng, 3)
+		base, err := Normalize(q)
+		if err != nil {
+			continue
+		}
+		tested++
+		baseKey := StructuralKey(base.Body)
+		for trial := 0; trial < 4; trial++ {
+			seed := rng.Int63()
+			e := &Engine{Choose: func(cands []Candidate) int {
+				return rand.New(rand.NewSource(seed + int64(len(cands)))).Intn(len(cands))
+			}}
+			out, err := e.Normalize(q)
+			if err != nil {
+				t.Fatalf("random-order Normalize(%s): %v", q, err)
+			}
+			if StructuralKey(out.Body) != baseKey {
+				t.Fatalf("confluence violation on %s:\n  first: %s\n  other: %s", q, base.Body, out.Body)
+			}
+		}
+	}
+	if tested < 20 {
+		t.Fatalf("too few valid random queries (%d); generator too restrictive", tested)
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a canonical form is a no-op.
+func TestNormalizeIdempotent(t *testing.T) {
+	inputs := []string{
+		`exists x: student(x) and forall y: cs_lecture(y) => attends(x, y) and not enrolled(x, "cs")`,
+		`exists x: ((student(x) and makes(x, "PhD")) or prof(x)) and (speaks(x, "french") or speaks(x, "german"))`,
+		`forall x: student(x) => exists y: attends(x, y)`,
+	}
+	for _, s := range inputs {
+		first := normalize(t, s)
+		second, err := Normalize(first)
+		if err != nil {
+			t.Fatalf("re-normalize %q: %v", s, err)
+		}
+		if StructuralKey(first.Body) != StructuralKey(second.Body) {
+			t.Errorf("not idempotent on %q:\n  1st: %s\n  2nd: %s", s, first.Body, second.Body)
+		}
+	}
+}
+
+// randomQuery builds small random formulas over a fixed vocabulary; many
+// are invalid (unsafe) and get rejected by validation, which is fine.
+func randomQuery(rng *rand.Rand, depth int) parser.Query {
+	f := randomFormula(rng, depth, []string{})
+	return parser.Query{Body: f}
+}
+
+var randPreds = []struct {
+	name  string
+	arity int
+}{
+	{"p", 1}, {"q", 1}, {"r", 2}, {"s", 2}, {"t", 1},
+}
+
+func randomFormula(rng *rand.Rand, depth int, scope []string) calculus.Formula {
+	if depth <= 0 || (len(scope) > 0 && rng.Intn(3) == 0) {
+		return randomAtom(rng, scope)
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return calculus.And{L: randomFormula(rng, depth-1, scope), R: randomFormula(rng, depth-1, scope)}
+	case 1:
+		return calculus.Or{L: randomFormula(rng, depth-1, scope), R: randomFormula(rng, depth-1, scope)}
+	case 2:
+		return calculus.Not{F: randomFormula(rng, depth-1, scope)}
+	case 3, 4:
+		v := freshRandVar(rng, scope)
+		inner := append(append([]string{}, scope...), v)
+		// Give the variable a range so validation often passes.
+		rangeAtom := randomRangeAtom(rng, v, scope)
+		return calculus.Exists{Vars: []string{v}, Body: calculus.And{
+			L: rangeAtom,
+			R: randomFormula(rng, depth-1, inner),
+		}}
+	default:
+		v := freshRandVar(rng, scope)
+		inner := append(append([]string{}, scope...), v)
+		rangeAtom := randomRangeAtom(rng, v, scope)
+		return calculus.Forall{Vars: []string{v}, Body: calculus.Implies{
+			L: rangeAtom,
+			R: randomFormula(rng, depth-1, inner),
+		}}
+	}
+}
+
+func randomRangeAtom(rng *rand.Rand, v string, scope []string) calculus.Formula {
+	p := randPreds[rng.Intn(len(randPreds))]
+	args := make([]calculus.Term, p.arity)
+	vPlaced := false
+	for i := range args {
+		if !vPlaced && (i == p.arity-1 || rng.Intn(2) == 0) {
+			args[i] = calculus.V(v)
+			vPlaced = true
+		} else if len(scope) > 0 && rng.Intn(2) == 0 {
+			args[i] = calculus.V(scope[rng.Intn(len(scope))])
+		} else {
+			args[i] = calculus.CStr(string(rune('a' + rng.Intn(3))))
+		}
+	}
+	return calculus.Atom{Pred: p.name, Args: args}
+}
+
+func randomAtom(rng *rand.Rand, scope []string) calculus.Formula {
+	p := randPreds[rng.Intn(len(randPreds))]
+	args := make([]calculus.Term, p.arity)
+	for i := range args {
+		if len(scope) > 0 && rng.Intn(4) != 0 {
+			args[i] = calculus.V(scope[rng.Intn(len(scope))])
+		} else {
+			args[i] = calculus.CStr(string(rune('a' + rng.Intn(3))))
+		}
+	}
+	return calculus.Atom{Pred: p.name, Args: args}
+}
+
+func freshRandVar(rng *rand.Rand, scope []string) string {
+	return string(rune('u'+len(scope))) + string(rune('0'+rng.Intn(10)))
+}
+
+// TestCanonicalInvariantsRandom: every successfully normalized random
+// query passes CheckCanonical and re-validates (the canonical form is
+// itself a safe query).
+func TestCanonicalInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 400 && checked < 150; i++ {
+		q := randomQuery(rng, 3)
+		out, err := Normalize(q)
+		if err != nil {
+			continue
+		}
+		checked++
+		if err := CheckCanonical(out.Body); err != nil {
+			t.Fatalf("canonical form of %s fails invariants: %v", q, err)
+		}
+		if _, err := Normalize(out); err != nil {
+			t.Fatalf("canonical form of %s does not re-normalize: %v", q, err)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d random queries were valid", checked)
+	}
+}

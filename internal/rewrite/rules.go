@@ -1,0 +1,417 @@
+// Package rewrite implements Phase 1 of the paper: the normalization of
+// general calculus queries into the canonical form, defined by the fourteen
+// rewriting rules of §2 (plus two bookkeeping rules the paper leaves
+// implicit: pushing negation into comparison atoms, and recognizing the
+// range form of a universal body written as a disjunction ¬R ∨ F).
+//
+// The canonical form reached at the fixpoint has the properties Phase 2
+// (internal/translate) relies on:
+//
+//   - no universal quantifiers and no implications — Rules 4 and 5 reduce
+//     them to negated existential subformulas;
+//   - no useless quantified variables (Rules 6 and 7);
+//   - miniscope form — no quantified subformula contains an atom over only
+//     outside variables (Rules 8 and 9);
+//   - producer disjunctions distributed out (Rules 10-14), disjunctive
+//     FILTERS kept in place for the constrained outer-join translation.
+//
+// The rewriting system is noetherian and confluent modulo the
+// associativity/commutativity of ∧ and ∨ and the renaming of bound
+// variables (Propositions 1 and 2); the package's tests check both
+// properties empirically on randomized formulas, and the engine finishes
+// normal forms with a canonical reordering pass so that equal queries have
+// syntactically equal canonical forms.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/ranges"
+)
+
+// Rule identifies one of the rewriting rules.
+type Rule int
+
+// The rewriting rules of §2. RuleNegCmp and RuleForallOr are auxiliary:
+// the former folds ¬(t₁ op t₂) into the complemented comparison, the latter
+// rewrites a universal body ¬R ∨ F into the range form R ⇒ F expected by
+// Rule 4 (the paper assumes ranges are written with ⇒).
+const (
+	Rule1        Rule = 1  // ¬¬F → F
+	Rule2        Rule = 2  // ¬(F₁ ∧ F₂) → ¬F₁ ∨ ¬F₂
+	Rule3        Rule = 3  // ¬(F₁ ∨ F₂) → ¬F₁ ∧ ¬F₂
+	Rule4        Rule = 4  // ∀x̄ R ⇒ F → ¬(∃x̄ R ∧ ¬F)
+	Rule5        Rule = 5  // ∀x̄ ¬R → ¬(∃x̄ R)
+	Rule6        Rule = 6  // ∃x̄ F → F, no xᵢ in F
+	Rule7        Rule = 7  // ∃x̄ F → ∃x̄' F, dropping unused xᵢ
+	Rule8        Rule = 8  // ∃x̄ (F₁ θ F₂) → F₁ θ (∃x̄ F₂), no xᵢ in F₁
+	Rule9        Rule = 9  // ∃x̄ (F₁ θ F₂) → (∃x̄ F₁) θ F₂, no xᵢ in F₂
+	Rule10       Rule = 10 // ∃x̄ (F₁∨F₂) ∧ F₃ → distribute, guard (†)
+	Rule11       Rule = 11 // ∃x̄ F₁ ∧ (F₂∨F₃) → distribute, guard (†)
+	Rule12       Rule = 12 // (P₁∨P₂) ∧ F → distribute, in range, not filter
+	Rule13       Rule = 13 // F ∧ (P₁∨P₂) → distribute, in range, not filter
+	Rule14       Rule = 14 // ∃x̄ (R₁∨R₂) → (∃x̄ⱼ R₁) ∨ (∃x̄ₖ R₂)
+	RuleNegCmp   Rule = 15 // ¬(t₁ op t₂) → t₁ op̄ t₂
+	RuleForallOr Rule = 16 // ∀x̄ (¬R ∨ F) → ∀x̄ (R ⇒ F)
+)
+
+// String names the rule for traces.
+func (r Rule) String() string {
+	switch r {
+	case RuleNegCmp:
+		return "Rule ¬cmp"
+	case RuleForallOr:
+		return "Rule ∀∨⇒"
+	default:
+		return fmt.Sprintf("Rule %d", int(r))
+	}
+}
+
+// Candidate is one applicable rewrite at one position: applying it yields
+// the whole formula with that position rewritten.
+type Candidate struct {
+	Rule  Rule
+	At    string // rendering of the rewritten subformula, for traces
+	Apply func() calculus.Formula
+}
+
+// collect gathers every applicable rewrite in f. openVars is the set of
+// variables produced at the root (the open query's variables); it lets
+// Rules 12/13 fire in the body of an open query, which is itself a range.
+func collect(f calculus.Formula, openVars []string, gen *calculus.NameGen) []Candidate {
+	var out []Candidate
+	id := func(g calculus.Formula) calculus.Formula { return g }
+	collectAt(f, id, gen, &out)
+	// The open-query body is a range for the open variables: Rules 12/13
+	// (and 10/11) apply to its top-level conjunction exactly as they do
+	// under a quantifier, but Rules 6/7/14 must not touch the root.
+	if len(openVars) > 0 {
+		collectConjDistribution(f, openVars, id, gen, &out)
+	}
+	return out
+}
+
+// collectAt walks f, accumulating candidates; rebuild embeds a replacement
+// for the current node into the whole formula.
+func collectAt(f calculus.Formula, rebuild func(calculus.Formula) calculus.Formula, gen *calculus.NameGen, out *[]Candidate) {
+	switch n := f.(type) {
+	case calculus.Atom, calculus.Cmp:
+		return
+	case calculus.Not:
+		collectNot(n, rebuild, out)
+		collectAt(n.F, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Not{F: g})
+		}, gen, out)
+	case calculus.And:
+		collectAt(n.L, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.And{L: g, R: n.R})
+		}, gen, out)
+		collectAt(n.R, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.And{L: n.L, R: g})
+		}, gen, out)
+	case calculus.Or:
+		collectAt(n.L, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Or{L: g, R: n.R})
+		}, gen, out)
+		collectAt(n.R, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Or{L: n.L, R: g})
+		}, gen, out)
+	case calculus.Implies:
+		// Implications occur only as ranges directly under ∀ (handled
+		// there); walk the sides for nested redexes anyway.
+		collectAt(n.L, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Implies{L: g, R: n.R})
+		}, gen, out)
+		collectAt(n.R, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Implies{L: n.L, R: g})
+		}, gen, out)
+	case calculus.Exists:
+		collectExists(n, rebuild, gen, out)
+		collectAt(n.Body, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Exists{Vars: n.Vars, Body: g})
+		}, gen, out)
+	case calculus.Forall:
+		collectForall(n, rebuild, out)
+		collectAt(n.Body, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Forall{Vars: n.Vars, Body: g})
+		}, gen, out)
+	default:
+		panic(fmt.Sprintf("rewrite: unknown formula %T", f))
+	}
+}
+
+// collectNot contributes Rules 1-3 and ¬cmp. Negated quantifications are
+// deliberately left untouched (§2.1: "they do not transform negated
+// quantifications").
+func collectNot(n calculus.Not, rebuild func(calculus.Formula) calculus.Formula, out *[]Candidate) {
+	switch inner := n.F.(type) {
+	case calculus.Not:
+		*out = append(*out, Candidate{Rule: Rule1, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(inner.F)
+		}})
+	case calculus.And:
+		*out = append(*out, Candidate{Rule: Rule2, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(calculus.Or{L: calculus.Not{F: inner.L}, R: calculus.Not{F: inner.R}})
+		}})
+	case calculus.Or:
+		*out = append(*out, Candidate{Rule: Rule3, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(calculus.And{L: calculus.Not{F: inner.L}, R: calculus.Not{F: inner.R}})
+		}})
+	case calculus.Cmp:
+		*out = append(*out, Candidate{Rule: RuleNegCmp, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(calculus.Cmp{Left: inner.Left, Op: inner.Op.Negate(), Right: inner.Right})
+		}})
+	}
+}
+
+// collectForall contributes Rules 4, 5 and the auxiliary ∀∨⇒ rule.
+func collectForall(n calculus.Forall, rebuild func(calculus.Formula) calculus.Formula, out *[]Candidate) {
+	switch body := n.Body.(type) {
+	case calculus.Implies:
+		*out = append(*out, Candidate{Rule: Rule4, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(calculus.Not{F: calculus.Exists{
+				Vars: n.Vars,
+				Body: calculus.And{L: body.L, R: calculus.Not{F: body.R}},
+			}})
+		}})
+	case calculus.Not:
+		*out = append(*out, Candidate{Rule: Rule5, At: n.String(), Apply: func() calculus.Formula {
+			return rebuild(calculus.Not{F: calculus.Exists{Vars: n.Vars, Body: body.F}})
+		}})
+	case calculus.Or:
+		// ∀x̄ (¬R₁ ∨ … ∨ ¬Rₖ ∨ F₁ ∨ … ∨ Fₘ) with the Rᵢ together ranging x̄
+		// is the range form ∀x̄ (R₁ ∧ … ∧ Rₖ) ⇒ (F₁ ∨ … ∨ Fₘ).
+		disjuncts := calculus.Disjuncts(body)
+		var rangesPart, rest []calculus.Formula
+		for _, d := range disjuncts {
+			if neg, ok := d.(calculus.Not); ok {
+				rangesPart = append(rangesPart, neg.F)
+			} else {
+				rest = append(rest, d)
+			}
+		}
+		if len(rangesPart) == 0 {
+			return
+		}
+		r := calculus.AndAll(rangesPart...)
+		if !ranges.IsRangeFor(r, n.Vars) {
+			return
+		}
+		*out = append(*out, Candidate{Rule: RuleForallOr, At: n.String(), Apply: func() calculus.Formula {
+			if len(rest) == 0 {
+				return rebuild(calculus.Forall{Vars: n.Vars, Body: calculus.Not{F: r}})
+			}
+			return rebuild(calculus.Forall{Vars: n.Vars, Body: calculus.Implies{L: r, R: calculus.OrAll(rest...)}})
+		}})
+	}
+}
+
+// collectExists contributes Rules 6-14 at an existential node.
+func collectExists(n calculus.Exists, rebuild func(calculus.Formula) calculus.Formula, gen *calculus.NameGen, out *[]Candidate) {
+	free := calculus.FreeVars(n.Body)
+
+	// Rules 6 and 7: drop quantified variables that do not occur.
+	var used, unused []string
+	for _, v := range n.Vars {
+		if free.Has(v) {
+			used = append(used, v)
+		} else {
+			unused = append(unused, v)
+		}
+	}
+	if len(unused) > 0 {
+		if len(used) == 0 {
+			*out = append(*out, Candidate{Rule: Rule6, At: n.String(), Apply: func() calculus.Formula {
+				return rebuild(n.Body)
+			}})
+		} else {
+			*out = append(*out, Candidate{Rule: Rule7, At: n.String(), Apply: func() calculus.Formula {
+				return rebuild(calculus.Exists{Vars: used, Body: n.Body})
+			}})
+		}
+		return // shrink the quantifier first; other rules resume after
+	}
+
+	switch body := n.Body.(type) {
+	case calculus.And:
+		// Rules 8/9 (θ = ∧), generalized to the flattened conjunct list:
+		// every conjunct free of the quantified variables moves out.
+		conjs := calculus.Conjuncts(body)
+		qvars := calculus.NewVarSet(n.Vars...)
+		var movable, fixed []calculus.Formula
+		for _, c := range conjs {
+			if calculus.FreeVars(c).Intersects(qvars) {
+				fixed = append(fixed, c)
+			} else {
+				movable = append(movable, c)
+			}
+		}
+		if len(movable) > 0 && len(fixed) > 0 {
+			*out = append(*out, Candidate{Rule: Rule8, At: n.String(), Apply: func() calculus.Formula {
+				return rebuild(calculus.And{
+					L: calculus.AndAll(movable...),
+					R: calculus.Exists{Vars: n.Vars, Body: calculus.AndAll(fixed...)},
+				})
+			}})
+			return
+		}
+		if len(movable) > 0 && len(fixed) == 0 {
+			// Everything moves out: this is Rule 6 in conjunction form,
+			// already covered above (no variable occurs), unreachable.
+			return
+		}
+		collectConjDistribution(body, n.Vars, func(g calculus.Formula) calculus.Formula {
+			return rebuild(calculus.Exists{Vars: n.Vars, Body: g})
+		}, gen, out)
+	case calculus.Or:
+		// Rule 14 (subsuming the θ = ∨ case of Rules 8/9): the existential
+		// quantifier distributes over the disjunction, each disjunct
+		// keeping the variables it actually uses, freshly renamed to keep
+		// bound variables standardized apart (the paper's x → x₁, x₂).
+		disjuncts := calculus.Disjuncts(body)
+		*out = append(*out, Candidate{Rule: Rule14, At: n.String(), Apply: func() calculus.Formula {
+			parts := make([]calculus.Formula, len(disjuncts))
+			for i, d := range disjuncts {
+				df := calculus.FreeVars(d)
+				var keep []string
+				for _, v := range n.Vars {
+					if df.Has(v) {
+						keep = append(keep, v)
+					}
+				}
+				if len(keep) == 0 {
+					parts[i] = d
+					continue
+				}
+				sub := make(map[string]calculus.Term, len(keep))
+				renamed := make([]string, len(keep))
+				for j, v := range keep {
+					fresh := gen.Fresh(v)
+					renamed[j] = fresh
+					sub[v] = calculus.V(fresh)
+				}
+				parts[i] = calculus.Exists{Vars: renamed, Body: calculus.Subst(d, sub)}
+			}
+			return rebuild(calculus.OrAll(parts...))
+		}})
+	}
+}
+
+// collectConjDistribution contributes Rules 10-13: distributing a
+// disjunctive conjunct over its siblings inside a range context (the body
+// of ∃x̄, or the body of an open query). body must be the conjunction; vars
+// are the variables the context produces.
+func collectConjDistribution(body calculus.Formula, vars []string, rebuildBody func(calculus.Formula) calculus.Formula, gen *calculus.NameGen, out *[]Candidate) {
+	and, ok := body.(calculus.And)
+	if !ok {
+		return
+	}
+	conjs := calculus.Conjuncts(and)
+	qvars := calculus.NewVarSet(vars...)
+	governed := calculus.GovernedBy(calculus.Exists{Vars: vars, Body: body}, vars)
+	blocked := make(calculus.VarSet)
+	blocked.AddAll(qvars)
+	blocked.AddAll(governed)
+
+	// Designate producers deterministically: scanning left to right, a
+	// conjunct that binds a still-unbound quantified variable becomes a
+	// producer; the rest are filters. The paper's canonical form is unique
+	// "up to the choice of the producers" (§2.4) — this scan is our choice.
+	isProducer := make([]bool, len(conjs))
+	covered := make(calculus.VarSet)
+	for i, c := range conjs {
+		adds := ranges.ProducesIn(c, qvars)
+		for v := range adds {
+			if !covered.Has(v) {
+				isProducer[i] = true
+			}
+		}
+		if isProducer[i] {
+			covered.AddAll(adds)
+		}
+	}
+
+	for i, c := range conjs {
+		d, isOr := c.(calculus.Or)
+		if !isOr {
+			continue
+		}
+		siblings := make([]calculus.Formula, 0, len(conjs)-1)
+		for j, s := range conjs {
+			if j != i {
+				siblings = append(siblings, s)
+			}
+		}
+
+		rule := Rule(0)
+		// Rules 12/13: a disjunction designated as a producer is not a
+		// filter; it must distribute out of the range so that each branch
+		// can be searched independently (the paper's Q₂ → Q₃).
+		if isProducer[i] {
+			if i == 0 {
+				rule = Rule12
+			} else {
+				rule = Rule13
+			}
+		} else if guardDagger(d, blocked) {
+			// Rules 10/11, guard (†): a disjunct contains an atom over
+			// neither quantified nor governed variables; distributing lets
+			// Rules 8/9 move it out afterwards (miniscoping).
+			if i == 0 {
+				rule = Rule10
+			} else {
+				rule = Rule11
+			}
+		}
+		if rule == 0 {
+			continue
+		}
+		dd := calculus.Disjuncts(d)
+		sibs := siblings
+		*out = append(*out, Candidate{Rule: rule, At: body.String(), Apply: func() calculus.Formula {
+			parts := make([]calculus.Formula, len(dd))
+			for k, disj := range dd {
+				conj := make([]calculus.Formula, 0, len(sibs)+1)
+				conj = append(conj, disj)
+				// Duplicate the siblings with bound variables freshly
+				// renamed so the copies stay standardized apart.
+				for _, s := range sibs {
+					conj = append(conj, calculus.RenameBound(s, gen))
+				}
+				parts[k] = calculus.AndAll(conj...)
+			}
+			return rebuildBody(calculus.OrAll(parts...))
+		}})
+	}
+}
+
+// guardDagger implements (†): some disjunct of d contains an atomic
+// subformula mentioning none of the blocked variables (the quantified
+// variables and the variables they govern).
+func guardDagger(d calculus.Or, blocked calculus.VarSet) bool {
+	for _, disj := range calculus.Disjuncts(d) {
+		found := false
+		calculus.Walk(disj, func(g calculus.Formula) {
+			if found {
+				return
+			}
+			var vs calculus.VarSet
+			switch a := g.(type) {
+			case calculus.Atom:
+				vs = calculus.FreeVars(a)
+			case calculus.Cmp:
+				vs = calculus.FreeVars(a)
+			default:
+				return
+			}
+			if !vs.Intersects(blocked) {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

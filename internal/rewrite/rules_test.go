@@ -1,0 +1,231 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+)
+
+// traceOf normalizes and returns the applied rule sequence.
+func traceOf(t *testing.T, input string) ([]Step, parser.Query) {
+	t.Helper()
+	var steps []Step
+	e := Engine{Trace: &steps}
+	out, err := e.Normalize(parser.MustParse(input))
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", input, err)
+	}
+	return steps, out
+}
+
+func rulesApplied(steps []Step) map[Rule]int {
+	m := make(map[Rule]int)
+	for _, s := range steps {
+		m[s.Rule]++
+	}
+	return m
+}
+
+func TestTraceRule1(t *testing.T) {
+	steps, _ := traceOf(t, `exists x: p(x) and not not q(x)`)
+	if rulesApplied(steps)[Rule1] != 1 {
+		t.Fatalf("want one ¬¬ elimination, got %v", steps)
+	}
+}
+
+func TestTraceRules23(t *testing.T) {
+	steps, _ := traceOf(t, `exists x: p(x) and not (q(x) and not (r(x) or s(x, x))) and not (p(x) or q(x))`)
+	m := rulesApplied(steps)
+	if m[Rule2] == 0 {
+		t.Fatalf("¬∧ must fire: %v", m)
+	}
+	if m[Rule3] == 0 {
+		t.Fatalf("¬∨ must fire: %v", m)
+	}
+}
+
+func TestTraceRule4CountsUniversals(t *testing.T) {
+	// Two universal quantifiers ⇒ Rule 4 fires exactly twice (the bound
+	// used in the paper's Proposition 1 proof sketch).
+	steps, _ := traceOf(t, `(forall x: p(x) => q(x)) and forall y: q(y) => p(y)`)
+	if got := rulesApplied(steps)[Rule4]; got != 2 {
+		t.Fatalf("Rule 4 fired %d times, want 2", got)
+	}
+}
+
+func TestTraceRule5(t *testing.T) {
+	steps, _ := traceOf(t, `forall x: not p(x)`)
+	if rulesApplied(steps)[Rule5] != 1 {
+		t.Fatalf("Rule 5 must fire once: %v", steps)
+	}
+}
+
+func TestTraceRuleNegCmp(t *testing.T) {
+	steps, out := traceOf(t, `exists x, y: r(x, y) and not x < y`)
+	if rulesApplied(steps)[RuleNegCmp] != 1 {
+		t.Fatalf("¬cmp folding must fire once: %v", steps)
+	}
+	if !strings.Contains(out.Body.String(), "≥") {
+		t.Fatalf("negated < must become ≥: %s", out.Body)
+	}
+}
+
+func TestTraceProducerSplit(t *testing.T) {
+	steps, _ := traceOf(t, `exists x: (p(x) or q(x)) and t(x)`)
+	m := rulesApplied(steps)
+	if m[Rule12] != 1 {
+		t.Fatalf("the producer disjunction must distribute via Rule 12: %v", m)
+	}
+	if m[Rule14] != 1 {
+		t.Fatalf("the quantifier must split via Rule 14: %v", m)
+	}
+}
+
+func TestTraceFilterKept(t *testing.T) {
+	steps, out := traceOf(t, `exists x: p(x) and (q(x) or t(x))`)
+	m := rulesApplied(steps)
+	if m[Rule11]+m[Rule13] != 0 {
+		t.Fatalf("filter disjunction must not distribute: %v", m)
+	}
+	if _, isOr := out.Body.(calculus.Or); isOr {
+		t.Fatalf("query must not split: %s", out.Body)
+	}
+}
+
+func TestStepsRecordResults(t *testing.T) {
+	steps, _ := traceOf(t, `forall x: not p(x)`)
+	if len(steps) == 0 || steps[0].Result == "" || steps[0].At == "" {
+		t.Fatalf("steps must carry positions and results: %+v", steps)
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	if Rule4.String() != "Rule 4" {
+		t.Fatalf("Rule4 = %s", Rule4)
+	}
+	if !strings.Contains(RuleNegCmp.String(), "cmp") {
+		t.Fatalf("RuleNegCmp = %s", RuleNegCmp)
+	}
+	if !strings.Contains(RuleForallOr.String(), "∀") {
+		t.Fatalf("RuleForallOr = %s", RuleForallOr)
+	}
+}
+
+func TestCheckCanonicalRejects(t *testing.T) {
+	bad := []calculus.Formula{
+		calculus.Forall{Vars: []string{"x"}, Body: calculus.NewAtom("p", calculus.V("x"))},
+		calculus.Not{F: calculus.Not{F: calculus.NewAtom("p")}},
+		calculus.Not{F: calculus.And{L: calculus.NewAtom("p"), R: calculus.NewAtom("q")}},
+		calculus.Not{F: calculus.Or{L: calculus.NewAtom("p"), R: calculus.NewAtom("q")}},
+		calculus.Implies{L: calculus.NewAtom("p"), R: calculus.NewAtom("q")},
+		calculus.Exists{Vars: []string{"x", "z"}, Body: calculus.NewAtom("p", calculus.V("x"))},
+	}
+	for _, f := range bad {
+		if err := CheckCanonical(f); err == nil {
+			t.Errorf("CheckCanonical(%s) passed, want error", f)
+		}
+	}
+	good := parser.MustParse(`exists x: p(x) and not q(x)`).Body
+	if err := CheckCanonical(good); err != nil {
+		t.Errorf("CheckCanonical(%s): %v", good, err)
+	}
+}
+
+func TestIsMiniscope(t *testing.T) {
+	// ∃x (p(x) ∧ q(y)) with y free is fine (y is not quantified outside).
+	ok := calculus.Exists{Vars: []string{"x"}, Body: calculus.And{
+		L: calculus.NewAtom("p", calculus.V("x")),
+		R: calculus.NewAtom("q", calculus.V("y")),
+	}}
+	if !IsMiniscope(ok) {
+		t.Errorf("%s should be miniscope (y is free)", ok)
+	}
+	// ∃y (t(y) ∧ ∃x (p(x) ∧ q(y))) is NOT: q(y) sits under ∃x with only
+	// outside-quantified variables.
+	bad := calculus.Exists{Vars: []string{"y"}, Body: calculus.And{
+		L: calculus.NewAtom("t", calculus.V("y")),
+		R: ok,
+	}}
+	if IsMiniscope(bad) {
+		t.Errorf("%s should not be miniscope", bad)
+	}
+	// The paper's F₅ is miniscope: x governs y, no atom over only-outside vars.
+	f5 := parser.MustParse(`exists x: p(x) and forall y: not q(y) or r(x, y)`).Body
+	if !IsMiniscope(f5) {
+		t.Errorf("F₅ must be miniscope: %s", f5)
+	}
+}
+
+func TestReorderCanonicalOrder(t *testing.T) {
+	a := parser.MustParse(`exists x: t(x) and p(x) and s(x, x)`).Body
+	b := parser.MustParse(`exists x: s(x, x) and p(x) and t(x)`).Body
+	if calculus.Equal(Reorder(a), Reorder(b)) != true {
+		t.Fatalf("Reorder must normalize conjunct order:\n%s\n%s", Reorder(a), Reorder(b))
+	}
+	c := parser.MustParse(`exists x: p(x) or q(x) or t(x)`).Body
+	d := parser.MustParse(`exists x: t(x) or p(x) or q(x)`).Body
+	// Note: these normalize differently (Rule 14 splits), so compare the
+	// Reorder of the raw bodies only.
+	if !calculus.Equal(Reorder(c), Reorder(d)) {
+		t.Fatalf("Reorder must normalize disjunct order")
+	}
+}
+
+func TestStructuralKeyProperties(t *testing.T) {
+	// Invariant under bound renaming.
+	a := parser.MustParse(`exists x: p(x) and not q(x)`).Body
+	b := parser.MustParse(`exists z9: p(z9) and not q(z9)`).Body
+	if StructuralKey(a) != StructuralKey(b) {
+		t.Fatal("key must ignore bound names")
+	}
+	// Invariant under ∧ order.
+	c := parser.MustParse(`exists x: p(x) and t(x)`).Body
+	d := parser.MustParse(`exists x: t(x) and p(x)`).Body
+	if StructuralKey(c) != StructuralKey(d) {
+		t.Fatal("key must ignore conjunct order")
+	}
+	// Invariant under quantifier-block variable order.
+	e := parser.MustParse(`exists x, y: r(x, y)`).Body
+	f := parser.MustParse(`exists y, x: r(x, y)`).Body
+	if StructuralKey(e) != StructuralKey(f) {
+		t.Fatal("key must ignore block variable order")
+	}
+	// Sensitive to free variable names and structure.
+	g := parser.MustParse(`p(a)`).Body
+	h := parser.MustParse(`p(b)`).Body
+	if StructuralKey(g) == StructuralKey(h) {
+		t.Fatal("key must distinguish free variables")
+	}
+	i := parser.MustParse(`exists x: p(x) and q(x)`).Body
+	j := parser.MustParse(`exists x: p(x) or q(x)`).Body
+	if StructuralKey(i) == StructuralKey(j) {
+		t.Fatal("key must distinguish ∧ from ∨")
+	}
+}
+
+func TestNormalizeStepBudget(t *testing.T) {
+	e := Engine{MaxSteps: 1}
+	_, err := e.Normalize(parser.MustParse(`forall x: p(x) => not not q(x)`))
+	if err == nil || !strings.Contains(err.Error(), "noetherian") {
+		t.Fatalf("tiny budget must trip the noetherian guard, got %v", err)
+	}
+}
+
+// TestGeneratedVariablesAvoidCollision: fresh names never collide with
+// existing ones, even adversarial inputs using the generator's pattern.
+func TestGeneratedVariablesAvoidCollision(t *testing.T) {
+	out := normalize(t, `exists x_1: p(x_1) and exists x: q(x) and (r(x, x) or t(x))`)
+	vars := calculus.AllVars(out.Body)
+	seen := map[string]bool{}
+	for v := range vars {
+		if seen[v] {
+			t.Fatalf("duplicate variable %q", v)
+		}
+		seen[v] = true
+	}
+	if err := CheckCanonical(out.Body); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package storage implements the in-memory database substrate the paper
+// assumes: a catalog of named base relations, hash indexes over column sets,
+// and bulk loaders. It is deliberately simple — the reproduction measures
+// plan shapes (tuples accessed, comparisons, intermediate results), not disk
+// behaviour — but it is a real store: all base data flows through it, and
+// indexes are consulted by the executor's index scans and hash joins.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Catalog is a named collection of base relations. It is the unit a query
+// is evaluated against.
+type Catalog struct {
+	relations map[string]*relation.Relation
+	indexes   map[string]map[string]*HashIndex // relation -> index key -> index
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		relations: make(map[string]*relation.Relation),
+		indexes:   make(map[string]map[string]*HashIndex),
+	}
+}
+
+// Define registers an empty relation with the given schema and returns it.
+// It returns an error if the name is already taken.
+func (c *Catalog) Define(name string, schema relation.Schema) (*relation.Relation, error) {
+	if _, ok := c.relations[name]; ok {
+		return nil, fmt.Errorf("storage: relation %q already defined", name)
+	}
+	r := relation.New(name, schema)
+	c.relations[name] = r
+	return r, nil
+}
+
+// MustDefine is Define for static setup code; it panics on duplicate names.
+func (c *Catalog) MustDefine(name string, schema relation.Schema) *relation.Relation {
+	r, err := c.Define(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add registers an already-built relation under its own name, replacing any
+// previous definition and dropping its indexes.
+func (c *Catalog) Add(r *relation.Relation) {
+	c.relations[r.Name] = r
+	delete(c.indexes, r.Name)
+}
+
+// Relation looks up a base relation by name.
+func (c *Catalog) Relation(name string) (*relation.Relation, error) {
+	r, ok := c.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Has reports whether the catalog defines the named relation.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.relations[name]
+	return ok
+}
+
+// Names returns the sorted names of all base relations.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EnsureIndex builds (or returns a cached) hash index on the given 0-based
+// columns of the named relation. Indexes are rebuilt lazily: the caller is
+// expected to load data first, then query. Index state is invalidated when
+// the relation grows; Lookup revalidates cheaply by length.
+func (c *Catalog) EnsureIndex(name string, cols []int) (*HashIndex, error) {
+	r, err := c.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	key := indexKey(cols)
+	byKey := c.indexes[name]
+	if byKey == nil {
+		byKey = make(map[string]*HashIndex)
+		c.indexes[name] = byKey
+	}
+	if idx, ok := byKey[key]; ok && idx.fresh() {
+		return idx, nil
+	}
+	idx := BuildHashIndex(r, cols)
+	byKey[key] = idx
+	return idx, nil
+}
+
+// Domain computes the database domain: the set of all values appearing
+// anywhere in the catalog (the Domain Closure Assumption of §2.1). The
+// result is a fresh unary relation named "dom".
+func (c *Catalog) Domain() *relation.Relation {
+	dom := relation.New("dom", relation.NewSchema("v"))
+	for _, name := range c.Names() {
+		r := c.relations[name]
+		for _, t := range r.Tuples() {
+			for _, v := range t {
+				dom.Insert(relation.NewTuple(v))
+			}
+		}
+	}
+	return dom
+}
+
+func indexKey(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = append(b, byte('0'+c%10), byte('0'+(c/10)%10))
+	}
+	return string(b)
+}

@@ -1,0 +1,55 @@
+package storage
+
+import "repro/internal/relation"
+
+// HashIndex is an equality index over a fixed column set of one relation.
+// It maps the key projection of each tuple to the positions of the matching
+// tuples, enabling hash joins and index lookups in the executor.
+type HashIndex struct {
+	rel     *relation.Relation
+	cols    []int
+	buckets map[string][]int
+	built   int64 // relation version at build time, for freshness checks
+}
+
+// BuildHashIndex scans the relation once and builds the index.
+func BuildHashIndex(r *relation.Relation, cols []int) *HashIndex {
+	idx := &HashIndex{
+		rel:     r,
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]int),
+		built:   r.Version(),
+	}
+	for i, t := range r.Tuples() {
+		k := t.Project(idx.cols).Key()
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	return idx
+}
+
+// fresh reports whether the index still reflects the relation's contents.
+func (ix *HashIndex) fresh() bool { return ix.built == ix.rel.Version() }
+
+// Cols returns the indexed column positions.
+func (ix *HashIndex) Cols() []int { return ix.cols }
+
+// Lookup returns the positions of tuples whose key projection equals key.
+func (ix *HashIndex) Lookup(key relation.Tuple) []int {
+	return ix.buckets[key.Key()]
+}
+
+// LookupTuples returns the matching tuples themselves.
+func (ix *HashIndex) LookupTuples(key relation.Tuple) []relation.Tuple {
+	pos := ix.Lookup(key)
+	if len(pos) == 0 {
+		return nil
+	}
+	out := make([]relation.Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = ix.rel.At(p)
+	}
+	return out
+}
+
+// Buckets returns the number of distinct keys.
+func (ix *HashIndex) Buckets() int { return len(ix.buckets) }

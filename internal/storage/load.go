@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// The text format for relations is one tuple per line, fields separated by
+// tabs. A field parsing as a decimal integer loads as an integer; anything
+// else (or any field in double quotes) loads as a string. Blank lines and
+// lines starting with '#' are skipped. The internal symbols ∅/⊥ are not
+// representable on purpose: they never occur in base relations.
+
+// ReadRelation loads tuples from r into rel, which must already exist with
+// the right schema. It returns the number of (distinct) tuples inserted.
+func ReadRelation(r io.Reader, rel *relation.Relation) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	inserted := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != rel.Arity() {
+			return inserted, fmt.Errorf("storage: line %d: %d fields, relation %q has arity %d", lineNo, len(fields), rel.Name, rel.Arity())
+		}
+		t := make(relation.Tuple, len(fields))
+		for i, f := range fields {
+			t[i] = parseValue(f)
+		}
+		if rel.Insert(t) {
+			inserted++
+		}
+	}
+	return inserted, sc.Err()
+}
+
+// parseValue interprets one text field.
+func parseValue(f string) relation.Value {
+	if len(f) >= 2 && strings.HasPrefix(f, `"`) && strings.HasSuffix(f, `"`) {
+		return relation.Str(f[1 : len(f)-1])
+	}
+	if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return relation.Int(n)
+	}
+	return relation.Str(f)
+}
+
+// WriteRelation dumps the relation in the same text format, quoting string
+// fields that would otherwise read back as integers or quoted text.
+func WriteRelation(w io.Writer, rel *relation.Relation) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range rel.Tuples() {
+		for i, v := range t {
+			if i > 0 {
+				if err := bw.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func formatValue(v relation.Value) string {
+	switch v.Kind() {
+	case relation.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case relation.KindString:
+		s := v.AsString()
+		needsQuote := strings.HasPrefix(s, `"`) || strings.ContainsAny(s, "\t\n")
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			needsQuote = true
+		}
+		if s == "" || strings.HasPrefix(s, "#") {
+			needsQuote = true
+		}
+		if needsQuote {
+			return `"` + s + `"`
+		}
+		return s
+	default:
+		// ∅/⊥ never occur in base relations; make the bug loud.
+		panic(fmt.Sprintf("storage: cannot serialize internal symbol %s", v))
+	}
+}
+
+// LoadFile loads a relation file into an existing catalog relation.
+func (c *Catalog) LoadFile(name, path string) (int, error) {
+	rel, err := c.Relation(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return ReadRelation(f, rel)
+}
+
+// SaveFile writes a catalog relation to a file.
+func (c *Catalog) SaveFile(name, path string) error {
+	rel, err := c.Relation(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteRelation(f, rel)
+}

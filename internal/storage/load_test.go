@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestReadRelationBasic(t *testing.T) {
+	rel := relation.New("r", relation.NewSchema("a", "b"))
+	input := "ann\t42\n# a comment\n\nbob\t-7\n\"7\"\tx\n"
+	n, err := ReadRelation(strings.NewReader(input), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || rel.Len() != 3 {
+		t.Fatalf("inserted %d, len %d", n, rel.Len())
+	}
+	if !rel.Contains(relation.NewTuple(relation.Str("ann"), relation.Int(42))) {
+		t.Fatal("integer field not parsed")
+	}
+	if !rel.Contains(relation.NewTuple(relation.Str("7"), relation.Str("x"))) {
+		t.Fatal("quoted numeric string not preserved")
+	}
+}
+
+func TestReadRelationArityError(t *testing.T) {
+	rel := relation.New("r", relation.NewSchema("a"))
+	if _, err := ReadRelation(strings.NewReader("x\ty\n"), rel); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestReadRelationDeduplicates(t *testing.T) {
+	rel := relation.New("r", relation.NewSchema("a"))
+	n, err := ReadRelation(strings.NewReader("x\nx\ny\n"), rel)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestRoundTripRelation(t *testing.T) {
+	rel := relation.New("r", relation.NewSchema("a", "b"))
+	rel.InsertValues(relation.Str("plain"), relation.Int(1))
+	rel.InsertValues(relation.Str("42"), relation.Str(`"quoted"`))
+	rel.InsertValues(relation.Str("# hashy"), relation.Str(""))
+
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back := relation.New("r", relation.NewSchema("a", "b"))
+	if _, err := ReadRelation(&buf, back); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(back) {
+		t.Fatalf("round trip changed the relation:\n%s\nvs\n%s", rel, back)
+	}
+}
+
+// TestQuickRoundTrip: arbitrary printable strings and integers survive.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(s string, n int64) bool {
+		if strings.ContainsAny(s, "\t\n\r\"") {
+			return true // the format does not escape internal quotes/tabs
+		}
+		rel := relation.New("r", relation.NewSchema("a", "b"))
+		rel.InsertValues(relation.Str(s), relation.Int(n))
+		var buf bytes.Buffer
+		if err := WriteRelation(&buf, rel); err != nil {
+			return false
+		}
+		back := relation.New("r", relation.NewSchema("a", "b"))
+		if _, err := ReadRelation(&buf, back); err != nil {
+			return false
+		}
+		return rel.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.tsv")
+
+	cat := NewCatalog()
+	r := cat.MustDefine("r", relation.NewSchema("a"))
+	r.InsertValues(relation.Int(1))
+	r.InsertValues(relation.Str("two"))
+	if err := cat.SaveFile("r", path); err != nil {
+		t.Fatal(err)
+	}
+
+	cat2 := NewCatalog()
+	cat2.MustDefine("r", relation.NewSchema("a"))
+	n, err := cat2.LoadFile("r", path)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	r2, _ := cat2.Relation("r")
+	if !r.Equal(r2) {
+		t.Fatal("file round trip broken")
+	}
+
+	if _, err := cat2.LoadFile("missing", path); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := cat2.LoadFile("r", filepath.Join(dir, "nope.tsv")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := cat2.SaveFile("missing", path); err == nil {
+		t.Fatal("unknown relation must fail on save")
+	}
+}

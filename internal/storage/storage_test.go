@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestCatalogDefineLookup(t *testing.T) {
+	cat := NewCatalog()
+	r, err := cat.Define("p", relation.NewSchema("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InsertValues(relation.Int(1))
+	got, err := cat.Relation("p")
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := cat.Define("p", relation.NewSchema("a")); err == nil {
+		t.Fatal("duplicate define must fail")
+	}
+	if _, err := cat.Relation("missing"); err == nil {
+		t.Fatal("missing relation must fail")
+	}
+	if !cat.Has("p") || cat.Has("q") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustDefine("zebra", relation.NewSchema("a"))
+	cat.MustDefine("alpha", relation.NewSchema("a"))
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zebra" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestCatalogAddReplaces(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustDefine("p", relation.NewSchema("a"))
+	r2 := relation.New("p", relation.NewSchema("a", "b"))
+	cat.Add(r2)
+	got, _ := cat.Relation("p")
+	if got.Arity() != 2 {
+		t.Fatal("Add must replace")
+	}
+}
+
+func TestCatalogDomain(t *testing.T) {
+	cat := NewCatalog()
+	p := cat.MustDefine("p", relation.NewSchema("a", "b"))
+	p.InsertValues(relation.Int(1), relation.Str("x"))
+	q := cat.MustDefine("q", relation.NewSchema("a"))
+	q.InsertValues(relation.Int(1)) // duplicate value across relations
+	q.InsertValues(relation.Int(2))
+	dom := cat.Domain()
+	if dom.Len() != 3 { // 1, "x", 2
+		t.Fatalf("domain size = %d, want 3:\n%s", dom.Len(), dom)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	cat := NewCatalog()
+	r := cat.MustDefine("r", relation.NewSchema("a", "b"))
+	r.InsertValues(relation.Int(1), relation.Str("x"))
+	r.InsertValues(relation.Int(1), relation.Str("y"))
+	r.InsertValues(relation.Int(2), relation.Str("x"))
+
+	idx, err := cat.EnsureIndex("r", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := idx.LookupTuples(relation.NewTuple(relation.Int(1)))
+	if len(hits) != 2 {
+		t.Fatalf("lookup(1) = %d tuples, want 2", len(hits))
+	}
+	if got := idx.Lookup(relation.NewTuple(relation.Int(9))); got != nil {
+		t.Fatalf("lookup(9) = %v, want nil", got)
+	}
+	if idx.Buckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", idx.Buckets())
+	}
+	if len(idx.Cols()) != 1 || idx.Cols()[0] != 0 {
+		t.Fatalf("Cols = %v", idx.Cols())
+	}
+
+	// The cached index is returned while fresh, rebuilt after growth.
+	idx2, _ := cat.EnsureIndex("r", []int{0})
+	if idx2 != idx {
+		t.Fatal("fresh index must be cached")
+	}
+	r.InsertValues(relation.Int(3), relation.Str("z"))
+	idx3, _ := cat.EnsureIndex("r", []int{0})
+	if idx3 == idx {
+		t.Fatal("stale index must be rebuilt")
+	}
+	if len(idx3.LookupTuples(relation.NewTuple(relation.Int(3)))) != 1 {
+		t.Fatal("rebuilt index must see the new tuple")
+	}
+
+	if _, err := cat.EnsureIndex("missing", []int{0}); err == nil {
+		t.Fatal("index on missing relation must fail")
+	}
+}
+
+func TestHashIndexMultiColumn(t *testing.T) {
+	cat := NewCatalog()
+	r := cat.MustDefine("r", relation.NewSchema("a", "b"))
+	r.InsertValues(relation.Int(1), relation.Str("x"))
+	r.InsertValues(relation.Int(1), relation.Str("y"))
+	idx, _ := cat.EnsureIndex("r", []int{0, 1})
+	if len(idx.LookupTuples(relation.NewTuple(relation.Int(1), relation.Str("x")))) != 1 {
+		t.Fatal("multi-column lookup broken")
+	}
+}
+
+func TestIndexStaleAfterDelete(t *testing.T) {
+	cat := NewCatalog()
+	r := cat.MustDefine("r", relation.NewSchema("a"))
+	r.InsertValues(relation.Int(1))
+	r.InsertValues(relation.Int(2))
+	idx, _ := cat.EnsureIndex("r", []int{0})
+	// Delete + insert keeps the length constant; the index must rebuild.
+	r.Delete(relation.NewTuple(relation.Int(1)))
+	r.InsertValues(relation.Int(3))
+	idx2, _ := cat.EnsureIndex("r", []int{0})
+	if idx2 == idx {
+		t.Fatal("index must rebuild after delete+insert at constant length")
+	}
+	if len(idx2.LookupTuples(relation.NewTuple(relation.Int(1)))) != 0 {
+		t.Fatal("rebuilt index must not find the deleted tuple")
+	}
+	if len(idx2.LookupTuples(relation.NewTuple(relation.Int(3)))) != 1 {
+		t.Fatal("rebuilt index must find the new tuple")
+	}
+}

@@ -1,0 +1,632 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/parser"
+	"repro/internal/ranges"
+	"repro/internal/storage"
+)
+
+// DisjFilterStrategy selects how disjunctive filters are compiled; the
+// strategies exist so the benchmarks can measure §3.3's comparison.
+type DisjFilterStrategy int
+
+const (
+	// StrategyConstrainedOuterJoin is the paper's: a chain of constrained
+	// outer-joins (Definition 7, Proposition 5). Tuples satisfying an
+	// earlier branch are not probed against later ones.
+	StrategyConstrainedOuterJoin DisjFilterStrategy = iota
+	// StrategyOuterJoin is the intermediate form of §3.3: plain
+	// unidirectional outer-joins without constraints — later relations are
+	// searched even for tuples already matched.
+	StrategyOuterJoin
+	// StrategyUnion is the conventional translation: one subplan per
+	// branch over a fresh copy of the producer, results unioned. The
+	// producer is searched once per branch and the union is materialized.
+	StrategyUnion
+)
+
+// UniversalStrategy selects how universal-quantification filters of the
+// Prop. 4 case-5 shape — ¬∃z̄ (T[z̄] ∧ ¬G), with the range T uncorrelated
+// with the outer variables — are compiled.
+type UniversalStrategy int
+
+const (
+	// UniversalDivision is the paper's case 5: G ÷ T, plus a correction
+	// term for the empty-range (vacuously true) case the literal formula
+	// misses. Used when the pattern applies; other shapes fall back to
+	// the complement-join.
+	UniversalDivision UniversalStrategy = iota
+	// UniversalComplementJoin always uses the "division rewritten in
+	// terms of complement-join" form: the outer parameters seed a
+	// candidate space params × T that is complement-joined against G.
+	// Exact for every shape, but the candidate space costs |params|·|T|.
+	UniversalComplementJoin
+)
+
+// Options configures the Bry translator.
+type Options struct {
+	DisjunctiveFilters DisjFilterStrategy
+	Universal          UniversalStrategy
+}
+
+// Bry is the paper's improved translator. It expects canonical-form input
+// (rewrite.Normalize): no universal quantifiers, no implications, negations
+// on atoms and existential subformulas only, miniscope form.
+type Bry struct {
+	cat *storage.Catalog
+	opt Options
+	// origins remembers, for every variable bound by a producer, the frame
+	// that produced it; nested subqueries whose parameters are bound in an
+	// outer scope seed their translation from these (the paper's case 2b:
+	// the outer range R participates in the inner expression).
+	origins map[string]frame
+}
+
+// NewBry builds a translator over the catalog with default options.
+func NewBry(cat *storage.Catalog) *Bry { return NewBryWithOptions(cat, Options{}) }
+
+// NewBryWithOptions builds a translator with explicit options.
+func NewBryWithOptions(cat *storage.Catalog, opt Options) *Bry {
+	return &Bry{cat: cat, opt: opt, origins: make(map[string]frame)}
+}
+
+// TranslateOpen compiles an open canonical query into a relational plan
+// whose columns are the open variables, in declared order.
+func (b *Bry) TranslateOpen(q parser.Query) (algebra.Plan, error) {
+	if !q.IsOpen() {
+		return nil, fmt.Errorf("translate: TranslateOpen needs an open query")
+	}
+	fr, err := b.formula(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	return fr.project(q.OpenVars, false).plan, nil
+}
+
+// TranslateClosed compiles a closed canonical query into a boolean plan of
+// emptiness tests (§3.2).
+func (b *Bry) TranslateClosed(f calculus.Formula) (algebra.BoolPlan, error) {
+	switch n := f.(type) {
+	case calculus.And:
+		var parts []algebra.BoolPlan
+		for _, c := range calculus.Conjuncts(n) {
+			p, err := b.TranslateClosed(c)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return &algebra.BoolAnd{Inputs: parts}, nil
+	case calculus.Or:
+		var parts []algebra.BoolPlan
+		for _, c := range calculus.Disjuncts(n) {
+			p, err := b.TranslateClosed(c)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return &algebra.BoolOr{Inputs: parts}, nil
+	case calculus.Not:
+		// ¬∃ translates directly to an emptiness test; other negations
+		// wrap in boolean NOT.
+		if ex, ok := n.F.(calculus.Exists); ok {
+			fr, err := b.formula(ex.Body)
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.IsEmpty{Input: fr.plan}, nil
+		}
+		inner, err := b.TranslateClosed(n.F)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.BoolNot{Input: inner}, nil
+	case calculus.Exists:
+		fr, err := b.formula(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.NotEmpty{Input: fr.plan}, nil
+	case calculus.Atom:
+		if len(calculus.FreeVars(n)) != 0 {
+			return nil, fmt.Errorf("translate: closed translation reached open atom %s", n)
+		}
+		fr, err := atomFrame(b.cat, n)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.NotEmpty{Input: fr.plan}, nil
+	case calculus.Cmp:
+		p, err := cmpPred(frame{}, n)
+		if err == errGroundFalse {
+			return &algebra.BoolConst{Value: false}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.(algebra.True); ok {
+			return &algebra.BoolConst{Value: true}, nil
+		}
+		return nil, fmt.Errorf("translate: non-ground comparison %s in closed query", n)
+	default:
+		return nil, fmt.Errorf("translate: cannot translate %T as closed query", f)
+	}
+}
+
+// Translate compiles either query form; closed queries become a boolean
+// plan, open ones a relational plan.
+func (b *Bry) Translate(q parser.Query) (algebra.Plan, algebra.BoolPlan, error) {
+	if q.IsOpen() {
+		p, err := b.TranslateOpen(q)
+		return p, nil, err
+	}
+	bp, err := b.TranslateClosed(q.Body)
+	return nil, bp, err
+}
+
+// formula translates a formula into a frame covering all its free
+// variables. Variables the formula cannot produce itself (parameters bound
+// by an enclosing scope) are seeded from their origin producers.
+func (b *Bry) formula(f calculus.Formula) (frame, error) {
+	switch n := f.(type) {
+	case calculus.Atom:
+		fr, err := atomFrame(b.cat, n)
+		if err != nil {
+			return frame{}, err
+		}
+		b.rememberOrigins(fr)
+		return fr, nil
+	case calculus.Or:
+		// Each disjunct covers the same variables (Definition 3 case 2);
+		// align and union.
+		vars := calculus.FreeVars(n).Sorted()
+		disjuncts := calculus.Disjuncts(n)
+		var out frame
+		for i, d := range disjuncts {
+			fr, err := b.formula(d)
+			if err != nil {
+				return frame{}, err
+			}
+			fr = fr.project(vars, false)
+			if i == 0 {
+				out = fr
+			} else {
+				out = frame{plan: &algebra.Union{Left: out.plan, Right: fr.plan}, cols: out.cols}
+			}
+		}
+		return out, nil
+	case calculus.And:
+		return b.conjunction(calculus.Conjuncts(n), calculus.FreeVars(n).Sorted())
+	case calculus.Exists:
+		inner, err := b.formula(n.Body)
+		if err != nil {
+			return frame{}, err
+		}
+		outer := calculus.FreeVars(f).Sorted()
+		return inner.project(outer, false), nil
+	default:
+		return frame{}, fmt.Errorf("translate: %s cannot act as a producer (is the query canonical?)", f)
+	}
+}
+
+// conjunction translates a flattened conjunction: producers chain-join,
+// filters apply in order. Unproduced variables are seeded from origins.
+func (b *Bry) conjunction(conjs []calculus.Formula, want []string) (frame, error) {
+	producers, filters, err := ranges.SplitProducerFilter(conjs, want)
+	var seed *frame
+	if err != nil {
+		// Some wanted variables are parameters bound in an enclosing
+		// scope: seed them from their origin producers, then split over
+		// the rest.
+		produced := ranges.ProducesIn(calculus.AndAll(conjs...), calculus.NewVarSet(want...))
+		var missing []string
+		for _, v := range want {
+			if !produced.Has(v) {
+				missing = append(missing, v)
+			}
+		}
+		s, serr := b.contextSeed(missing)
+		if serr != nil {
+			return frame{}, fmt.Errorf("translate: %v; additionally %v", err, serr)
+		}
+		seed = &s
+		producers, filters, err = ranges.SplitProducerFilter(conjs, produced.Sorted())
+		if err != nil {
+			return frame{}, err
+		}
+	}
+
+	var cur frame
+	have := false
+	if seed != nil {
+		cur, have = *seed, true
+	}
+	for _, p := range producers {
+		fr, err := b.formula(p)
+		if err != nil {
+			return frame{}, err
+		}
+		if !have {
+			cur, have = fr, true
+		} else {
+			cur = join(cur, fr)
+		}
+	}
+	if !have {
+		return frame{}, fmt.Errorf("translate: conjunction %v has no producer", conjs)
+	}
+	b.rememberOrigins(cur)
+	for _, flt := range filters {
+		cur, err = b.applyFilter(cur, flt)
+		if err != nil {
+			return frame{}, err
+		}
+	}
+	return cur, nil
+}
+
+// rememberOrigins registers the frame as the origin of its variables.
+func (b *Bry) rememberOrigins(fr frame) {
+	for v := range fr.cols {
+		if _, ok := b.origins[v]; !ok {
+			b.origins[v] = fr
+		}
+	}
+}
+
+// contextSeed builds a frame producing the given parameter variables from
+// their origin producers (deduplicated projections, joined together).
+func (b *Bry) contextSeed(params []string) (frame, error) {
+	sort.Strings(params)
+	done := make(map[string]bool)
+	var cur frame
+	have := false
+	for _, v := range params {
+		if done[v] {
+			continue
+		}
+		origin, ok := b.origins[v]
+		if !ok {
+			return frame{}, fmt.Errorf("translate: parameter %q has no origin producer", v)
+		}
+		// Project the origin to every parameter it can cover at once.
+		var cover []string
+		for _, w := range params {
+			if !done[w] {
+				if _, has := origin.cols[w]; has {
+					cover = append(cover, w)
+					done[w] = true
+				}
+			}
+		}
+		fr := origin.project(cover, false)
+		if !have {
+			cur, have = fr, true
+		} else {
+			cur = join(cur, fr)
+		}
+	}
+	return cur, nil
+}
+
+// applyFilter applies one filter conjunct to the current frame. All free
+// variables of the filter are columns of the frame.
+func (b *Bry) applyFilter(cur frame, flt calculus.Formula) (frame, error) {
+	switch n := flt.(type) {
+	case calculus.Cmp:
+		p, err := cmpPred(cur, n)
+		if err == errGroundFalse {
+			p = falsePred()
+		} else if err != nil {
+			return frame{}, err
+		}
+		return frame{plan: &algebra.Select{Input: cur.plan, Pred: p}, cols: cur.cols}, nil
+	case calculus.Atom:
+		sub, err := atomFrame(b.cat, n)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{plan: &algebra.SemiJoin{Left: cur.plan, Right: sub.plan, On: sharedPairs(cur, sub)}, cols: cur.cols}, nil
+	case calculus.Not:
+		if c, ok := n.F.(calculus.Cmp); ok {
+			p, err := cmpPred(cur, c)
+			if err == errGroundFalse {
+				return cur, nil
+			}
+			if err != nil {
+				return frame{}, err
+			}
+			return frame{plan: &algebra.Select{Input: cur.plan, Pred: algebra.Not{Pred: p}}, cols: cur.cols}, nil
+		}
+		if ex, ok := n.F.(calculus.Exists); ok && b.opt.Universal == UniversalDivision {
+			if fr, handled, err := b.tryDivision(cur, ex); err != nil {
+				return frame{}, err
+			} else if handled {
+				return fr, nil
+			}
+		}
+		sub, err := b.subPlan(n.F, cur)
+		if err != nil {
+			return frame{}, err
+		}
+		// The complement-join (Definition 6): keep the tuples with NO
+		// partner in the subquery — negation and, via Rules 4/5,
+		// universal quantification.
+		return frame{plan: &algebra.ComplementJoin{Left: cur.plan, Right: sub.plan, On: sharedPairs(cur, sub)}, cols: cur.cols}, nil
+	case calculus.Exists:
+		sub, err := b.subPlan(flt, cur)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{plan: &algebra.SemiJoin{Left: cur.plan, Right: sub.plan, On: sharedPairs(cur, sub)}, cols: cur.cols}, nil
+	case calculus.And:
+		var err error
+		for _, c := range calculus.Conjuncts(n) {
+			cur, err = b.applyFilter(cur, c)
+			if err != nil {
+				return frame{}, err
+			}
+		}
+		return cur, nil
+	case calculus.Or:
+		return b.disjunctiveFilter(cur, calculus.Disjuncts(n))
+	default:
+		return frame{}, fmt.Errorf("translate: unsupported filter %s", flt)
+	}
+}
+
+// subPlan translates a filter subformula (atom, comparison-free existential
+// block, or conjunction) into a frame over its free variables — the
+// relation a semi-, complement- or outer-join probes.
+func (b *Bry) subPlan(f calculus.Formula, cur frame) (frame, error) {
+	params := calculus.FreeVars(f).Sorted()
+	switch n := f.(type) {
+	case calculus.Atom:
+		fr, err := atomFrame(b.cat, n)
+		if err != nil {
+			return frame{}, err
+		}
+		return fr, nil
+	case calculus.Exists:
+		inner, err := b.formula(n.Body)
+		if err != nil {
+			return frame{}, err
+		}
+		return inner.project(params, false), nil
+	case calculus.And:
+		fr, err := b.conjunction(calculus.Conjuncts(n), params)
+		if err != nil {
+			return frame{}, err
+		}
+		return fr.project(params, false), nil
+	case calculus.Or:
+		fr, err := b.formula(n)
+		if err != nil {
+			return frame{}, err
+		}
+		return fr.project(params, false), nil
+	default:
+		return frame{}, fmt.Errorf("translate: unsupported subquery %s", f)
+	}
+}
+
+// tryDivision recognizes the Prop. 4 case-5 pattern in a negated
+// existential filter ¬∃z̄ (T ∧ ¬G) and compiles it with the paper's
+// division:
+//
+//	cur ⋉ π_params((G' ⋉ T') ÷ T')  ∪  cur ⊼∅ T'
+//
+// where T' ranges z̄ WITHOUT mentioning outer variables (the
+// uncorrelated-divisor requirement), G' covers params ∪ z̄, and the second
+// term keeps every outer tuple when the range is empty — the vacuous-truth
+// case the paper's literal formula drops. handled is false when the
+// pattern does not apply and the caller should use the complement-join.
+func (b *Bry) tryDivision(cur frame, ex calculus.Exists) (_ frame, handled bool, _ error) {
+	params := calculus.FreeVars(ex).Sorted()
+	zs := ex.Vars
+	zset := calculus.NewVarSet(zs...)
+
+	var rangeConjs []calculus.Formula
+	var g calculus.Formula
+	for _, c := range calculus.Conjuncts(ex.Body) {
+		if neg, ok := c.(calculus.Not); ok {
+			if g != nil {
+				return frame{}, false, nil // more than one negated conjunct
+			}
+			g = neg.F
+			continue
+		}
+		// Every positive conjunct must be uncorrelated with the outside.
+		if !zset.ContainsAll(calculus.FreeVars(c)) {
+			return frame{}, false, nil
+		}
+		rangeConjs = append(rangeConjs, c)
+	}
+	if g == nil || len(rangeConjs) == 0 {
+		return frame{}, false, nil
+	}
+	if !ranges.IsRangeFor(calculus.AndAll(rangeConjs...), zs) {
+		return frame{}, false, nil
+	}
+	// G must mention exactly params ∪ z̄ and be producible over them.
+	want := calculus.NewVarSet(params...)
+	want.AddAll(zset)
+	if !calculus.FreeVars(g).Equal(want) {
+		return frame{}, false, nil
+	}
+	if !ranges.ProducesIn(g, want).Equal(want) {
+		return frame{}, false, nil
+	}
+
+	tFrame, err := b.subPlan(calculus.Exists{Vars: nil, Body: calculus.AndAll(rangeConjs...)}, cur)
+	if err != nil {
+		return frame{}, false, nil // fall back rather than fail
+	}
+	tFrame = tFrame.project(sortedVars(zs), false)
+	gFrame, err := b.formula(g)
+	if err != nil {
+		return frame{}, false, nil
+	}
+
+	// Dividend: G restricted to the range (so stray z values don't count).
+	dividend := &algebra.SemiJoin{Left: gFrame.plan, Right: tFrame.plan, On: zPairs(gFrame, tFrame, zs)}
+	keyCols := make([]int, len(params))
+	keyMap := make(map[string]int, len(params))
+	for i, p := range params {
+		keyCols[i] = gFrame.col(p)
+		keyMap[p] = i
+	}
+	divCols := make([]int, 0, len(zs))
+	for _, z := range sortedVars(zs) {
+		divCols = append(divCols, gFrame.col(z))
+	}
+	div := frame{plan: &algebra.Division{
+		Dividend: dividend,
+		Divisor:  tFrame.plan,
+		KeyCols:  keyCols,
+		DivCols:  divCols,
+	}, cols: keyMap}
+
+	qualified := &algebra.SemiJoin{Left: cur.plan, Right: div.plan, On: sharedPairs(cur, div)}
+	// cur ⊼[] T' keeps the outer tuples exactly when the range is empty.
+	vacuous := &algebra.ComplementJoin{Left: cur.plan, Right: tFrame.plan, On: nil}
+	return frame{plan: &algebra.Union{Left: qualified, Right: vacuous}, cols: cur.cols}, true, nil
+}
+
+// zPairs aligns the z̄ columns of the dividend and range frames.
+func zPairs(g, t frame, zs []string) []algebra.ColPair {
+	out := make([]algebra.ColPair, 0, len(zs))
+	for _, z := range sortedVars(zs) {
+		out = append(out, algebra.ColPair{Left: g.col(z), Right: t.col(z)})
+	}
+	return out
+}
+
+func sortedVars(vs []string) []string {
+	out := append([]string(nil), vs...)
+	sort.Strings(out)
+	return out
+}
+
+// branch is one disjunct of a disjunctive filter, classified for the
+// outer-join chain.
+type branch struct {
+	pred    algebra.Pred // non-nil for comparison branches
+	plan    algebra.Plan // non-nil for relation branches
+	on      []algebra.ColPair
+	negated bool
+}
+
+// disjunctiveFilter compiles Λ₁T₁(x) ∨ … ∨ ΛₙTₙ(x) against the current
+// frame using the configured strategy (§3.3, Proposition 5).
+func (b *Bry) disjunctiveFilter(cur frame, disjuncts []calculus.Formula) (frame, error) {
+	if b.opt.DisjunctiveFilters == StrategyUnion {
+		return b.disjunctiveFilterUnion(cur, disjuncts)
+	}
+	branches := make([]branch, 0, len(disjuncts))
+	for _, d := range disjuncts {
+		br, err := b.classifyBranch(cur, d)
+		if err != nil {
+			return frame{}, err
+		}
+		branches = append(branches, br)
+	}
+
+	dataVars := cur.vars()
+	plan := cur.plan
+	baseArity := plan.Schema().Arity()
+	var finalPreds []algebra.Pred
+	var flags []int // flag column per relation branch
+	var negs []bool // negation per relation branch
+
+	for _, br := range branches {
+		if br.pred != nil {
+			p := br.pred
+			if br.negated {
+				p = algebra.Not{Pred: p}
+			}
+			finalPreds = append(finalPreds, p)
+			continue
+		}
+		var constraint []algebra.NullCond
+		if b.opt.DisjunctiveFilters == StrategyConstrainedOuterJoin {
+			// Probe only the tuples no earlier branch satisfied: an
+			// earlier positive branch is unsatisfied iff its flag is ∅, a
+			// negated one iff its flag is not ∅.
+			for j, fc := range flags {
+				constraint = append(constraint, algebra.NullCond{Col: fc, IsNull: !negs[j]})
+			}
+		}
+		plan = &algebra.ConstrainedOuterJoin{Left: plan, Right: br.plan, On: br.on, Constraint: constraint}
+		flags = append(flags, plan.Schema().Arity()-1)
+		negs = append(negs, br.negated)
+	}
+	for j, fc := range flags {
+		if negs[j] {
+			finalPreds = append(finalPreds, algebra.IsNull{Col: fc})
+		} else {
+			finalPreds = append(finalPreds, algebra.NotNull{Col: fc})
+		}
+	}
+	var out algebra.Plan = &algebra.Select{Input: plan, Pred: algebra.DisjAll(finalPreds...)}
+	if plan.Schema().Arity() != baseArity {
+		// Strip the flag columns; Proposition 5 proves this projection
+		// cannot introduce duplicates.
+		fr := frame{plan: out, cols: cur.cols}
+		return fr.project(dataVars, true), nil
+	}
+	return frame{plan: out, cols: cur.cols}, nil
+}
+
+// classifyBranch prepares one disjunct for the chain.
+func (b *Bry) classifyBranch(cur frame, d calculus.Formula) (branch, error) {
+	negated := false
+	inner := d
+	if neg, ok := d.(calculus.Not); ok {
+		negated = true
+		inner = neg.F
+	}
+	if c, ok := inner.(calculus.Cmp); ok {
+		p, err := cmpPred(cur, c)
+		if err == errGroundFalse {
+			p = falsePred()
+		} else if err != nil {
+			return branch{}, err
+		}
+		return branch{pred: p, negated: negated}, nil
+	}
+	sub, err := b.subPlan(inner, cur)
+	if err != nil {
+		return branch{}, err
+	}
+	return branch{plan: sub.plan, on: sharedPairs(cur, sub), negated: negated}, nil
+}
+
+// disjunctiveFilterUnion is the conventional strategy: apply each branch to
+// its own copy of the producer and union the results. It re-reads the
+// producer once per branch and materializes the union — the costs §3.3's
+// outer-join strategy avoids.
+func (b *Bry) disjunctiveFilterUnion(cur frame, disjuncts []calculus.Formula) (frame, error) {
+	vars := cur.vars()
+	var out frame
+	for i, d := range disjuncts {
+		fr, err := b.applyFilter(cur, d)
+		if err != nil {
+			return frame{}, err
+		}
+		fr = fr.project(vars, false)
+		if i == 0 {
+			out = fr
+		} else {
+			out = frame{plan: &algebra.Union{Left: out.plan, Right: fr.plan}, cols: out.cols}
+		}
+	}
+	out.plan = &algebra.Materialize{Input: out.plan, Label: "disjunctive filter union"}
+	return out, nil
+}

@@ -1,0 +1,391 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// DomRelation is the catalog name of the database-domain relation the Codd
+// baseline quantifies over (the Domain Closure Assumption's 'dom' view).
+const DomRelation = "__dom"
+
+// Codd is the classical reduction-algorithm baseline [COD 72, PAL 72,
+// JS 82, CG 85]: the query is put in prenex form, a cartesian product of
+// the database domain is built for every variable, existential quantifiers
+// become projections and universal quantifiers become divisions by the
+// domain. It accepts raw (non-normalized) queries.
+//
+// The baseline exists to measure the paper's central claim: this
+// translation "retains much more tuples than needed and these tuples are
+// eliminated too late, when divisions are finally performed" [DAY 83].
+type Codd struct {
+	cat *storage.Catalog
+	// ImprovedRanges enables the refinement of [PAL 72, JS 82] the paper
+	// groups with the classical methods: a variable whose matrix contains
+	// a positive atom ranges over that atom's column projection instead
+	// of the whole database domain. The prenex structure, the initial
+	// product and the divisions remain — which is exactly why the paper's
+	// method still wins (E6).
+	ImprovedRanges bool
+}
+
+// NewCodd builds the baseline translator and (re)registers the domain
+// relation in the catalog.
+func NewCodd(cat *storage.Catalog) *Codd {
+	c := &Codd{cat: cat}
+	c.RefreshDomain()
+	return c
+}
+
+// NewCoddImproved builds the [PAL 72]-style variant with per-variable
+// ranges.
+func NewCoddImproved(cat *storage.Catalog) *Codd {
+	c := NewCodd(cat)
+	c.ImprovedRanges = true
+	return c
+}
+
+// RefreshDomain recomputes the __dom relation from the current catalog
+// contents; call it after loading data.
+func (c *Codd) RefreshDomain() {
+	dom := c.cat.Domain()
+	dom.Name = DomRelation
+	c.cat.Add(dom)
+}
+
+func (c *Codd) domScan() frame {
+	return frame{plan: algebra.NewScan(DomRelation, relation.NewSchema("v")), cols: map[string]int{}}
+}
+
+// quantBlock is one block of the prenex prefix.
+type quantBlock struct {
+	exists bool
+	vars   []string
+}
+
+// TranslateOpen compiles an open query.
+func (c *Codd) TranslateOpen(q parser.Query) (algebra.Plan, error) {
+	if !q.IsOpen() {
+		return nil, fmt.Errorf("translate: TranslateOpen needs an open query")
+	}
+	fr, err := c.translate(q.Body, q.OpenVars)
+	if err != nil {
+		return nil, err
+	}
+	return fr.project(q.OpenVars, false).plan, nil
+}
+
+// TranslateClosed compiles a closed query to a single emptiness test over
+// the reduced plan (a 0-ary relation that is nonempty iff the query holds).
+func (c *Codd) TranslateClosed(f calculus.Formula) (algebra.BoolPlan, error) {
+	fr, err := c.translate(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.NotEmpty{Input: fr.plan}, nil
+}
+
+// Translate compiles either query form.
+func (c *Codd) Translate(q parser.Query) (algebra.Plan, algebra.BoolPlan, error) {
+	if q.IsOpen() {
+		p, err := c.TranslateOpen(q)
+		return p, nil, err
+	}
+	bp, err := c.TranslateClosed(q.Body)
+	return nil, bp, err
+}
+
+// translate runs the reduction: standardize apart, prenex, build the
+// initial cartesian product of domain ranges for every variable, filter by
+// the matrix, then fold the prefix from the innermost block outward.
+func (c *Codd) translate(f calculus.Formula, openVars []string) (frame, error) {
+	gen := calculus.NewNameGen(calculus.AllVars(f))
+	f = calculus.RenameBound(f, gen)
+	prefix, matrix := prenex(f)
+	matrix = pushNegations(matrix, false)
+
+	// With ImprovedRanges, existential and free variables range over the
+	// column projection of a positive matrix atom instead of the domain
+	// (the [PAL 72] refinement). Universal variables keep the domain: a
+	// smaller range would change ∀'s meaning, since the matrix must hold
+	// for EVERY value the divisor supplies.
+	posAtoms := map[string]calculus.Atom{}
+	if c.ImprovedRanges {
+		collectPositiveAtoms(matrix, posAtoms)
+	}
+
+	// Initial product: one range column per variable, open variables
+	// first, then prefix variables outermost to innermost.
+	cur := frame{cols: map[string]int{}}
+	addVar := func(v string, improvable bool) error {
+		d := c.domScan()
+		if improvable {
+			if a, ok := posAtoms[v]; ok {
+				fr, err := atomFrame(c.cat, a)
+				if err != nil {
+					return err
+				}
+				d = fr.project([]string{v}, false)
+			}
+		}
+		if cur.plan == nil {
+			cur = frame{plan: d.plan, cols: map[string]int{v: 0}}
+			return nil
+		}
+		off := cur.plan.Schema().Arity()
+		cols := make(map[string]int, len(cur.cols)+1)
+		for k, col := range cur.cols {
+			cols[k] = col
+		}
+		cols[v] = off
+		cur = frame{plan: &algebra.Product{Left: cur.plan, Right: d.plan}, cols: cols}
+		return nil
+	}
+	for _, v := range openVars {
+		if err := addVar(v, true); err != nil {
+			return frame{}, err
+		}
+	}
+	for _, b := range prefix {
+		for _, v := range b.vars {
+			if err := addVar(v, b.exists); err != nil {
+				return frame{}, err
+			}
+		}
+	}
+	if cur.plan == nil {
+		// A ground formula: evaluate over a single domain column so there
+		// is a base to test emptiness on.
+		cur = c.domScan()
+		cur.cols = map[string]int{}
+	}
+
+	var err error
+	cur, err = c.applyMatrix(cur, matrix)
+	if err != nil {
+		return frame{}, err
+	}
+
+	// Fold the prefix, innermost block first: ∃ projects its variables
+	// away, ∀ divides by the domain (once per block of k variables, by a
+	// k-ary domain product).
+	remaining := make([]string, 0, len(cur.cols))
+	inPrefix := make(map[string]bool)
+	for _, b := range prefix {
+		for _, v := range b.vars {
+			inPrefix[v] = true
+		}
+	}
+	for _, v := range openVars {
+		remaining = append(remaining, v)
+	}
+	for _, b := range prefix {
+		remaining = append(remaining, b.vars...)
+	}
+	for i := len(prefix) - 1; i >= 0; i-- {
+		b := prefix[i]
+		drop := make(map[string]bool, len(b.vars))
+		for _, v := range b.vars {
+			drop[v] = true
+		}
+		var keep []string
+		for _, v := range remaining {
+			if !drop[v] {
+				keep = append(keep, v)
+			}
+		}
+		if b.exists {
+			cur = cur.project(keep, false)
+		} else {
+			divisor := c.domScan().plan
+			for k := 1; k < len(b.vars); k++ {
+				divisor = &algebra.Product{Left: divisor, Right: c.domScan().plan}
+			}
+			keyCols := make([]int, len(keep))
+			nm := make(map[string]int, len(keep))
+			for j, v := range keep {
+				keyCols[j] = cur.col(v)
+				nm[v] = j
+			}
+			divCols := make([]int, len(b.vars))
+			for j, v := range b.vars {
+				divCols[j] = cur.col(v)
+			}
+			cur = frame{plan: &algebra.Division{
+				Dividend: cur.plan,
+				Divisor:  divisor,
+				KeyCols:  keyCols,
+				DivCols:  divCols,
+			}, cols: nm}
+		}
+		remaining = keep
+	}
+	return cur, nil
+}
+
+// applyMatrix filters the product frame by the quantifier-free matrix:
+// conjunctions apply sequentially, disjunctions become materialized unions
+// (the conventional strategy), literals become (complement-)semi-joins and
+// selections.
+func (c *Codd) applyMatrix(cur frame, m calculus.Formula) (frame, error) {
+	switch n := m.(type) {
+	case calculus.And:
+		var err error
+		for _, cj := range calculus.Conjuncts(n) {
+			cur, err = c.applyMatrix(cur, cj)
+			if err != nil {
+				return frame{}, err
+			}
+		}
+		return cur, nil
+	case calculus.Or:
+		disjuncts := calculus.Disjuncts(n)
+		var out frame
+		vars := cur.vars()
+		for i, d := range disjuncts {
+			fr, err := c.applyMatrix(cur, d)
+			if err != nil {
+				return frame{}, err
+			}
+			fr = fr.project(vars, false)
+			if i == 0 {
+				out = fr
+			} else {
+				out = frame{plan: &algebra.Union{Left: out.plan, Right: fr.plan}, cols: out.cols}
+			}
+		}
+		out.plan = &algebra.Materialize{Input: out.plan, Label: "matrix union"}
+		// Restore the original column order expected by the caller.
+		restored := frame{plan: out.plan, cols: out.cols}
+		return restored, nil
+	case calculus.Atom:
+		sub, err := atomFrame(c.cat, n)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{plan: &algebra.SemiJoin{Left: cur.plan, Right: sub.plan, On: sharedPairs(cur, sub)}, cols: cur.cols}, nil
+	case calculus.Not:
+		switch inner := n.F.(type) {
+		case calculus.Atom:
+			sub, err := atomFrame(c.cat, inner)
+			if err != nil {
+				return frame{}, err
+			}
+			return frame{plan: &algebra.ComplementJoin{Left: cur.plan, Right: sub.plan, On: sharedPairs(cur, sub)}, cols: cur.cols}, nil
+		case calculus.Cmp:
+			p, err := cmpPred(cur, inner)
+			if err == errGroundFalse {
+				return cur, nil
+			}
+			if err != nil {
+				return frame{}, err
+			}
+			return frame{plan: &algebra.Select{Input: cur.plan, Pred: algebra.Not{Pred: p}}, cols: cur.cols}, nil
+		default:
+			return frame{}, fmt.Errorf("translate: matrix not in negation normal form: %s", m)
+		}
+	case calculus.Cmp:
+		p, err := cmpPred(cur, n)
+		if err == errGroundFalse {
+			p = falsePred()
+		} else if err != nil {
+			return frame{}, err
+		}
+		return frame{plan: &algebra.Select{Input: cur.plan, Pred: p}, cols: cur.cols}, nil
+	default:
+		return frame{}, fmt.Errorf("translate: unexpected matrix node %T", m)
+	}
+}
+
+// collectPositiveAtoms records, for each variable, one positive atom the
+// NNF matrix REQUIRES (conjunctive occurrences only — an atom inside a
+// disjunct is not a sound range, since the other disjunct might hold
+// instead). Variables occurring only under negation, inside disjunctions
+// or in comparisons stay on the domain.
+func collectPositiveAtoms(m calculus.Formula, out map[string]calculus.Atom) {
+	switch n := m.(type) {
+	case calculus.Atom:
+		for _, t := range n.Args {
+			if t.IsVar() {
+				if _, ok := out[t.Var]; !ok {
+					out[t.Var] = n
+				}
+			}
+		}
+	case calculus.And:
+		collectPositiveAtoms(n.L, out)
+		collectPositiveAtoms(n.R, out)
+	}
+}
+
+// prenex pulls every quantifier to the front. The input has all-distinct
+// bound variables, so no capture is possible; pulling through ¬ flips the
+// quantifier kind, implications are unfolded first.
+func prenex(f calculus.Formula) ([]quantBlock, calculus.Formula) {
+	switch n := f.(type) {
+	case calculus.Atom, calculus.Cmp:
+		return nil, f
+	case calculus.Not:
+		prefix, matrix := prenex(n.F)
+		for i := range prefix {
+			prefix[i].exists = !prefix[i].exists
+		}
+		return prefix, calculus.Not{F: matrix}
+	case calculus.And:
+		lp, lm := prenex(n.L)
+		rp, rm := prenex(n.R)
+		return append(lp, rp...), calculus.And{L: lm, R: rm}
+	case calculus.Or:
+		lp, lm := prenex(n.L)
+		rp, rm := prenex(n.R)
+		return append(lp, rp...), calculus.Or{L: lm, R: rm}
+	case calculus.Implies:
+		return prenex(calculus.Or{L: calculus.Not{F: n.L}, R: n.R})
+	case calculus.Exists:
+		prefix, matrix := prenex(n.Body)
+		return append([]quantBlock{{exists: true, vars: n.Vars}}, prefix...), matrix
+	case calculus.Forall:
+		prefix, matrix := prenex(n.Body)
+		return append([]quantBlock{{exists: false, vars: n.Vars}}, prefix...), matrix
+	default:
+		panic(fmt.Sprintf("translate: unknown formula %T", f))
+	}
+}
+
+// pushNegations rewrites the quantifier-free matrix into negation normal
+// form (negations on atoms and comparisons only).
+func pushNegations(f calculus.Formula, neg bool) calculus.Formula {
+	switch n := f.(type) {
+	case calculus.Atom:
+		if neg {
+			return calculus.Not{F: n}
+		}
+		return n
+	case calculus.Cmp:
+		if neg {
+			return calculus.Cmp{Left: n.Left, Op: n.Op.Negate(), Right: n.Right}
+		}
+		return n
+	case calculus.Not:
+		return pushNegations(n.F, !neg)
+	case calculus.And:
+		if neg {
+			return calculus.Or{L: pushNegations(n.L, true), R: pushNegations(n.R, true)}
+		}
+		return calculus.And{L: pushNegations(n.L, false), R: pushNegations(n.R, false)}
+	case calculus.Or:
+		if neg {
+			return calculus.And{L: pushNegations(n.L, true), R: pushNegations(n.R, true)}
+		}
+		return calculus.Or{L: pushNegations(n.L, false), R: pushNegations(n.R, false)}
+	case calculus.Implies:
+		return pushNegations(calculus.Or{L: calculus.Not{F: n.L}, R: n.R}, neg)
+	default:
+		panic(fmt.Sprintf("translate: unexpected matrix node %T", f))
+	}
+}

@@ -1,0 +1,215 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+)
+
+func planFor(t *testing.T, opt Options, input string) algebra.Plan {
+	t.Helper()
+	cat := uniCatalog(t)
+	q, err := rewrite.Normalize(parser.MustParse(input))
+	if err != nil {
+		t.Fatalf("normalize %q: %v", input, err)
+	}
+	plan, err := NewBryWithOptions(cat, opt).TranslateOpen(q)
+	if err != nil {
+		t.Fatalf("translate %q: %v", input, err)
+	}
+	return plan
+}
+
+func count(plan algebra.Plan, test func(algebra.Plan) bool) int {
+	return algebra.CountOperators(plan, test)
+}
+
+func isCOJ(p algebra.Plan) bool   { _, ok := p.(*algebra.ConstrainedOuterJoin); return ok }
+func isUnion(p algebra.Plan) bool { _, ok := p.(*algebra.Union); return ok }
+func isMat(p algebra.Plan) bool   { _, ok := p.(*algebra.Materialize); return ok }
+
+// TestProp5ChainShape: a k-way disjunctive filter compiles to k constrained
+// outer-joins, the i-th constrained by all previous flags, and a final
+// duplicate-free projection.
+func TestProp5ChainShape(t *testing.T) {
+	plan := planFor(t, Options{}, `{ x | student(x) and (speaks(x, "french") or speaks(x, "german") or skill(x, "db")) }`)
+	if n := count(plan, isCOJ); n != 3 {
+		t.Fatalf("want 3 constrained outer-joins, got %d:\n%s", n, algebra.Explain(plan))
+	}
+	if n := count(plan, isUnion); n != 0 {
+		t.Fatalf("no unions expected:\n%s", algebra.Explain(plan))
+	}
+	// Collect the chain's constraints: first 0 conds, then 1, then 2.
+	var sizes []int
+	var walk func(p algebra.Plan)
+	walk = func(p algebra.Plan) {
+		if c, ok := p.(*algebra.ConstrainedOuterJoin); ok {
+			sizes = append(sizes, len(c.Constraint))
+		}
+		for _, ch := range p.Children() {
+			walk(ch)
+		}
+	}
+	walk(plan)
+	if len(sizes) != 3 || sizes[0]+sizes[1]+sizes[2] != 0+1+2 {
+		t.Fatalf("constraint sizes = %v, want a 0/1/2 chain", sizes)
+	}
+	// The final projection must be marked duplicate-free (Prop 5).
+	pr, ok := plan.(*algebra.Project)
+	if !ok {
+		// Top may be the open-variable projection; look one level deeper.
+		for _, ch := range plan.Children() {
+			if p2, ok2 := ch.(*algebra.Project); ok2 {
+				pr, ok = p2, true
+			}
+		}
+	}
+	if !ok || !pr.NoDedup {
+		t.Fatalf("chain projection must be NoDedup:\n%s", algebra.Explain(plan))
+	}
+}
+
+// TestProp5NegatedConstraintPolarity: after a negated branch, the next
+// constraint requires the flag to be NON-null (the branch was satisfied by
+// ∅); after a positive branch it requires ∅.
+func TestProp5NegatedConstraintPolarity(t *testing.T) {
+	// Both branches negated, so regardless of canonical ordering the
+	// second link gates on the first being UNSATISFIED: a negated branch
+	// is satisfied by flag=∅, hence the gate is flag≠∅ (IsNull=false).
+	plan := planFor(t, Options{}, `{ x | student(x) and (not skill(x, "db") or not speaks(x, "german")) }`)
+	var cojs []*algebra.ConstrainedOuterJoin
+	var walk func(p algebra.Plan)
+	walk = func(p algebra.Plan) {
+		if c, ok := p.(*algebra.ConstrainedOuterJoin); ok {
+			cojs = append(cojs, c)
+		}
+		for _, ch := range p.Children() {
+			walk(ch)
+		}
+	}
+	walk(plan)
+	if len(cojs) != 2 {
+		t.Fatalf("want 2 chain links, got %d", len(cojs))
+	}
+	// cojs[0] is the outermost (second) link: gated on the first (negated)
+	// branch being unsatisfied, i.e. flag ≠ ∅ (IsNull=false).
+	outer := cojs[0]
+	if len(outer.Constraint) != 1 || outer.Constraint[0].IsNull {
+		t.Fatalf("negated first branch must gate on flag≠∅, got %v", outer.Constraint)
+	}
+}
+
+// TestUnionStrategyShape: the union strategy materializes and duplicates
+// the producer subtree once per branch.
+func TestUnionStrategyShape(t *testing.T) {
+	plan := planFor(t, Options{DisjunctiveFilters: StrategyUnion},
+		`{ x | student(x) and (speaks(x, "french") or speaks(x, "german")) }`)
+	if n := count(plan, isUnion); n != 1 {
+		t.Fatalf("want 1 union, got %d", n)
+	}
+	if n := count(plan, isMat); n != 1 {
+		t.Fatalf("want 1 materialization, got %d", n)
+	}
+	scans := count(plan, func(p algebra.Plan) bool {
+		s, ok := p.(*algebra.Scan)
+		return ok && s.Name == "student"
+	})
+	if scans != 2 {
+		t.Fatalf("union strategy must scan the producer once per branch, got %d", scans)
+	}
+}
+
+// TestContextSeeding: under the complement-join universal strategy, a
+// subquery whose parameter is produced outside gets seeded from the
+// parameter's origin producer (the paper's "R participates in the inner
+// expression", the division "rewritten in terms of complement-join").
+func TestContextSeeding(t *testing.T) {
+	plan := planFor(t, Options{Universal: UniversalComplementJoin}, `{ x | student(x) and not exists y: cs_lecture(y) and not attends(x, y) }`)
+	// The student scan appears twice: once as the outer producer, once as
+	// the context seed inside the complement-join's right side.
+	scans := count(plan, func(p algebra.Plan) bool {
+		s, ok := p.(*algebra.Scan)
+		return ok && s.Name == "student"
+	})
+	if scans != 2 {
+		t.Fatalf("context seeding must reuse the origin producer, got %d student scans:\n%s", scans, algebra.Explain(plan))
+	}
+	if n := count(plan, func(p algebra.Plan) bool { _, ok := p.(*algebra.Division); return ok }); n != 0 {
+		t.Fatalf("no division expected:\n%s", algebra.Explain(plan))
+	}
+}
+
+// TestClosedTranslationShapes: closed queries become emptiness tests with
+// boolean connectives; ¬∃ maps to IsEmpty directly (no BoolNot wrapper).
+func TestClosedTranslationShapes(t *testing.T) {
+	cat := uniCatalog(t)
+	q, err := rewrite.Normalize(parser.MustParse(`(exists x: student(x)) and not exists y: prof(y)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBry(cat).TranslateClosed(q.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := algebra.ExplainBool(bp)
+	if !strings.Contains(out, "AND") || !strings.Contains(out, "≠∅") || !strings.Contains(out, "=∅") {
+		t.Fatalf("unexpected boolean plan:\n%s", out)
+	}
+	if strings.Contains(out, "NOT") {
+		t.Fatalf("¬∃ should become =∅, not NOT(≠∅):\n%s", out)
+	}
+}
+
+// TestTranslateErrors: translator-level error paths.
+func TestTranslateErrors(t *testing.T) {
+	cat := uniCatalog(t)
+	b := NewBry(cat)
+	// Unknown relation.
+	q, _ := rewrite.Normalize(parser.MustParse(`{ x | nosuch(x) }`))
+	if _, err := b.TranslateOpen(q); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	// Arity mismatch.
+	q2, _ := rewrite.Normalize(parser.MustParse(`{ x | student(x, x) }`))
+	if _, err := NewBry(cat).TranslateOpen(q2); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	// TranslateOpen on closed query.
+	q3, _ := rewrite.Normalize(parser.MustParse(`exists x: student(x)`))
+	if _, err := NewBry(cat).TranslateOpen(q3); err == nil {
+		t.Fatal("TranslateOpen on closed query must fail")
+	}
+	// Codd variants.
+	c := NewCodd(cat)
+	if _, err := c.TranslateOpen(q); err == nil {
+		t.Fatal("Codd: unknown relation must fail")
+	}
+	if _, err := c.TranslateOpen(q3); err == nil {
+		t.Fatal("Codd: TranslateOpen on closed query must fail")
+	}
+}
+
+// TestGroundComparisonPlans: translation-time constant folding.
+func TestGroundComparisonPlans(t *testing.T) {
+	cat := uniCatalog(t)
+	b := NewBry(cat)
+	q, _ := rewrite.Normalize(parser.MustParse(`1 < 2`))
+	bp, err := b.TranslateClosed(q.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := bp.(*algebra.BoolConst); !ok || !c.Value {
+		t.Fatalf("1<2 must fold to TRUE, got %s", algebra.ExplainBool(bp))
+	}
+	q2, _ := rewrite.Normalize(parser.MustParse(`2 < 1`))
+	bp2, err := NewBry(cat).TranslateClosed(q2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := bp2.(*algebra.BoolConst); !ok || c.Value {
+		t.Fatalf("2<1 must fold to FALSE, got %s", algebra.ExplainBool(bp2))
+	}
+}

@@ -1,0 +1,184 @@
+// Package translate implements Phase 2 of the paper: compiling canonical
+// calculus queries into the extended relational algebra of
+// internal/algebra. Two translators are provided:
+//
+//   - Bry (bry.go) — the paper's improved translation: complement-joins for
+//     negation and universal quantification (Definition 6, Proposition 4),
+//     constrained outer-join chains for disjunctive filters
+//     (Definition 7, Proposition 5), emptiness tests for closed queries
+//     (§3.2), no initial cartesian product and no division operator;
+//
+//   - Codd (codd.go) — the classical reduction-algorithm baseline
+//     [COD 72, PAL 72, JS 82, CG 85]: prenex form, a cartesian product of
+//     the database domain for every variable, projections for ∃ and
+//     divisions for ∀.
+//
+// This file holds the plumbing shared by both: the frame abstraction (a
+// plan plus a variable→column map) and the producer/filter machinery.
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/calculus"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// frame pairs a plan with the mapping from variable names to the plan's
+// column positions.
+type frame struct {
+	plan algebra.Plan
+	cols map[string]int
+}
+
+// col returns the column of a variable; it panics on planner bugs.
+func (f frame) col(v string) int {
+	c, ok := f.cols[v]
+	if !ok {
+		panic(fmt.Sprintf("translate: variable %q not in frame %v", v, f.cols))
+	}
+	return c
+}
+
+// vars returns the frame's variables, sorted.
+func (f frame) vars() []string {
+	out := make([]string, 0, len(f.cols))
+	for v := range f.cols {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// project narrows the frame to the given variables, in the given order.
+func (f frame) project(vars []string, noDedup bool) frame {
+	cols := make([]int, len(vars))
+	nm := make(map[string]int, len(vars))
+	identity := f.plan.Schema().Arity() == len(vars)
+	for i, v := range vars {
+		cols[i] = f.col(v)
+		nm[v] = i
+		if cols[i] != i {
+			identity = false
+		}
+	}
+	if identity {
+		return frame{plan: f.plan, cols: nm}
+	}
+	return frame{plan: &algebra.Project{Input: f.plan, Cols: cols, NoDedup: noDedup}, cols: nm}
+}
+
+// join equi-joins two frames on their shared variables; right-only
+// variables are appended to the column map. With no shared variables the
+// join degenerates to a product (with an empty 'on' the hash join puts
+// every right tuple in one bucket).
+func join(l, r frame) frame {
+	var on []algebra.ColPair
+	for v, lc := range l.cols {
+		if rc, ok := r.cols[v]; ok {
+			on = append(on, algebra.ColPair{Left: lc, Right: rc})
+		}
+	}
+	sort.Slice(on, func(i, j int) bool { return on[i].Left < on[j].Left })
+	off := l.plan.Schema().Arity()
+	cols := make(map[string]int, len(l.cols)+len(r.cols))
+	for v, c := range l.cols {
+		cols[v] = c
+	}
+	for v, c := range r.cols {
+		if _, dup := cols[v]; !dup {
+			cols[v] = off + c
+		}
+	}
+	return frame{plan: &algebra.Join{Left: l.plan, Right: r.plan, On: on}, cols: cols}
+}
+
+// sharedPairs computes the equi-join pairs between a frame and a subplan
+// frame over (a subset of) its variables.
+func sharedPairs(l, r frame) []algebra.ColPair {
+	var on []algebra.ColPair
+	for v, rc := range r.cols {
+		if lc, ok := l.cols[v]; ok {
+			on = append(on, algebra.ColPair{Left: lc, Right: rc})
+		}
+	}
+	sort.Slice(on, func(i, j int) bool { return on[i].Left < on[j].Left })
+	return on
+}
+
+// atomFrame translates a relation atom into a scan with selections for
+// constant arguments and repeated variables. The resulting frame maps each
+// distinct variable to its first column of occurrence.
+func atomFrame(cat *storage.Catalog, a calculus.Atom) (frame, error) {
+	rel, err := cat.Relation(a.Pred)
+	if err != nil {
+		return frame{}, err
+	}
+	if rel.Arity() != len(a.Args) {
+		return frame{}, fmt.Errorf("translate: atom %s has arity %d, relation %q has %d", a, len(a.Args), a.Pred, rel.Arity())
+	}
+	var plan algebra.Plan = algebra.NewScan(a.Pred, rel.Schema())
+	var preds []algebra.Pred
+	cols := make(map[string]int)
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			preds = append(preds, algebra.CmpConst{Col: i, Op: algebra.OpEq, Const: arg.Const})
+			continue
+		}
+		if first, seen := cols[arg.Var]; seen {
+			preds = append(preds, algebra.CmpCols{Left: first, Op: algebra.OpEq, Right: i})
+		} else {
+			cols[arg.Var] = i
+		}
+	}
+	if len(preds) > 0 {
+		plan = &algebra.Select{Input: plan, Pred: algebra.ConjAll(preds...)}
+	}
+	return frame{plan: plan, cols: cols}, nil
+}
+
+// cmpPred compiles a comparison atom into a predicate over the frame.
+// Ground comparisons (both terms constant) evaluate at translation time.
+func cmpPred(f frame, c calculus.Cmp) (algebra.Pred, error) {
+	switch {
+	case c.Left.IsVar() && c.Right.IsVar():
+		return algebra.CmpCols{Left: f.col(c.Left.Var), Op: c.Op, Right: f.col(c.Right.Var)}, nil
+	case c.Left.IsVar():
+		return algebra.CmpConst{Col: f.col(c.Left.Var), Op: c.Op, Const: c.Right.Const}, nil
+	case c.Right.IsVar():
+		// Flip the comparison: const op var ⇔ var op' const.
+		return algebra.CmpConst{Col: f.col(c.Right.Var), Op: flip(c.Op), Const: c.Left.Const}, nil
+	default:
+		if c.Op.Apply(c.Left.Const, c.Right.Const) {
+			return algebra.True{}, nil
+		}
+		return nil, errGroundFalse
+	}
+}
+
+// errGroundFalse signals a comparison that is false at translation time;
+// callers turn it into an empty result or a FALSE boolean constant.
+var errGroundFalse = fmt.Errorf("translate: ground comparison is false")
+
+// flip mirrors a comparison operator so the variable lands on the left.
+func flip(op relation.CmpOp) relation.CmpOp {
+	switch op {
+	case relation.OpLt:
+		return relation.OpGt
+	case relation.OpLe:
+		return relation.OpGe
+	case relation.OpGt:
+		return relation.OpLt
+	case relation.OpGe:
+		return relation.OpLe
+	default:
+		return op // = and ≠ are symmetric
+	}
+}
+
+// falsePred is an always-false predicate: a ground-false comparison turns
+// its conjunction into an empty selection.
+func falsePred() algebra.Pred { return algebra.Not{Pred: algebra.True{}} }

@@ -1,0 +1,459 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/loopeval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+func s(x string) relation.Value { return relation.Str(x) }
+
+// uniCatalog builds a small university database exercising the paper's
+// running examples.
+func uniCatalog(t testing.TB) *storage.Catalog {
+	cat := storage.NewCatalog()
+	add := func(name string, arity int, rows ...[]string) {
+		names := make([]string, arity)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		r := cat.MustDefine(name, relation.NewSchema(names...))
+		for _, row := range rows {
+			tu := make(relation.Tuple, len(row))
+			for i, v := range row {
+				tu[i] = s(v)
+			}
+			r.Insert(tu)
+		}
+	}
+	add("student", 1, []string{"ann"}, []string{"bob"}, []string{"eve"})
+	add("prof", 1, []string{"kim"}, []string{"lou"})
+	add("makes", 2, []string{"ann", "PhD"}, []string{"bob", "MSc"})
+	add("speaks", 2, []string{"ann", "french"}, []string{"kim", "german"}, []string{"eve", "english"})
+	add("member", 2, []string{"ann", "cs"}, []string{"bob", "cs"}, []string{"eve", "math"}, []string{"kim", "cs"})
+	add("skill", 2, []string{"ann", "db"}, []string{"eve", "ai"}, []string{"kim", "math"})
+	add("cs_lecture", 1, []string{"db101"}, []string{"ai202"})
+	add("attends", 2,
+		[]string{"ann", "db101"}, []string{"ann", "ai202"},
+		[]string{"bob", "db101"}, []string{"eve", "ai202"})
+	add("enrolled", 2, []string{"ann", "cs"}, []string{"bob", "cs"}, []string{"eve", "math"})
+	return cat
+}
+
+// evalBry normalizes, translates with Bry and executes.
+func evalBry(t *testing.T, cat *storage.Catalog, opt Options, input string) (*relation.Relation, bool, *exec.Stats) {
+	t.Helper()
+	q, err := rewrite.Normalize(parser.MustParse(input))
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", input, err)
+	}
+	b := NewBryWithOptions(cat, opt)
+	ctx := exec.NewContext(cat)
+	if q.IsOpen() {
+		plan, err := b.TranslateOpen(q)
+		if err != nil {
+			t.Fatalf("TranslateOpen(%q): %v", input, err)
+		}
+		out, err := exec.Run(ctx, plan)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", input, err)
+		}
+		return out, false, ctx.Stats
+	}
+	bp, err := b.TranslateClosed(q.Body)
+	if err != nil {
+		t.Fatalf("TranslateClosed(%q): %v", input, err)
+	}
+	ok, err := exec.EvalBool(ctx, bp)
+	if err != nil {
+		t.Fatalf("EvalBool(%q): %v", input, err)
+	}
+	return nil, ok, ctx.Stats
+}
+
+// oracleCheck compares a query's Bry result against the domain oracle.
+func oracleCheck(t *testing.T, cat *storage.Catalog, input string) {
+	t.Helper()
+	q := parser.MustParse(input)
+	o := loopeval.NewOracle(cat)
+	if q.IsOpen() {
+		want, err := o.Answers(q)
+		if err != nil {
+			t.Fatalf("oracle(%q): %v", input, err)
+		}
+		got, _, _ := evalBry(t, cat, Options{}, input)
+		if !got.Equal(want) {
+			t.Fatalf("Bry(%q) mismatch:\ngot:\n%s\nwant:\n%s", input, got, want)
+		}
+		return
+	}
+	want, err := o.Closed(q.Body, loopeval.Env{})
+	if err != nil {
+		t.Fatalf("oracle(%q): %v", input, err)
+	}
+	_, got, _ := evalBry(t, cat, Options{}, input)
+	if got != want {
+		t.Fatalf("Bry(%q) = %v, oracle says %v", input, got, want)
+	}
+}
+
+// TestPaperQ2ComplementJoin reproduces §3.1: Q₂ = member(x,z) ∧ ¬skill(x,db)
+// answers with member ⊼ π₁(σ₂₌db(skill)) — one complement-join, no Diff,
+// no extra Join.
+func TestPaperQ2ComplementJoin(t *testing.T) {
+	cat := uniCatalog(t)
+	q, err := rewrite.Normalize(parser.MustParse(`{ x, z | member(x, z) and not skill(x, "db") }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewBry(cat).TranslateOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := algebra.CountOperators(plan, func(p algebra.Plan) bool { _, ok := p.(*algebra.ComplementJoin); return ok }); n != 1 {
+		t.Fatalf("want exactly 1 complement-join, got %d in:\n%s", n, algebra.Explain(plan))
+	}
+	for _, bad := range []string{"Diff", "Division", "Product"} {
+		if n := algebra.CountOperators(plan, func(p algebra.Plan) bool {
+			switch p.(type) {
+			case *algebra.Diff:
+				return bad == "Diff"
+			case *algebra.Division:
+				return bad == "Division"
+			case *algebra.Product:
+				return bad == "Product"
+			}
+			return false
+		}); n != 0 {
+			t.Fatalf("plan must avoid %s:\n%s", bad, algebra.Explain(plan))
+		}
+	}
+	out, err := exec.Run(exec.NewContext(cat), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewUnnamed(out.Schema())
+	want.InsertValues(s("bob"), s("cs"))
+	want.InsertValues(s("eve"), s("math"))
+	want.InsertValues(s("kim"), s("cs"))
+	if !out.Equal(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestPaperSection32Query evaluates §3.2's Q: is there a PhD student
+// enrolled outside cs attending a cs lecture?
+func TestPaperSection32Query(t *testing.T) {
+	cat := uniCatalog(t)
+	// eve: enrolled math (≠cs) but makes nothing; ann/bob enrolled cs.
+	_, got, _ := evalBry(t, cat, Options{}, `exists x, y: enrolled(x, y) and y != "cs" and makes(x, "PhD") and exists z: cs_lecture(z) and attends(x, z)`)
+	if got {
+		t.Fatal("query must be false on this database")
+	}
+	// Give eve a PhD; she attends ai202, so the query becomes true.
+	r, _ := cat.Relation("makes")
+	r.InsertValues(s("eve"), s("PhD"))
+	_, got, _ = evalBry(t, cat, Options{}, `exists x, y: enrolled(x, y) and y != "cs" and makes(x, "PhD") and exists z: cs_lecture(z) and attends(x, z)`)
+	if !got {
+		t.Fatal("query must be true after the update")
+	}
+}
+
+// TestUniversalViaComplementJoin: the miniscope example query of §2.2 —
+// a student attending all cs lectures without being enrolled in cs.
+func TestUniversalViaComplementJoin(t *testing.T) {
+	cat := uniCatalog(t)
+	input := `exists x: student(x) and (forall y: cs_lecture(y) => attends(x, y)) and not enrolled(x, "cs")`
+	_, got, _ := evalBry(t, cat, Options{}, input)
+	// ann attends both lectures but is enrolled in cs; eve attends only
+	// ai202. So the answer is false.
+	if got {
+		t.Fatal("no student qualifies")
+	}
+	oracleCheck(t, cat, input)
+
+	// Open variant: who attends all cs lectures? This is exactly the
+	// Prop. 4 case-5 shape: under the default options it compiles to the
+	// paper's division (plus the empty-range correction); under
+	// UniversalComplementJoin it compiles division-free.
+	q, err := rewrite.Normalize(parser.MustParse(`{ x | student(x) and forall y: cs_lecture(y) => attends(x, y) }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	countDiv := func(p algebra.Plan) int {
+		return algebra.CountOperators(p, func(x algebra.Plan) bool { _, ok := x.(*algebra.Division); return ok })
+	}
+	divPlan, err := NewBry(cat).TranslateOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countDiv(divPlan) != 1 {
+		t.Fatalf("case 5 must use the division under default options:\n%s", algebra.Explain(divPlan))
+	}
+	cjPlan, err := NewBryWithOptions(cat, Options{Universal: UniversalComplementJoin}).TranslateOpen(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countDiv(cjPlan) != 0 {
+		t.Fatalf("complement-join strategy must avoid division:\n%s", algebra.Explain(cjPlan))
+	}
+	want := relation.NewUnnamed(relation.NewSchema("x"))
+	want.InsertValues(s("ann"))
+	for _, plan := range []algebra.Plan{divPlan, cjPlan} {
+		out, err := exec.Run(exec.NewContext(cat), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("got:\n%s\nwant ann only", out)
+		}
+	}
+}
+
+// TestProp4Cases exercises the five syntactic cases of Proposition 4 on a
+// generic R/S/T/G database and cross-checks against the oracle.
+func TestProp4Cases(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.MustDefine("R", relation.NewSchema("x", "y"))
+	sRel := cat.MustDefine("S", relation.NewSchema("x", "y", "z"))
+	tRel := cat.MustDefine("T", relation.NewSchema("y", "z"))
+	g := cat.MustDefine("G", relation.NewSchema("x", "y", "z"))
+	for _, row := range [][2]string{{"x1", "y1"}, {"x1", "y2"}, {"x2", "y1"}, {"x3", "y3"}} {
+		r.InsertValues(s(row[0]), s(row[1]))
+	}
+	for _, row := range [][3]string{{"x1", "y1", "z1"}, {"x1", "y2", "z2"}, {"x2", "y1", "z1"}, {"x2", "y1", "z2"}} {
+		sRel.InsertValues(s(row[0]), s(row[1]), s(row[2]))
+	}
+	for _, row := range [][2]string{{"y1", "z1"}, {"y1", "z2"}, {"y2", "z2"}} {
+		tRel.InsertValues(s(row[0]), s(row[1]))
+	}
+	for _, row := range [][3]string{{"x1", "y1", "z1"}, {"x1", "y1", "z2"}, {"x2", "y1", "z1"}, {"x1", "y2", "z2"}} {
+		g.InsertValues(s(row[0]), s(row[1]), s(row[2]))
+	}
+	u1 := cat.MustDefine("U1", relation.NewSchema("z"))
+	for _, z := range []string{"z1", "z2"} {
+		u1.InsertValues(s(z))
+	}
+
+	cases := []string{
+		// 1: ∃y R ∧ ∃z (S ∧ G)
+		`{ x | exists y: R(x, y) and exists z: S(x, y, z) and G(x, y, z) }`,
+		// 2a: ∃y R ∧ ∃z (S ∧ ¬G)
+		`{ x | exists y: R(x, y) and exists z: S(x, y, z) and not G(x, y, z) }`,
+		// 2b: ∃y R ∧ ∃z (T ∧ ¬G) — x occurs only under the negation.
+		`{ x | exists y: R(x, y) and exists z: T(y, z) and not G(x, y, z) }`,
+		// 3: ∃y R ∧ ¬∃z (S ∧ G)
+		`{ x | exists y: R(x, y) and not exists z: S(x, y, z) and G(x, y, z) }`,
+		// 4: ∃y R ∧ ¬∃z (S ∧ ¬G)
+		`{ x | exists y: R(x, y) and not exists z: S(x, y, z) and not G(x, y, z) }`,
+		// 5: ∃y R ∧ ¬∃z (T ∧ ¬G) — the paper's division case. T(y,z) is
+		// CORRELATED with the outer y, where the literal G ÷ π₂(T) is
+		// unsound, so the translator uses the complement-join rewriting.
+		`{ x | exists y: R(x, y) and not exists z: T(y, z) and not G(x, y, z) }`,
+		// 5u: the uncorrelated variant, where the division applies.
+		`{ x | exists y: R(x, y) and not exists z: U1(z) and not G(x, y, z) }`,
+	}
+	o := loopeval.NewOracle(cat)
+	for _, input := range cases {
+		q := parser.MustParse(input)
+		want, err := o.Answers(q)
+		if err != nil {
+			t.Fatalf("oracle(%q): %v", input, err)
+		}
+		got, _, _ := evalBry(t, cat, Options{}, input)
+		if !got.Equal(want) {
+			t.Errorf("case %q:\ngot:\n%s\nwant:\n%s", input, got, want)
+		}
+		// No plan contains a cartesian product; only case 5 (the last
+		// input) may use the division — "in the fifth case, the division
+		// operator cannot be avoided" — and even it compiles
+		// division-free under the complement-join strategy.
+		nq, _ := rewrite.Normalize(q)
+		plan, err := NewBry(cat).TranslateOpen(nq)
+		if err != nil {
+			t.Fatalf("translate(%q): %v", input, err)
+		}
+		if n := algebra.CountOperators(plan, func(p algebra.Plan) bool {
+			_, ok := p.(*algebra.Product)
+			return ok
+		}); n != 0 {
+			t.Errorf("case %q: plan has cartesian products:\n%s", input, algebra.Explain(plan))
+		}
+		divs := algebra.CountOperators(plan, func(p algebra.Plan) bool {
+			_, ok := p.(*algebra.Division)
+			return ok
+		})
+		isCase5 := input == cases[len(cases)-1]
+		if isCase5 && divs != 1 {
+			t.Errorf("case 5 should use one division, got %d:\n%s", divs, algebra.Explain(plan))
+		}
+		if !isCase5 && divs != 0 {
+			t.Errorf("case %q: unexpected division:\n%s", input, algebra.Explain(plan))
+		}
+		cjPlan, err := NewBryWithOptions(cat, Options{Universal: UniversalComplementJoin}).TranslateOpen(nq)
+		if err != nil {
+			t.Fatalf("translate cj (%q): %v", input, err)
+		}
+		if n := algebra.CountOperators(cjPlan, func(p algebra.Plan) bool {
+			switch p.(type) {
+			case *algebra.Product, *algebra.Division:
+				return true
+			}
+			return false
+		}); n != 0 {
+			t.Errorf("case %q: complement-join strategy must avoid products and divisions:\n%s", input, algebra.Explain(cjPlan))
+		}
+	}
+}
+
+// TestDisjunctiveFilterStrategies: all three §3.3 strategies agree, and
+// the constrained chain avoids the union and the double scan.
+func TestDisjunctiveFilterStrategies(t *testing.T) {
+	cat := uniCatalog(t)
+	input := `{ x | member(x, "cs") and (speaks(x, "french") or speaks(x, "german")) }`
+	var results []*relation.Relation
+	var stats []*exec.Stats
+	for _, strat := range []DisjFilterStrategy{StrategyConstrainedOuterJoin, StrategyOuterJoin, StrategyUnion} {
+		out, _, st := evalBry(t, cat, Options{DisjunctiveFilters: strat}, input)
+		results = append(results, out)
+		stats = append(stats, st)
+	}
+	for i := 1; i < len(results); i++ {
+		if !results[0].Equal(results[i]) {
+			t.Fatalf("strategy %d disagrees:\n%s\nvs\n%s", i, results[0], results[i])
+		}
+	}
+	// The union strategy materializes; the outer-join strategies don't.
+	if stats[0].Materializations != 0 {
+		t.Errorf("constrained outer-join strategy materialized %d times", stats[0].Materializations)
+	}
+	if stats[2].Materializations == 0 {
+		t.Errorf("union strategy must materialize")
+	}
+	// The constrained chain performs no more probes than the plain chain.
+	if stats[0].Comparisons > stats[1].Comparisons {
+		t.Errorf("constrained chain (%d cmp) costlier than unconstrained (%d)", stats[0].Comparisons, stats[1].Comparisons)
+	}
+}
+
+// TestDisjunctiveFilterWithNegation: Q₂ of §3.3 with a negated branch.
+func TestDisjunctiveFilterWithNegation(t *testing.T) {
+	cat := uniCatalog(t)
+	input := `{ x | member(x, "cs") and (not skill(x, "db") or speaks(x, "german")) }`
+	oracleCheck(t, cat, input)
+	for _, strat := range []DisjFilterStrategy{StrategyOuterJoin, StrategyUnion} {
+		got, _, _ := evalBry(t, cat, Options{DisjunctiveFilters: strat}, input)
+		want, _, _ := evalBry(t, cat, Options{}, input)
+		if !got.Equal(want) {
+			t.Fatalf("strategy %d disagrees", strat)
+		}
+	}
+}
+
+// TestDisjunctiveFilterMixedBranches: comparison and quantified branches.
+func TestDisjunctiveFilterMixedBranches(t *testing.T) {
+	cat := uniCatalog(t)
+	inputs := []string{
+		`{ x, d | member(x, d) and (d = "math" or skill(x, "db")) }`,
+		`{ x | student(x) and ((exists y: attends(x, y)) or skill(x, "ai")) }`,
+		`{ x | student(x) and (not (exists y: attends(x, y)) or enrolled(x, "cs")) }`,
+	}
+	for _, input := range inputs {
+		oracleCheck(t, cat, input)
+	}
+}
+
+// TestClosedBooleanCombination: §3.2's conjunction of closed subqueries.
+func TestClosedBooleanCombination(t *testing.T) {
+	cat := uniCatalog(t)
+	input := `(exists x: student(x) and forall y: cs_lecture(y) => attends(x, y)) and (forall z1: student(z1) => exists z2: attends(z1, z2))`
+	oracleCheck(t, cat, input)
+	_, got, _ := evalBry(t, cat, Options{}, input)
+	// ann attends all lectures, and every student attends something.
+	if !got {
+		t.Fatal("want true")
+	}
+}
+
+// TestCoddBaseline: the classical reduction gives the same answers and
+// uses products and divisions.
+func TestCoddBaseline(t *testing.T) {
+	cat := uniCatalog(t)
+	inputs := []string{
+		`{ x, z | member(x, z) and not skill(x, "db") }`,
+		`{ x | student(x) and forall y: cs_lecture(y) => attends(x, y) }`,
+		`exists x: student(x) and not enrolled(x, "cs")`,
+		`forall z1: student(z1) => exists z2: attends(z1, z2)`,
+	}
+	o := loopeval.NewOracle(cat)
+	sawDivision := false
+	for _, input := range inputs {
+		q := parser.MustParse(input)
+		c := NewCodd(cat)
+		ctx := exec.NewContext(cat)
+		if q.IsOpen() {
+			plan, err := c.TranslateOpen(q)
+			if err != nil {
+				t.Fatalf("Codd(%q): %v", input, err)
+			}
+			got, err := exec.Run(ctx, plan)
+			if err != nil {
+				t.Fatalf("run Codd(%q): %v", input, err)
+			}
+			want, err := o.Answers(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("Codd(%q):\ngot:\n%s\nwant:\n%s", input, got, want)
+			}
+			if algebra.CountOperators(plan, func(p algebra.Plan) bool { _, ok := p.(*algebra.Division); return ok }) > 0 {
+				sawDivision = true
+			}
+		} else {
+			bp, err := c.TranslateClosed(q.Body)
+			if err != nil {
+				t.Fatalf("Codd(%q): %v", input, err)
+			}
+			got, err := exec.EvalBool(ctx, bp)
+			if err != nil {
+				t.Fatalf("eval Codd(%q): %v", input, err)
+			}
+			want, err := o.Closed(q.Body, loopeval.Env{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("Codd(%q) = %v, want %v", input, got, want)
+			}
+			if algebra.CountBoolOperators(bp, func(p algebra.Plan) bool { _, ok := p.(*algebra.Division); return ok }) > 0 {
+				sawDivision = true
+			}
+		}
+	}
+	if !sawDivision {
+		t.Error("the Codd baseline should use Division for universal quantifiers")
+	}
+}
+
+// TestOpenDisjunction: union of open disjuncts (Definition 3 case 2).
+func TestOpenDisjunction(t *testing.T) {
+	cat := uniCatalog(t)
+	oracleCheck(t, cat, `{ x | student(x) or prof(x) }`)
+	oracleCheck(t, cat, `{ x | (student(x) and makes(x, "PhD")) or (prof(x) and speaks(x, "german")) }`)
+}
+
+// TestGroundAtoms: closed atoms and ground comparisons.
+func TestGroundAtoms(t *testing.T) {
+	cat := uniCatalog(t)
+	oracleCheck(t, cat, `student("ann") and 1 < 2`)
+	oracleCheck(t, cat, `student("nobody") or prof("kim")`)
+	oracleCheck(t, cat, `{ x | student(x) and prof("kim") }`)
+	oracleCheck(t, cat, `{ x | student(x) and 2 < 1 }`)
+}

@@ -1,0 +1,203 @@
+// Package views implements the view mechanism Definition 1 of the paper
+// presupposes: a range may be "a relation or a view", and the database
+// domain itself is described as "the view 'dom'". A view is a named open
+// query; occurrences of the view's name in atoms are expanded inline —
+// the view body is substituted with its open variables bound to the
+// atom's arguments and all other bound variables freshly renamed — before
+// normalization, so Phase 1 and Phase 2 never see view atoms.
+//
+// Inline expansion is exactly the paper's reading of Definition 1's
+// "allowing view definitions local to a query": after expansion, the view
+// body participates in range recognition, miniscoping and producer/filter
+// decisions like any other subformula.
+package views
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+)
+
+// View is a named open query acting as a derived relation.
+type View struct {
+	Name string
+	// Params are the view's column variables, in order.
+	Params []string
+	// Body is the defining formula; its free variables are exactly Params.
+	Body calculus.Formula
+}
+
+// Arity returns the number of view columns.
+func (v *View) Arity() int { return len(v.Params) }
+
+// Registry holds named views and expands them in queries.
+type Registry struct {
+	views map[string]*View
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{views: make(map[string]*View)} }
+
+// Define registers a view from its surface definition, e.g.
+//
+//	Define("cs_member", `{ x | member(x, "cs") }`)
+//
+// The definition must be an open query. Views may reference other views
+// defined earlier; cycles are rejected at expansion time.
+func (r *Registry) Define(name, definition string) (*View, error) {
+	if _, dup := r.views[name]; dup {
+		return nil, fmt.Errorf("views: view %q already defined", name)
+	}
+	q, err := parser.Parse(definition)
+	if err != nil {
+		return nil, fmt.Errorf("views: defining %q: %w", name, err)
+	}
+	return r.DefineQuery(name, q)
+}
+
+// DefineQuery registers a view from a parsed open query.
+func (r *Registry) DefineQuery(name string, q parser.Query) (*View, error) {
+	if !q.IsOpen() {
+		return nil, fmt.Errorf("views: view %q must be defined by an open query", name)
+	}
+	if _, dup := r.views[name]; dup {
+		return nil, fmt.Errorf("views: view %q already defined", name)
+	}
+	free := calculus.FreeVars(q.Body)
+	if !free.Equal(calculus.NewVarSet(q.OpenVars...)) {
+		return nil, fmt.Errorf("views: view %q body must use exactly its column variables %v", name, q.OpenVars)
+	}
+	v := &View{Name: name, Params: q.OpenVars, Body: q.Body}
+	r.views[name] = v
+	return v, nil
+}
+
+// Has reports whether a view with that name exists.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.views[name]
+	return ok
+}
+
+// Names returns the defined view names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.views))
+	for n := range r.views {
+		out = append(out, n)
+	}
+	return out
+}
+
+// maxDepth bounds transitive view expansion; exceeding it means a cycle.
+const maxDepth = 64
+
+// Expand rewrites every view atom in the query into the view's body.
+// Nested views expand transitively; cyclic definitions are reported.
+func (r *Registry) Expand(q parser.Query) (parser.Query, error) {
+	if len(r.views) == 0 {
+		return q, nil
+	}
+	gen := calculus.NewNameGen(calculus.AllVars(q.Body))
+	body, err := r.expand(q.Body, gen, 0)
+	if err != nil {
+		return parser.Query{}, err
+	}
+	return parser.Query{OpenVars: q.OpenVars, Body: body}, nil
+}
+
+// ExpandFormula is Expand for a bare formula.
+func (r *Registry) ExpandFormula(f calculus.Formula) (calculus.Formula, error) {
+	q, err := r.Expand(parser.Query{Body: f})
+	if err != nil {
+		return nil, err
+	}
+	return q.Body, nil
+}
+
+func (r *Registry) expand(f calculus.Formula, gen *calculus.NameGen, depth int) (calculus.Formula, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("views: expansion exceeds depth %d — cyclic view definitions?", maxDepth)
+	}
+	switch n := f.(type) {
+	case calculus.Atom:
+		v, ok := r.views[n.Pred]
+		if !ok {
+			return f, nil
+		}
+		inst, err := r.instantiate(v, n.Args, gen)
+		if err != nil {
+			return nil, err
+		}
+		// The instantiated body may itself contain view atoms.
+		return r.expand(inst, gen, depth+1)
+	case calculus.Cmp:
+		return f, nil
+	case calculus.Not:
+		inner, err := r.expand(n.F, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Not{F: inner}, nil
+	case calculus.And:
+		l, err := r.expand(n.L, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.expand(n.R, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.And{L: l, R: rr}, nil
+	case calculus.Or:
+		l, err := r.expand(n.L, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.expand(n.R, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Or{L: l, R: rr}, nil
+	case calculus.Implies:
+		l, err := r.expand(n.L, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.expand(n.R, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Implies{L: l, R: rr}, nil
+	case calculus.Exists:
+		inner, err := r.expand(n.Body, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Exists{Vars: n.Vars, Body: inner}, nil
+	case calculus.Forall:
+		inner, err := r.expand(n.Body, gen, depth)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Forall{Vars: n.Vars, Body: inner}, nil
+	default:
+		return nil, fmt.Errorf("views: unknown formula %T", f)
+	}
+}
+
+// instantiate builds the view body with its parameters bound to the
+// atom's argument terms. Equal view columns forced by a repeated variable
+// or constant argument become the corresponding substitution directly;
+// the view's internal bound variables are freshly renamed to keep the
+// whole query standardized apart.
+func (r *Registry) instantiate(v *View, args []calculus.Term, gen *calculus.NameGen) (calculus.Formula, error) {
+	if len(args) != len(v.Params) {
+		return nil, fmt.Errorf("views: view %q has %d columns, atom supplies %d", v.Name, len(v.Params), len(args))
+	}
+	body := calculus.RenameBound(v.Body, gen)
+	sub := make(map[string]calculus.Term, len(args))
+	for i, p := range v.Params {
+		sub[p] = args[i]
+	}
+	return calculus.Subst(body, sub), nil
+}

@@ -1,0 +1,224 @@
+package views
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calculus"
+	"repro/internal/parser"
+)
+
+func TestDefineRejectsClosed(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("v", `exists x: p(x)`); err == nil {
+		t.Fatal("closed definitions must be rejected")
+	}
+}
+
+func TestDefineRejectsBadColumns(t *testing.T) {
+	r := NewRegistry()
+	// The registry itself validates the column/free-variable
+	// correspondence: y is declared but absent from the body.
+	if _, err := r.Define("v", `{ x, y | p(x) }`); err == nil {
+		t.Fatal("column variables must all occur in the body")
+	}
+}
+
+func TestDefineRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("v", `{ x | p(x) }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Define("v", `{ x | q(x) }`); err == nil {
+		t.Fatal("duplicate view must be rejected")
+	}
+	if !r.Has("v") || r.Has("w") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestExpandSimple(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("cs_member", `{ x | member(x, "cs") }`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Expand(parser.MustParse(`{ y | cs_member(y) and prof(y) }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParse(`{ y | member(y, "cs") and prof(y) }`)
+	if !calculus.AlphaEqual(q.Body, want.Body) {
+		t.Fatalf("got %s, want %s", q.Body, want.Body)
+	}
+}
+
+func TestExpandConstantArgument(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("knows", `{ x, y | exists p: works_on(x, p) and works_on(y, p) }`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Expand(parser.MustParse(`{ x | knows(x, "ann") }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParse(`{ x | exists p: works_on(x, p) and works_on("ann", p) }`)
+	if !calculus.AlphaEqual(q.Body, want.Body) {
+		t.Fatalf("got %s, want %s", q.Body, want.Body)
+	}
+}
+
+func TestExpandAvoidsCapture(t *testing.T) {
+	r := NewRegistry()
+	// The view binds p internally; the caller uses p as its open variable.
+	if _, err := r.Define("busy", `{ x | exists p: works_on(x, p) }`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Expand(parser.MustParse(`{ p | emp(p) and busy(p) }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view's bound p must have been renamed away from the caller's p.
+	fv := calculus.FreeVars(q.Body)
+	if !fv.Equal(calculus.NewVarSet("p")) {
+		t.Fatalf("free variables after expansion: %v", fv.Sorted())
+	}
+	var sawInnerP bool
+	calculus.Walk(q.Body, func(g calculus.Formula) {
+		if ex, ok := g.(calculus.Exists); ok {
+			for _, v := range ex.Vars {
+				if v == "p" {
+					sawInnerP = true
+				}
+			}
+		}
+	})
+	if sawInnerP {
+		t.Fatalf("view-bound variable captured the caller's p: %s", q.Body)
+	}
+}
+
+func TestExpandNestedViews(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("cs_member", `{ x | member(x, "cs") }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Define("cs_prof", `{ x | cs_member(x) and prof(x) }`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Expand(parser.MustParse(`exists z: cs_prof(z)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(q.Body.String(), "cs_") {
+		t.Fatalf("nested views not fully expanded: %s", q.Body)
+	}
+}
+
+func TestExpandCycleDetected(t *testing.T) {
+	r := NewRegistry()
+	// Mutually recursive views can only be built via DefineQuery in two
+	// steps; simulate with a self-reference.
+	q := parser.MustParse(`{ x | loop_v(x) and p(x) }`)
+	if _, err := r.DefineQuery("loop_v", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Expand(parser.MustParse(`{ x | loop_v(x) }`)); err == nil {
+		t.Fatal("cyclic expansion must be detected")
+	}
+}
+
+func TestExpandArityMismatch(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("v", `{ x, y | r(x, y) }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Expand(parser.MustParse(`{ x | v(x) }`)); err == nil {
+		t.Fatal("arity mismatch must be reported")
+	}
+}
+
+func TestExpandInsideQuantifiersAndNegation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("attends_any", `{ x | exists y: attends(x, y) }`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Expand(parser.MustParse(`forall s: student(s) => attends_any(s)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParse(`forall s: student(s) => exists y: attends(s, y)`)
+	if !calculus.AlphaEqual(q.Body, want.Body) {
+		t.Fatalf("got %s, want %s", q.Body, want.Body)
+	}
+	q2, err := r.Expand(parser.MustParse(`{ s | student(s) and not attends_any(s) }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := parser.MustParse(`{ s | student(s) and not exists y: attends(s, y) }`)
+	if !calculus.AlphaEqual(q2.Body, want2.Body) {
+		t.Fatalf("got %s, want %s", q2.Body, want2.Body)
+	}
+}
+
+func TestNoViewsPassThrough(t *testing.T) {
+	r := NewRegistry()
+	q := parser.MustParse(`{ x | p(x) }`)
+	out, err := r.Expand(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !calculus.Equal(out.Body, q.Body) {
+		t.Fatal("empty registry must pass queries through unchanged")
+	}
+}
+
+func TestExpandErrorsPropagate(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Define("v", `{ x, y | r(x, y) }`); err != nil {
+		t.Fatal(err)
+	}
+	// Arity errors must surface through every connective position.
+	for _, input := range []string{
+		`not v(x)`,
+		`v(x) and p(x)`,
+		`p(x) or v(x)`,
+		`exists x: v(x)`,
+		`forall x: p(x) => v(x)`,
+	} {
+		q := parser.MustParse(input)
+		if _, err := r.Expand(q); err == nil {
+			t.Errorf("Expand(%q) must fail on arity mismatch", input)
+		}
+	}
+}
+
+func TestNamesAndExpandFormula(t *testing.T) {
+	r := NewRegistry()
+	r.Define("a", `{ x | p(x) }`)
+	r.Define("b", `{ x | q(x) }`)
+	names := r.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+	f, err := r.ExpandFormula(parser.MustParse(`exists z: a(z) and b(z)`).Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParse(`exists z: p(z) and q(z)`).Body
+	if !calculus.AlphaEqual(f, want) {
+		t.Fatalf("got %s, want %s", f, want)
+	}
+}
+
+func TestExpandComparisonPassThrough(t *testing.T) {
+	r := NewRegistry()
+	r.Define("v", `{ x | p(x) }`)
+	q, err := r.Expand(parser.MustParse(`{ x | v(x) and x != "a" }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParse(`{ x | p(x) and x != "a" }`).Body
+	if !calculus.AlphaEqual(q.Body, want) {
+		t.Fatalf("got %s", q.Body)
+	}
+}
