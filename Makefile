@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench repro
+
+## check: the tier-1 gate — format, vet, build, tests, race tests
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the concurrent packages
+race:
+	$(GO) test -race ./internal/exec/ ./internal/core/
+
+## bench: the paper's figure/experiment benchmarks
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## repro: regenerate every paper figure and experiment table
+repro:
+	$(GO) run ./cmd/benchrepro

@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every figure of the paper and
-// measure every efficiency claim (experiments F1-F4 and E1-E8 of
+// measure every efficiency claim (experiments F1-F4 and E1-E12 of
 // DESIGN.md). Each benchmark reports, besides ns/op, the executor's cost
 // counters as custom metrics:
 //
@@ -535,6 +535,84 @@ func BenchmarkE10UniversalStrategies(b *testing.B) {
 			b.StopTimer()
 			reportStats(b, total)
 		})
+	}
+}
+
+// --- E12: partitioned parallel executor vs serial (DESIGN.md) ----------------
+
+// drainPlan builds and exhausts the plan's iterator directly — without
+// exec.Run's result materialization and dedup — so the pair isolates the
+// executor's join work, which is what partitioning changes.
+func drainPlan(b *testing.B, cat *storage.Catalog, plan algebra.Plan, parallelism int) {
+	var total exec.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext(cat)
+		ctx.Parallelism = parallelism
+		it, err := exec.Build(ctx, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it.Open()
+		rows := 0
+		for _, ok := it.Next(); ok; _, ok = it.Next() {
+			rows++
+		}
+		it.Close()
+		if rows == 0 {
+			b.Fatal("benchmark plan produced no rows")
+		}
+		total.Add(*ctx.Stats)
+	}
+	b.StopTimer()
+	reportStats(b, total)
+	b.ReportMetric(float64(total.PartitionsExecuted)/float64(b.N), "part/op")
+}
+
+// BenchmarkE12ParallelPartitionedJoin pairs each join-heavy plan at
+// Parallelism 1 (the classic serial hash join) and 4 (hash-partitioned
+// workers). The pair is the acceptance gate for the partitioned executor:
+// parallel must be ≥1.8× faster on at least one workload.
+func BenchmarkE12ParallelPartitionedJoin(b *testing.B) {
+	p := dataset.DefaultUniversity(50000)
+	p.Lectures = 40
+	p.AttendProb = 0.03
+	cat := dataset.University(p)
+
+	plans := []struct {
+		name string
+		plan algebra.Plan
+	}{
+		{"join/member-skill", func() algebra.Plan {
+			member, _ := cat.Relation("member")
+			skill, _ := cat.Relation("skill")
+			return &algebra.Join{
+				Left:  algebra.NewScan("member", member.Schema()),
+				Right: algebra.NewScan("skill", skill.Schema()),
+				On:    []algebra.ColPair{{Left: 0, Right: 0}},
+			}
+		}()},
+		{"complement-join/member-not-skill-db", func() algebra.Plan {
+			plan, _ := prepare(b, cat, core.StrategyBry, translate.Options{},
+				`{ x, z | member(x, z) and not skill(x, "db") }`)
+			return plan
+		}()},
+		{"semijoin/attends-cs", func() algebra.Plan {
+			att, _ := cat.Relation("attends")
+			lec, _ := cat.Relation("cs_lecture")
+			return &algebra.SemiJoin{
+				Left:  algebra.NewScan("attends", att.Schema()),
+				Right: algebra.NewScan("cs_lecture", lec.Schema()),
+				On:    []algebra.ColPair{{Left: 1, Right: 0}},
+			}
+		}()},
+	}
+	for _, pl := range plans {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/parallel=%d", pl.name, par), func(b *testing.B) {
+				drainPlan(b, cat, pl.plan, par)
+			})
+		}
 	}
 }
 

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	benchrepro            # everything
-//	benchrepro -only fig4 # one artifact: fig1..fig4, e1..e8
+//	benchrepro             # everything
+//	benchrepro -only fig4  # one artifact: fig1..fig4, e1..e12
+//	benchrepro -parallel 4 # run the query artifacts on the partitioned executor
 package main
 
 import (
@@ -30,8 +31,14 @@ import (
 	"repro/internal/translate"
 )
 
+// parallelism is the partition fan-out applied to every engine the query
+// artifacts build (-parallel flag; 1 = serial). The counters are designed
+// to be identical either way — e12 demonstrates exactly that.
+var parallelism = 1
+
 func main() {
-	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e8")
+	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e12")
+	flag.IntVar(&parallelism, "parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
 	flag.Parse()
 
 	artifacts := []struct {
@@ -53,6 +60,7 @@ func main() {
 		{"e8", e8, "E8 — emptiness-test early termination (§3.2)"},
 		{"e9", e9, "E9 — indexed vs hash-building executor (ablation)"},
 		{"e10", e10, "E10 — universal quantification: counting vs division vs complement-join"},
+		{"e12", e12, "E12 — partitioned parallel executor: serial vs parallel counter parity"},
 	}
 	ran := false
 	for _, a := range artifacts {
@@ -145,9 +153,11 @@ func universityDB(n int) *core.DB {
 }
 
 func queryRow(db *core.DB, strat core.Strategy, opt translate.Options, label, input string) row {
-	eng := core.NewEngine(db)
-	eng.Strategy = strat
-	eng.Options = opt
+	eng := core.NewEngine(db,
+		core.WithStrategy(strat),
+		core.WithTranslateOptions(opt),
+		core.WithParallelism(parallelism),
+	)
 	res, err := eng.Query(input)
 	if err != nil {
 		log.Fatalf("%s: %v", label, err)
@@ -518,4 +528,36 @@ func e10() {
 	out, stats := mustRun(cat, quel)
 	rows = append(rows, row{label: "Quel-style counting (§1)", stats: stats, extra: fmt.Sprintf("%d rows", out.Len())})
 	printTable("universal quantification strategies, 1000 students", rows)
+}
+
+// e12 runs a join-heavy query serially and under increasing partition
+// fan-outs: results and counters must agree (the partitioned executor
+// charges identical work, sharded per worker and merged lock-free), with
+// only the partition counter recording the fan-out. Timings live in the go
+// benchmarks (go test -bench E12).
+func e12() {
+	p := dataset.DefaultUniversity(3000)
+	p.Lectures = 60
+	p.AttendProb = 0.1
+	cat := dataset.University(p)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	q := `{ x, z | member(x, z) and not skill(x, "db") and exists y: cs_lecture(y) and attends(x, y) }`
+	var rows []row
+	for _, par := range []int{1, 2, 4, 8} {
+		eng := core.NewEngine(db, core.WithParallelism(par))
+		res, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			label: fmt.Sprintf("parallel=%d", par),
+			stats: res.Stats,
+			extra: fmt.Sprintf("%d rows, partitions=%d", res.Rows.Len(), res.Stats.PartitionsExecuted),
+		})
+	}
+	printTable("partitioned executor parity, 3000 students", rows)
 }

@@ -6,6 +6,7 @@
 //
 //	queryctl -dataset university -n 100                 # REPL
 //	queryctl -dataset ptu -q '{ x | P(x) and T(x) }'    # one-shot
+//	queryctl -parallel 4 -timeout 5s                    # tuned engine
 //
 // REPL commands:
 //
@@ -13,6 +14,8 @@
 //	\d NAME        show a relation's contents
 //	\strategy S    switch evaluation strategy (bry, codd, codd-improved, loop)
 //	\filters S     disjunctive-filter strategy (constrained, outerjoin, union)
+//	\parallel P    partition fan-out of the hash-join family (1 = serial)
+//	\timeout D     per-query execution bound, e.g. 500ms or 10s (0 = none)
 //	\explain Q     show canonical form and plan without executing
 //	\cost Q        show the plan with cost-model estimates
 //	\canonical Q   show only the canonical form
@@ -26,10 +29,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -41,6 +48,8 @@ func main() {
 	ds := flag.String("dataset", "university", "dataset: university, ptu, rstg")
 	n := flag.Int("n", 100, "dataset scale")
 	strategy := flag.String("strategy", "bry", "evaluation strategy: bry, codd, codd-improved, loop")
+	parallel := flag.Int("parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query execution bound (0 = none)")
 	oneShot := flag.String("q", "", "run a single query and exit")
 	flag.Parse()
 
@@ -54,7 +63,10 @@ func main() {
 		r, _ := cat.Relation(name)
 		db.Catalog().Add(r)
 	}
-	eng := core.NewEngine(db)
+	eng := core.NewEngine(db,
+		core.WithParallelism(*parallel),
+		core.WithTimeout(*timeout),
+	)
 	if err := setStrategy(eng, *strategy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,13 +74,13 @@ func main() {
 
 	if *oneShot != "" {
 		if err := runQuery(eng, *oneShot); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, diagnose(err))
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Printf("dataset %q (scale %d), strategy %s — \\d lists relations, \\quit exits\n", *ds, *n, eng.Strategy)
+	fmt.Printf("dataset %q (scale %d), strategy %s — \\d lists relations, \\quit exits\n", *ds, *n, eng.Strategy())
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("query> ")
 	for sc.Scan() {
@@ -94,30 +106,46 @@ func main() {
 			if err := setStrategy(eng, strings.TrimSpace(line[10:])); err != nil {
 				fmt.Println(err)
 			} else {
-				fmt.Printf("strategy = %s\n", eng.Strategy)
+				fmt.Printf("strategy = %s\n", eng.Strategy())
 			}
 		case strings.HasPrefix(line, `\filters `):
 			if err := setFilters(eng, strings.TrimSpace(line[9:])); err != nil {
 				fmt.Println(err)
 			}
+		case strings.HasPrefix(line, `\parallel `):
+			p, err := strconv.Atoi(strings.TrimSpace(line[10:]))
+			if err != nil || p < 1 {
+				fmt.Println(`usage: \parallel P  (P ≥ 1; 1 = serial)`)
+				break
+			}
+			eng.Configure(core.WithParallelism(p))
+			fmt.Printf("parallelism = %d\n", eng.Parallelism())
+		case strings.HasPrefix(line, `\timeout `):
+			d, err := time.ParseDuration(strings.TrimSpace(line[9:]))
+			if err != nil || d < 0 {
+				fmt.Println(`usage: \timeout D  (e.g. 500ms, 10s; 0 = none)`)
+				break
+			}
+			eng.Configure(core.WithTimeout(d))
+			fmt.Printf("timeout = %s\n", eng.Timeout())
 		case strings.HasPrefix(line, `\explain `):
 			out, err := eng.Explain(strings.TrimSpace(line[9:]))
 			if err != nil {
-				fmt.Println(err)
+				fmt.Println(diagnose(err))
 			} else {
 				fmt.Print(out)
 			}
 		case strings.HasPrefix(line, `\cost `):
 			out, err := eng.ExplainCost(strings.TrimSpace(line[6:]))
 			if err != nil {
-				fmt.Println(err)
+				fmt.Println(diagnose(err))
 			} else {
 				fmt.Print(out)
 			}
 		case strings.HasPrefix(line, `\canonical `):
 			p, err := eng.Prepare(strings.TrimSpace(line[11:]))
 			if err != nil {
-				fmt.Println(err)
+				fmt.Println(diagnose(err))
 			} else {
 				fmt.Println(p.Canonical)
 			}
@@ -160,10 +188,36 @@ func main() {
 			fmt.Printf("unknown command %q\n", line)
 		default:
 			if err := runQuery(eng, line); err != nil {
-				fmt.Println(err)
+				fmt.Println(diagnose(err))
 			}
 		}
 		fmt.Print("query> ")
+	}
+}
+
+// diagnose turns the engine's typed errors into actionable messages: a
+// syntax error points at the grammar, a safety rejection explains the
+// range-restriction rules, a planner error asks for a bug report, and a
+// deadline hit names the timeout knobs.
+func diagnose(err error) string {
+	var pe *core.ParseError
+	var se *core.SafetyError
+	var le *core.PlanError
+	switch {
+	case errors.As(err, &pe):
+		return fmt.Sprintf("syntax error: %v\n  (queries look like { x | student(x) } or a closed formula like exists x: student(x))", pe.Err)
+	case errors.As(err, &se):
+		return fmt.Sprintf("unsafe query: %v\n  (every variable needs a range: a positive atom binding it — Definitions 1–3)", se.Err)
+	case errors.As(err, &le):
+		var ur *storage.UnknownRelationError
+		if errors.As(le.Err, &ur) {
+			return fmt.Sprintf("unknown relation %q\n  (\\d lists the relations and views this database defines)", ur.Name)
+		}
+		return fmt.Sprintf("planner error (%s stage): %v\n  (the query is well-formed; this is likely a bug worth reporting)", le.Stage, le.Err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Sprintf("query timed out: %v\n  (raise or clear the bound with \\timeout)", err)
+	default:
+		return err.Error()
 	}
 }
 
@@ -183,13 +237,13 @@ func buildDataset(name string, n int) (*storage.Catalog, error) {
 func setStrategy(eng *core.Engine, s string) error {
 	switch s {
 	case "bry":
-		eng.Strategy = core.StrategyBry
+		eng.Configure(core.WithStrategy(core.StrategyBry))
 	case "codd":
-		eng.Strategy = core.StrategyCodd
+		eng.Configure(core.WithStrategy(core.StrategyCodd))
 	case "codd-improved":
-		eng.Strategy = core.StrategyCoddImproved
+		eng.Configure(core.WithStrategy(core.StrategyCoddImproved))
 	case "loop":
-		eng.Strategy = core.StrategyLoop
+		eng.Configure(core.WithStrategy(core.StrategyLoop))
 	default:
 		return fmt.Errorf("unknown strategy %q (bry, codd, loop)", s)
 	}
@@ -199,11 +253,11 @@ func setStrategy(eng *core.Engine, s string) error {
 func setFilters(eng *core.Engine, s string) error {
 	switch s {
 	case "constrained":
-		eng.Options.DisjunctiveFilters = translate.StrategyConstrainedOuterJoin
+		eng.Configure(core.WithDisjunctiveFilters(translate.StrategyConstrainedOuterJoin))
 	case "outerjoin":
-		eng.Options.DisjunctiveFilters = translate.StrategyOuterJoin
+		eng.Configure(core.WithDisjunctiveFilters(translate.StrategyOuterJoin))
 	case "union":
-		eng.Options.DisjunctiveFilters = translate.StrategyUnion
+		eng.Configure(core.WithDisjunctiveFilters(translate.StrategyUnion))
 	default:
 		return fmt.Errorf("unknown filter strategy %q (constrained, outerjoin, union)", s)
 	}

@@ -34,8 +34,8 @@ func TestSetStrategyAndFilters(t *testing.T) {
 		"bry": core.StrategyBry, "codd": core.StrategyCodd,
 		"codd-improved": core.StrategyCoddImproved, "loop": core.StrategyLoop,
 	} {
-		if err := setStrategy(eng, name); err != nil || eng.Strategy != want {
-			t.Fatalf("setStrategy(%s): %v -> %v", name, err, eng.Strategy)
+		if err := setStrategy(eng, name); err != nil || eng.Strategy() != want {
+			t.Fatalf("setStrategy(%s): %v -> %v", name, err, eng.Strategy())
 		}
 	}
 	if err := setStrategy(eng, "warp"); err == nil {
@@ -46,7 +46,7 @@ func TestSetStrategyAndFilters(t *testing.T) {
 		"outerjoin":   translate.StrategyOuterJoin,
 		"union":       translate.StrategyUnion,
 	} {
-		if err := setFilters(eng, name); err != nil || eng.Options.DisjunctiveFilters != want {
+		if err := setFilters(eng, name); err != nil || eng.TranslateOptions().DisjunctiveFilters != want {
 			t.Fatalf("setFilters(%s): %v", name, err)
 		}
 	}

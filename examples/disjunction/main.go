@@ -46,8 +46,7 @@ func main() {
 	for _, q := range queries {
 		fmt.Printf("== %s\n   %s\n\n", q.title, q.text)
 		for _, st := range strategies {
-			eng := core.NewEngine(db)
-			eng.Options = translate.Options{DisjunctiveFilters: st.s}
+			eng := core.NewEngine(db, core.WithDisjunctiveFilters(st.s))
 			p, err := eng.Prepare(q.text)
 			if err != nil {
 				log.Fatal(err)

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relation"
@@ -64,7 +65,9 @@ func main() {
 		},
 	}
 
-	eng := core.NewEngine(db)
+	// Constraint checking is a background-maintenance workload: bound it
+	// with a timeout and run the join family partitioned.
+	eng := core.NewEngine(db, core.WithParallelism(2), core.WithTimeout(30*time.Second))
 	for _, c := range constraints {
 		ok, err := eng.Check(c.check)
 		if err != nil {

@@ -49,7 +49,7 @@ func main() {
 		}
 	}
 
-	eng := core.NewEngine(db)
+	eng := core.NewEngine(db, core.WithIndexes(true))
 
 	fmt.Println("== queries over views")
 	for _, q := range []string{

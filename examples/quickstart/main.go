@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relation"
@@ -29,7 +30,9 @@ func main() {
 	attends.InsertValues(relation.Str("ann"), relation.Str("ai202"))
 	attends.InsertValues(relation.Str("bob"), relation.Str("db101"))
 
-	eng := core.NewEngine(db)
+	// An engine is configured with functional options; a timeout bounds
+	// every query it runs (queries this small finish far inside it).
+	eng := core.NewEngine(db, core.WithTimeout(5*time.Second))
 
 	// 2. An open query: who attends every lecture? The universal
 	// quantifier is normalized away (Rules 4/5) and evaluated with a

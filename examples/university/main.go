@@ -50,8 +50,7 @@ func main() {
 		fmt.Printf("== %s\n   %s\n", q.title, q.text)
 		fmt.Fprintln(w, "strategy\tanswer\treads\tcomparisons\tintermediates\tmaterializations")
 		for _, strat := range []core.Strategy{core.StrategyBry, core.StrategyCodd, core.StrategyLoop} {
-			eng := core.NewEngine(db)
-			eng.Strategy = strat
+			eng := core.NewEngine(db, core.WithStrategy(strat))
 			res, err := eng.Query(q.text)
 			if err != nil {
 				log.Fatalf("%s: %v", strat, err)

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/relation"
+)
+
+// TestTypedErrors checks that Prepare failures classify into the three
+// wrapper types and stay errors.As/Is-compatible.
+func TestTypedErrors(t *testing.T) {
+	eng := NewEngine(demoDB())
+
+	_, err := eng.Query(`{ x | student( }`)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("syntax failure = %T(%v), want *ParseError", err, err)
+	}
+	if pe.Input == "" || pe.Unwrap() == nil {
+		t.Fatalf("ParseError missing context: %+v", pe)
+	}
+
+	_, err = eng.Query(`{ x | not student(x) }`)
+	var se *SafetyError
+	if !errors.As(err, &se) {
+		t.Fatalf("unsafe query = %T(%v), want *SafetyError", err, err)
+	}
+	if errors.As(err, &pe) {
+		t.Fatal("safety error must not classify as parse error")
+	}
+
+	_, err = eng.Query(`{ x | no_such_relation(x) }`)
+	var le *PlanError
+	if !errors.As(err, &le) {
+		t.Fatalf("unknown relation = %T(%v), want *PlanError", err, err)
+	}
+	if le.Stage == "" {
+		t.Fatalf("PlanError missing stage: %+v", le)
+	}
+}
+
+// largeDB builds a university big enough that the product-shaped query in
+// the deadline tests runs for much longer than the test deadlines.
+func largeDB(t *testing.T) *DB {
+	t.Helper()
+	p := dataset.DefaultUniversity(20000)
+	p.Lectures = 60
+	p.AttendProb = 0.02
+	cat := dataset.University(p)
+	db := NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	return db
+}
+
+const longQuery = `{ x, y | student(x) and cs_lecture(y) and not attends(x, y) }`
+
+// TestWithTimeoutAbortsLongQuery: an engine-level WithTimeout cancels a
+// long-running query within its deadline, for both the serial and the
+// partitioned executor, surfacing context.DeadlineExceeded.
+func TestWithTimeoutAbortsLongQuery(t *testing.T) {
+	db := largeDB(t)
+	for _, par := range []int{1, 4} {
+		eng := NewEngine(db, WithParallelism(par), WithTimeout(5*time.Millisecond))
+		start := time.Now()
+		res, err := eng.Query(longQuery)
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("parallel=%d: err = %v (res=%v), want context.DeadlineExceeded", par, err, res)
+		}
+		// Generous bound: the point is that it aborted, not that it was
+		// instantaneous (cancellation is polled every 1024 tuples).
+		if elapsed > 2*time.Second {
+			t.Fatalf("parallel=%d: abort took %s", par, elapsed)
+		}
+	}
+}
+
+// TestQueryContextCancel: a caller-supplied context cancels a run.
+func TestQueryContextCancel(t *testing.T) {
+	db := largeDB(t)
+	eng := NewEngine(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryContext(ctx, longQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryContextCompletes: an inert context changes nothing, and the
+// parallel engine agrees with the serial one on the same query.
+func TestQueryContextCompletes(t *testing.T) {
+	db := demoDB()
+	serial := NewEngine(db)
+	want, err := serial.QueryContext(context.Background(), `{ x | student(x) and not exists y: attends(x, y) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewEngine(db, WithParallelism(4))
+	got, err := par.QueryContext(context.Background(), `{ x | student(x) and not exists y: attends(x, y) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows.Equal(want.Rows) {
+		t.Fatalf("parallel engine disagrees:\n%s\nvs\n%s", got.Rows, want.Rows)
+	}
+}
+
+// TestCheckContext: the context-first constraint check works and still
+// rejects open queries.
+func TestCheckContext(t *testing.T) {
+	eng := NewEngine(demoDB(), WithParallelism(2))
+	ok, err := eng.CheckContext(context.Background(), `forall x, y: attends(x, y) => student(x)`)
+	if err != nil || !ok {
+		t.Fatalf("constraint: %v %v", ok, err)
+	}
+	if _, err := eng.CheckContext(context.Background(), `{ x | student(x) }`); err == nil {
+		t.Fatal("open queries are not constraints")
+	}
+}
+
+// TestStreamContextCancel: cancellation surfaces from StreamContext with
+// partial stats.
+func TestStreamContextCancel(t *testing.T) {
+	db := largeDB(t)
+	eng := NewEngine(db)
+	p, err := eng.Prepare(longQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	_, err = eng.StreamContext(ctx, p, func(relation.Tuple) bool { n++; return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestConfigureAccessors: options land in the accessors, and invalid
+// values are clamped.
+func TestConfigureAccessors(t *testing.T) {
+	eng := NewEngine(demoDB(),
+		WithStrategy(StrategyCodd),
+		WithIndexes(true),
+		WithParallelism(8),
+		WithTimeout(time.Second),
+	)
+	if eng.Strategy() != StrategyCodd || !eng.UseIndexes() || eng.Parallelism() != 8 || eng.Timeout() != time.Second {
+		t.Fatalf("accessors disagree with options: %v %v %v %v",
+			eng.Strategy(), eng.UseIndexes(), eng.Parallelism(), eng.Timeout())
+	}
+	eng.Configure(WithParallelism(-3), WithTimeout(-time.Second), WithStrategy(StrategyBry))
+	if eng.Parallelism() != 1 || eng.Timeout() != 0 || eng.Strategy() != StrategyBry {
+		t.Fatalf("clamping failed: %v %v", eng.Parallelism(), eng.Timeout())
+	}
+}

@@ -21,7 +21,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/cost"
@@ -105,20 +107,27 @@ func (s Strategy) String() string {
 	}
 }
 
-// Engine evaluates queries against a DB under a chosen strategy.
+// Engine evaluates queries against a DB under a chosen strategy. Its
+// tuning state is set through functional options (NewEngine, Configure)
+// and read through accessors (options.go); executions are bounded and
+// cancelled through the *Context method variants or WithTimeout.
 type Engine struct {
-	db *DB
-	// Strategy selects the pipeline; the zero value is StrategyBry.
-	Strategy Strategy
-	// Options configures the Bry pipeline's disjunctive-filter strategy.
-	Options translate.Options
-	// UseIndexes lets the executor probe persistent catalog indexes
-	// instead of building per-query hash tables where applicable.
-	UseIndexes bool
+	db          *DB
+	strategy    Strategy
+	topts       translate.Options
+	useIndexes  bool
+	parallelism int
+	timeout     time.Duration
 }
 
-// NewEngine builds an engine with the default (Bry) strategy.
-func NewEngine(db *DB) *Engine { return &Engine{db: db} }
+// NewEngine builds an engine with the default (Bry) strategy, then applies
+// the options: e.g. NewEngine(db, WithStrategy(StrategyCodd),
+// WithParallelism(4), WithTimeout(time.Second)).
+func NewEngine(db *DB, opts ...Option) *Engine {
+	e := &Engine{db: db}
+	e.Configure(opts...)
+	return e
+}
 
 // Result is the outcome of one query evaluation.
 type Result struct {
@@ -156,11 +165,13 @@ func (p *Prepared) Explain() string {
 	}
 }
 
-// Prepare parses, validates, normalizes and translates a query.
+// Prepare parses, validates, normalizes and translates a query. Failures
+// are classified: *ParseError for syntax, *SafetyError for Definition 1–3
+// range-restriction rejections, *PlanError for everything downstream.
 func (e *Engine) Prepare(input string) (*Prepared, error) {
 	q, err := parser.Parse(input)
 	if err != nil {
-		return nil, err
+		return nil, &ParseError{Input: input, Err: err}
 	}
 	return e.PrepareQuery(q)
 }
@@ -169,16 +180,16 @@ func (e *Engine) Prepare(input string) (*Prepared, error) {
 func (e *Engine) PrepareQuery(q parser.Query) (*Prepared, error) {
 	q, err := e.db.views.Expand(q)
 	if err != nil {
-		return nil, err
+		return nil, &PlanError{Stage: "views", Err: err}
 	}
 	nq, err := rewrite.Normalize(q)
 	if err != nil {
-		return nil, err
+		return nil, classifyNormalize(q.String(), err)
 	}
-	p := &Prepared{Source: q, Canonical: nq, strategy: e.Strategy}
-	switch e.Strategy {
+	p := &Prepared{Source: q, Canonical: nq, strategy: e.strategy}
+	switch e.strategy {
 	case StrategyBry:
-		tr := translate.NewBryWithOptions(e.db.cat, e.Options)
+		tr := translate.NewBryWithOptions(e.db.cat, e.topts)
 		p.Plan, p.BoolPlan, err = tr.Translate(nq)
 	case StrategyCodd:
 		tr := translate.NewCodd(e.db.cat)
@@ -189,30 +200,58 @@ func (e *Engine) PrepareQuery(q parser.Query) (*Prepared, error) {
 	case StrategyLoop:
 		// Interpretation happens at Run time; nothing to translate.
 	default:
-		err = fmt.Errorf("core: unknown strategy %v", e.Strategy)
+		err = fmt.Errorf("core: unknown strategy %v", e.strategy)
 	}
 	if err != nil {
-		return nil, err
+		return nil, &PlanError{Stage: "translate", Err: err}
 	}
 	// Defense in depth: a malformed plan is a translator bug; report it at
 	// preparation time rather than as an index panic during execution.
 	if p.Plan != nil {
 		if err := algebra.Validate(p.Plan); err != nil {
-			return nil, fmt.Errorf("core: internal planner error: %w", err)
+			return nil, &PlanError{Stage: "validate", Err: fmt.Errorf("core: internal planner error: %w", err)}
 		}
 	}
 	if p.BoolPlan != nil {
 		if err := algebra.ValidateBool(p.BoolPlan); err != nil {
-			return nil, fmt.Errorf("core: internal planner error: %w", err)
+			return nil, &PlanError{Stage: "validate", Err: fmt.Errorf("core: internal planner error: %w", err)}
 		}
 	}
 	return p, nil
 }
 
-// Run executes a prepared query.
+// execContext builds the execution context for one run: engine tuning
+// (indexes, parallelism) plus cancellation wiring. An engine-level timeout
+// (WithTimeout) layers a deadline over the caller's context; the returned
+// cancel func must be called when the run finishes.
+func (e *Engine) execContext(goCtx context.Context) (*exec.Context, context.CancelFunc) {
+	ctx := exec.NewContext(e.db.cat)
+	ctx.UseIndexes = e.useIndexes
+	ctx.Parallelism = e.parallelism
+	cancel := context.CancelFunc(func() {})
+	if e.timeout > 0 {
+		goCtx, cancel = context.WithTimeout(goCtx, e.timeout)
+	}
+	ctx.AttachContext(goCtx)
+	return ctx, cancel
+}
+
+// Run executes a prepared query without a cancellation bound (beyond an
+// engine-level WithTimeout).
 func (e *Engine) Run(p *Prepared) (*Result, error) {
+	return e.RunContext(context.Background(), p)
+}
+
+// RunContext executes a prepared query under the given context: once it is
+// cancelled or its deadline passes, the run aborts within a bounded number
+// of tuples and returns the context's error. The loop-interpreter strategy
+// checks the context only between top-level phases.
+func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error) {
 	res := &Result{Open: p.Source.IsOpen(), Canonical: p.Canonical.String()}
 	if p.strategy == StrategyLoop {
+		if err := goCtx.Err(); err != nil {
+			return nil, err
+		}
 		ev := loopeval.New(e.db.cat)
 		if p.Source.IsOpen() {
 			rows, err := ev.EvalOpen(p.Canonical)
@@ -231,8 +270,8 @@ func (e *Engine) Run(p *Prepared) (*Result, error) {
 		return res, nil
 	}
 
-	ctx := exec.NewContext(e.db.cat)
-	ctx.UseIndexes = e.UseIndexes
+	ctx, cancel := e.execContext(goCtx)
+	defer cancel()
 	if p.Plan != nil {
 		rows, err := exec.Run(ctx, p.Plan)
 		if err != nil {
@@ -256,12 +295,19 @@ func (e *Engine) Run(p *Prepared) (*Result, error) {
 // for unrequested tuples is never done). It returns the stats of the
 // partial execution.
 func (e *Engine) Stream(p *Prepared, visit func(relation.Tuple) bool) (exec.Stats, error) {
+	return e.StreamContext(context.Background(), p, visit)
+}
+
+// StreamContext is Stream under a context: cancellation aborts the
+// pipeline within a bounded number of tuples and returns the context's
+// error with the stats of the partial execution.
+func (e *Engine) StreamContext(goCtx context.Context, p *Prepared, visit func(relation.Tuple) bool) (exec.Stats, error) {
 	if !p.Source.IsOpen() {
 		return exec.Stats{}, fmt.Errorf("core: Stream needs an open query")
 	}
 	if p.strategy == StrategyLoop || p.Plan == nil {
 		// The loop interpreter has its own control flow; materialize.
-		res, err := e.Run(p)
+		res, err := e.RunContext(goCtx, p)
 		if err != nil {
 			return exec.Stats{}, err
 		}
@@ -272,8 +318,8 @@ func (e *Engine) Stream(p *Prepared, visit func(relation.Tuple) bool) (exec.Stat
 		}
 		return res.Stats, nil
 	}
-	ctx := exec.NewContext(e.db.cat)
-	ctx.UseIndexes = e.UseIndexes
+	ctx, cancel := e.execContext(goCtx)
+	defer cancel()
 	it, err := exec.Build(ctx, p.Plan)
 	if err != nil {
 		return exec.Stats{}, err
@@ -297,23 +343,33 @@ func (e *Engine) Stream(p *Prepared, visit func(relation.Tuple) bool) (exec.Stat
 			break
 		}
 	}
-	return *ctx.Stats, nil
+	return *ctx.Stats, ctx.CancelErr()
 }
 
 // Query prepares and runs a query in one step.
 func (e *Engine) Query(input string) (*Result, error) {
+	return e.QueryContext(context.Background(), input)
+}
+
+// QueryContext prepares and runs a query in one step under a context.
+func (e *Engine) QueryContext(goCtx context.Context, input string) (*Result, error) {
 	p, err := e.Prepare(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(p)
+	return e.RunContext(goCtx, p)
 }
 
 // Check evaluates a closed formula used as an integrity constraint; it
 // reports whether the database satisfies it. This is the paper's motivating
 // application (handling general integrity constraints).
 func (e *Engine) Check(constraint string) (bool, error) {
-	res, err := e.Query(constraint)
+	return e.CheckContext(context.Background(), constraint)
+}
+
+// CheckContext is Check under a context.
+func (e *Engine) CheckContext(goCtx context.Context, constraint string) (bool, error) {
+	res, err := e.QueryContext(goCtx, constraint)
 	if err != nil {
 		return false, err
 	}
@@ -332,6 +388,7 @@ func (e *Engine) ExplainCost(input string) (string, error) {
 		return "", err
 	}
 	m := cost.New(e.db.cat)
+	m.SetParallelism(e.Parallelism())
 	out := "canonical: " + p.Canonical.String() + "\n"
 	if p.Plan != nil {
 		annotated, err := m.Explain(p.Plan)

@@ -95,8 +95,7 @@ func TestEnginePreparedReuse(t *testing.T) {
 
 func TestEngineStrategies(t *testing.T) {
 	for _, s := range []Strategy{StrategyBry, StrategyCodd, StrategyLoop} {
-		eng := NewEngine(demoDB())
-		eng.Strategy = s
+		eng := NewEngine(demoDB(), WithStrategy(s))
 		res, err := eng.Query(`{ x | student(x) and not exists y: attends(x, y) }`)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
@@ -189,7 +188,7 @@ var queryPool = []string{
 // oracle agree on every query in the pool.
 func TestCrossStrategyAgreement(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	for round := 0; round < 25; round++ {
+	for round := 0; round < crossStrategyRounds; round++ {
 		db := randomDB(rng)
 		oracle := loopeval.NewOracle(db.Catalog())
 		for _, input := range queryPool {
@@ -228,25 +227,17 @@ func TestCrossStrategyAgreement(t *testing.T) {
 				translate.StrategyOuterJoin,
 				translate.StrategyUnion,
 			} {
-				eng := NewEngine(db)
-				eng.Options = translate.Options{DisjunctiveFilters: strat}
-				check("bry/"+itoa(int(strat)), eng)
+				check("bry/"+itoa(int(strat)), NewEngine(db, WithDisjunctiveFilters(strat)))
 			}
-			codd := NewEngine(db)
-			codd.Strategy = StrategyCodd
-			check("codd", codd)
-			coddImp := NewEngine(db)
-			coddImp.Strategy = StrategyCoddImproved
-			check("codd-improved", coddImp)
-			loop := NewEngine(db)
-			loop.Strategy = StrategyLoop
-			check("loop", loop)
-			indexed := NewEngine(db)
-			indexed.UseIndexes = true
-			check("bry-indexed", indexed)
-			seeded := NewEngine(db)
-			seeded.Options = translate.Options{Universal: translate.UniversalComplementJoin}
-			check("bry-seeded-universal", seeded)
+			check("codd", NewEngine(db, WithStrategy(StrategyCodd)))
+			check("codd-improved", NewEngine(db, WithStrategy(StrategyCoddImproved)))
+			check("loop", NewEngine(db, WithStrategy(StrategyLoop)))
+			check("bry-indexed", NewEngine(db, WithIndexes(true)))
+			check("bry-seeded-universal", NewEngine(db,
+				WithTranslateOptions(translate.Options{Universal: translate.UniversalComplementJoin})))
+			check("bry-parallel", NewEngine(db, WithParallelism(4)))
+			check("bry-parallel-union", NewEngine(db, WithParallelism(3),
+				WithDisjunctiveFilters(translate.StrategyUnion)))
 		}
 	}
 }
@@ -339,8 +330,7 @@ func TestEngineStream(t *testing.T) {
 		t.Fatal("Stream on closed query must fail")
 	}
 	// The loop strategy falls back to materialization.
-	loopEng := NewEngine(demoDB())
-	loopEng.Strategy = StrategyLoop
+	loopEng := NewEngine(demoDB(), WithStrategy(StrategyLoop))
 	pl, _ := loopEng.Prepare(`{ x | student(x) }`)
 	n := 0
 	if _, err := loopEng.Stream(pl, func(relation.Tuple) bool { n++; return true }); err != nil {

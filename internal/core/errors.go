@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/ranges"
+)
+
+// The engine classifies pipeline failures into three wrapper types, so
+// callers can react with errors.As without parsing messages:
+//
+//   - ParseError — the input is not syntactically a calculus query;
+//   - SafetyError — the query parsed but is not range-restricted
+//     (a Definition 1–3 rejection from the safety checker);
+//   - PlanError — normalization internals, view expansion, translation or
+//     plan validation failed.
+//
+// All three unwrap to the underlying stage error.
+
+// ParseError reports a syntax error in the query text.
+type ParseError struct {
+	Input string // the offending query text
+	Err   error
+}
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// SafetyError reports a range-restriction (Definition 1–3) rejection: the
+// query is well-formed but unsafe to evaluate.
+type SafetyError struct {
+	Query string // the query as parsed
+	Err   error
+}
+
+func (e *SafetyError) Error() string { return e.Err.Error() }
+func (e *SafetyError) Unwrap() error { return e.Err }
+
+// PlanError reports a failure after parsing and safety checking: view
+// expansion, normalization internals, translation, or plan validation.
+type PlanError struct {
+	Stage string // "views", "normalize", "translate", "validate"
+	Err   error
+}
+
+func (e *PlanError) Error() string { return e.Err.Error() }
+func (e *PlanError) Unwrap() error { return e.Err }
+
+// classifyNormalize wraps a rewrite.Normalize failure: safety-checker
+// rejections become SafetyError, anything else is an internal PlanError.
+func classifyNormalize(query string, err error) error {
+	var re *ranges.Error
+	if errors.As(err, &re) {
+		return &SafetyError{Query: query, Err: err}
+	}
+	return &PlanError{Stage: "normalize", Err: err}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/translate"
+)
+
+// Option configures an Engine at construction (NewEngine) or later
+// (Configure). Options replace direct field access: the Engine's tuning
+// state is unexported and read through accessors, so every configuration
+// path is explicit and validated in one place.
+type Option func(*Engine)
+
+// WithStrategy selects the evaluation pipeline (default StrategyBry).
+func WithStrategy(s Strategy) Option {
+	return func(e *Engine) { e.strategy = s }
+}
+
+// WithTranslateOptions replaces the Bry pipeline's translation options
+// wholesale (disjunctive-filter strategy, universal handling).
+func WithTranslateOptions(o translate.Options) Option {
+	return func(e *Engine) { e.topts = o }
+}
+
+// WithDisjunctiveFilters selects how the Bry pipeline evaluates
+// disjunctive filters (§3.3): constrained outer-joins, plain outer-joins,
+// or union splitting.
+func WithDisjunctiveFilters(s translate.DisjFilterStrategy) Option {
+	return func(e *Engine) { e.topts.DisjunctiveFilters = s }
+}
+
+// WithIndexes lets the executor probe persistent catalog indexes instead
+// of building per-query hash tables where applicable.
+func WithIndexes(use bool) Option {
+	return func(e *Engine) { e.useIndexes = use }
+}
+
+// WithParallelism sets the partition fan-out of the hash-join family:
+// build and probe sides are hash-partitioned into p disjoint partitions
+// executed concurrently. Values below 2 select the serial executor.
+func WithParallelism(p int) Option {
+	return func(e *Engine) {
+		if p < 1 {
+			p = 1
+		}
+		e.parallelism = p
+	}
+}
+
+// WithTimeout bounds every execution started through this engine: the
+// run is cancelled and returns context.DeadlineExceeded once the duration
+// elapses. Zero (the default) means no engine-level bound; per-call bounds
+// can still be set on the context passed to the *Context methods.
+func WithTimeout(d time.Duration) Option {
+	return func(e *Engine) {
+		if d < 0 {
+			d = 0
+		}
+		e.timeout = d
+	}
+}
+
+// Configure applies options to an existing engine (e.g. a REPL switching
+// strategies). Prepared queries keep the strategy they were prepared with.
+func (e *Engine) Configure(opts ...Option) {
+	for _, o := range opts {
+		o(e)
+	}
+}
+
+// Strategy returns the engine's evaluation strategy.
+func (e *Engine) Strategy() Strategy { return e.strategy }
+
+// TranslateOptions returns the Bry pipeline's translation options.
+func (e *Engine) TranslateOptions() translate.Options { return e.topts }
+
+// UseIndexes reports whether persistent-index probing is enabled.
+func (e *Engine) UseIndexes() bool { return e.useIndexes }
+
+// Parallelism returns the configured partition fan-out (1 = serial).
+func (e *Engine) Parallelism() int {
+	if e.parallelism < 1 {
+		return 1
+	}
+	return e.parallelism
+}
+
+// Timeout returns the engine-level execution bound (0 = none).
+func (e *Engine) Timeout() time.Duration { return e.timeout }

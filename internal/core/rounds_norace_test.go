@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// crossStrategyRounds sizes the cross-strategy property test. The full 25
+// rounds run in normal mode; the race detector (~10× slower per operation)
+// gets a reduced count in rounds_race_test.go — same queries, same engine
+// variants, fewer random databases.
+const crossStrategyRounds = 25

@@ -1,0 +1,6 @@
+//go:build race
+
+package core
+
+// Reduced round count under the race detector; see rounds_norace_test.go.
+const crossStrategyRounds = 6

@@ -36,7 +36,7 @@ func TestEngineWithViews(t *testing.T) {
 
 	// All three strategies agree on view queries.
 	for _, s := range []Strategy{StrategyBry, StrategyCodd, StrategyLoop} {
-		eng.Strategy = s
+		eng.Configure(WithStrategy(s))
 		r2, err := eng.Query(`{ x | idle(x) }`)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)

@@ -43,6 +43,10 @@ type Model struct {
 	cat *storage.Catalog
 	// distinct caches per-relation, per-column distinct counts.
 	distinct map[string][]float64
+	// parallelism mirrors the executor's partition fan-out: the join
+	// family's build+probe work divides across partitions, at the price of
+	// a sequential scatter pass over both inputs.
+	parallelism float64
 }
 
 // Heuristic selectivities for predicates whose exact value the model does
@@ -53,11 +57,23 @@ const (
 	selNull  = 0.1
 	// joinKeyShare approximates the share of left probes finding a match.
 	joinKeyShare = 0.5
+	// partitionShare is the per-tuple cost of the parallel executor's
+	// scatter pass relative to a build/probe step: a bare hash and append.
+	partitionShare = 0.25
 )
 
-// New builds a model over the catalog.
+// New builds a model over the catalog (serial executor).
 func New(cat *storage.Catalog) *Model {
-	return &Model{cat: cat, distinct: make(map[string][]float64)}
+	return &Model{cat: cat, distinct: make(map[string][]float64), parallelism: 1}
+}
+
+// SetParallelism tells the model the executor's partition fan-out, so the
+// join family's estimates reflect the divided build+probe work.
+func (m *Model) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	m.parallelism = float64(p)
 }
 
 // Estimate walks the plan bottom-up.
@@ -104,26 +120,26 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		if n.Residual != nil {
 			rows *= selRange
 		}
-		return Estimate{Rows: rows, Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: rows, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.SemiJoin:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
 			return Estimate{}, err
 		}
-		return Estimate{Rows: l.Rows * joinKeyShare, Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: l.Rows * joinKeyShare, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.ComplementJoin:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
 			return Estimate{}, err
 		}
-		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.OuterJoin:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
 			return Estimate{}, err
 		}
 		rows := math.Max(l.Rows, joinRows(l.Rows, r.Rows, len(n.On)))
-		return Estimate{Rows: rows, Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: rows, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.ConstrainedOuterJoin:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
@@ -132,7 +148,7 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		// Left-preserving: one output row per left row; each constraint
 		// halves the share of tuples actually probed.
 		probeShare := math.Pow(0.5, float64(len(n.Constraint)))
-		return Estimate{Rows: l.Rows, Cost: l.Cost + r.Cost + r.Rows + l.Rows*probeShare}, nil
+		return Estimate{Rows: l.Rows, Cost: m.probeCost(l, r, probeShare)}, nil
 	case *algebra.Union:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
@@ -144,13 +160,13 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		if err != nil {
 			return Estimate{}, err
 		}
-		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.Intersect:
 		l, r, err := m.pair(n.Left, n.Right)
 		if err != nil {
 			return Estimate{}, err
 		}
-		return Estimate{Rows: math.Min(l.Rows, r.Rows) * joinKeyShare, Cost: probeCost(l, r)}, nil
+		return Estimate{Rows: math.Min(l.Rows, r.Rows) * joinKeyShare, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.Division:
 		l, r, err := m.pair(n.Dividend, n.Divisor)
 		if err != nil {
@@ -242,9 +258,17 @@ func (m *Model) pair(l, r algebra.Plan) (Estimate, Estimate, error) {
 }
 
 // probeCost is the shared schema of the join family: read both inputs,
-// build on the right, probe once per left tuple.
-func probeCost(l, r Estimate) float64 {
-	return l.Cost + r.Cost + r.Rows + l.Rows
+// build on the right, probe once per left tuple (probeShare scales the
+// probed fraction, for the constrained outer-join's gate). Under a
+// partition fan-out the build+probe work divides across partitions after a
+// sequential scatter pass over both inputs.
+func (m *Model) probeCost(l, r Estimate, probeShare float64) float64 {
+	build, probe := r.Rows, l.Rows*probeShare
+	if m.parallelism > 1 {
+		scatter := (l.Rows + r.Rows) * partitionShare
+		return l.Cost + r.Cost + scatter + (build+probe)/m.parallelism
+	}
+	return l.Cost + r.Cost + build + probe
 }
 
 // joinRows estimates equi-join output with the standard V(distinct)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -8,8 +9,20 @@ import (
 	"repro/internal/storage"
 )
 
+// cancelCheckInterval is how many Interrupted polls pass between actual
+// reads of the attached context.Context. Iterator hot loops call
+// Interrupted once per tuple, so the common case is a single integer
+// increment; a cancellation or deadline is observed within N tuples.
+const cancelCheckInterval = 1024
+
+// maxParallelism caps the partition fan-out of one operator; beyond this the
+// per-partition bookkeeping outweighs any plausible hardware.
+const maxParallelism = 64
+
 // Context carries everything an execution needs: the catalog holding the
-// base relations and the stats record charged by every operator.
+// base relations, the stats record charged by every operator, the tuning
+// knobs (indexes, parallelism) and an optional context.Context whose
+// cancellation every iterator observes.
 type Context struct {
 	Catalog *storage.Catalog
 	Stats   *Stats
@@ -20,6 +33,19 @@ type Context struct {
 	// which is what makes the §3.2 emptiness tests terminate after
 	// near-constant work.
 	UseIndexes bool
+	// Parallelism is the partition fan-out of the hash-join family
+	// (⋈, ⋉, ⊼, ⟕, ⟕⊥): build and probe sides are hash-partitioned into
+	// Parallelism disjoint partitions, each run on its own worker with a
+	// private stats shard. Values below 2 select the serial executor.
+	Parallelism int
+
+	// goCtx is the cancellation source; nil means uncancellable.
+	goCtx context.Context
+	// ticks counts Interrupted calls since the last context poll.
+	ticks int
+	// cancelErr is set once Interrupted observes cancellation; it is sticky
+	// so every later iterator call stops immediately.
+	cancelErr error
 }
 
 // NewContext builds a context with a fresh stats record.
@@ -32,6 +58,85 @@ func NewIndexedContext(cat *storage.Catalog) *Context {
 	ctx := NewContext(cat)
 	ctx.UseIndexes = true
 	return ctx
+}
+
+// AttachContext ties the execution to a context.Context: once it is
+// cancelled or its deadline passes, every iterator's Next loop terminates
+// within cancelCheckInterval tuples and Run/EvalBool report the context's
+// error instead of a partial result.
+func (c *Context) AttachContext(ctx context.Context) { c.goCtx = ctx }
+
+// Interrupted reports (stickily) whether the attached context has been
+// cancelled, polling it every cancelCheckInterval calls. Iterator hot loops
+// call it once per tuple.
+func (c *Context) Interrupted() bool {
+	if c.cancelErr != nil {
+		return true
+	}
+	if c.goCtx == nil {
+		return false
+	}
+	c.ticks++
+	if c.ticks < cancelCheckInterval {
+		return false
+	}
+	c.ticks = 0
+	select {
+	case <-c.goCtx.Done():
+		c.cancelErr = c.goCtx.Err()
+		return true
+	default:
+		return false
+	}
+}
+
+// CancelErr returns the cancellation error once Interrupted has observed
+// one, and nil otherwise. A run whose iterators drained normally before the
+// context fired keeps its (complete, correct) result.
+func (c *Context) CancelErr() error { return c.cancelErr }
+
+// parallelism returns the effective partition fan-out.
+func (c *Context) parallelism() int {
+	p := c.Parallelism
+	if p < 1 {
+		return 1
+	}
+	if p > maxParallelism {
+		return maxParallelism
+	}
+	return p
+}
+
+// fork clones the context for one parallel worker: same catalog, flags and
+// cancellation source, but a private stats shard and poll state, so workers
+// charge their work without locks.
+func (c *Context) fork() *Context {
+	return &Context{
+		Catalog:    c.Catalog,
+		Stats:      &Stats{},
+		UseIndexes: c.UseIndexes,
+		goCtx:      c.goCtx,
+	}
+}
+
+// absorb merges a worker context back into c after the worker has finished:
+// the stats shard is added (single-threaded, after the WaitGroup barrier)
+// and any observed cancellation becomes sticky on c.
+func (c *Context) absorb(w *Context) {
+	c.Stats.Add(*w.Stats)
+	if c.cancelErr == nil && w.cancelErr != nil {
+		c.cancelErr = w.cancelErr
+	}
+}
+
+// serialChild returns a copy of the context with parallelism disabled but
+// the same stats record and cancellation source. Emptiness probes (§3.2)
+// use it: their early termination after one tuple would be destroyed by the
+// partitioned executor's blocking build.
+func (c *Context) serialChild() *Context {
+	child := *c
+	child.Parallelism = 1
+	return &child
 }
 
 // Iterator is the volcano interface. Open prepares the operator (blocking
@@ -75,35 +180,15 @@ func Build(ctx *Context, p algebra.Plan) (Iterator, error) {
 		}
 		return &productIter{ctx: ctx, left: l, right: r}, nil
 	case *algebra.Join:
-		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
-		if err != nil {
-			return nil, err
-		}
-		return &joinIter{ctx: ctx, left: l, spec: spec, lk: lk, residual: n.Residual}, nil
+		return buildJoinLike(ctx, joinSpec{kind: kindJoin, left: n.Left, right: n.Right, on: n.On, residual: n.Residual})
 	case *algebra.SemiJoin:
-		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
-		if err != nil {
-			return nil, err
-		}
-		return &semiJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, complement: false}, nil
+		return buildJoinLike(ctx, joinSpec{kind: kindSemiJoin, left: n.Left, right: n.Right, on: n.On})
 	case *algebra.ComplementJoin:
-		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
-		if err != nil {
-			return nil, err
-		}
-		return &semiJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, complement: true}, nil
+		return buildJoinLike(ctx, joinSpec{kind: kindComplementJoin, left: n.Left, right: n.Right, on: n.On})
 	case *algebra.OuterJoin:
-		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
-		if err != nil {
-			return nil, err
-		}
-		return &outerJoinIter{ctx: ctx, left: l, spec: spec, lk: lk, rightArity: n.Right.Schema().Arity()}, nil
+		return buildJoinLike(ctx, joinSpec{kind: kindOuterJoin, left: n.Left, right: n.Right, on: n.On, rightArity: n.Right.Schema().Arity()})
 	case *algebra.ConstrainedOuterJoin:
-		l, spec, lk, err := buildProbeSide(ctx, n.Left, n.Right, n.On)
-		if err != nil {
-			return nil, err
-		}
-		return &cojIter{ctx: ctx, left: l, spec: spec, lk: lk, node: n}, nil
+		return buildJoinLike(ctx, joinSpec{kind: kindConstrainedOuterJoin, left: n.Left, right: n.Right, on: n.On, coj: n})
 	case *algebra.Union:
 		l, r, err := buildPair(ctx, n.Left, n.Right)
 		if err != nil {
@@ -145,19 +230,64 @@ func Build(ctx *Context, p algebra.Plan) (Iterator, error) {
 	}
 }
 
-// buildProbeSide compiles the left input and picks the right side's
-// probing strategy for a join-like node.
-func buildProbeSide(ctx *Context, left, right algebra.Plan, on []algebra.ColPair) (Iterator, *proberSpec, []int, error) {
-	l, err := Build(ctx, left)
-	if err != nil {
-		return nil, nil, nil, err
+// joinSpec describes one member of the hash-join family to buildJoinLike.
+type joinSpec struct {
+	kind        joinKind
+	left, right algebra.Plan
+	on          []algebra.ColPair
+	residual    algebra.Pred                  // kindJoin only
+	rightArity  int                           // kindOuterJoin only
+	coj         *algebra.ConstrainedOuterJoin // kindConstrainedOuterJoin only
+}
+
+// buildJoinLike picks the execution strategy for a join-family node, in
+// order of preference: a persistent catalog index (UseIndexes and an
+// indexable right side — no build cost, which §3.2 emptiness tests rely
+// on), the partition-parallel executor (Parallelism ≥ 2), else the serial
+// transient hash table.
+func buildJoinLike(ctx *Context, spec joinSpec) (Iterator, error) {
+	lk, rk := splitPairs(spec.on)
+	if ctx.UseIndexes {
+		if ip := indexProberFor(ctx, spec.right, rk); ip != nil {
+			l, err := Build(ctx, spec.left)
+			if err != nil {
+				return nil, err
+			}
+			return serialJoinIter(ctx, spec, l, &proberSpec{ctx: ctx, cols: rk, index: ip}, lk), nil
+		}
 	}
-	lk, rk := splitPairs(on)
-	spec, err := newProberSpec(ctx, right, rk)
-	if err != nil {
-		return nil, nil, nil, err
+	if ctx.parallelism() > 1 {
+		l, r, err := buildPair(ctx, spec.left, spec.right)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelJoinIter{ctx: ctx, spec: spec, left: l, right: r, lk: lk, rk: rk}, nil
 	}
-	return l, spec, lk, nil
+	l, err := Build(ctx, spec.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(ctx, spec.right)
+	if err != nil {
+		return nil, err
+	}
+	return serialJoinIter(ctx, spec, l, &proberSpec{ctx: ctx, cols: rk, rightIter: r}, lk), nil
+}
+
+// serialJoinIter wires the serial iterator for one join-family member.
+func serialJoinIter(ctx *Context, spec joinSpec, left Iterator, ps *proberSpec, lk []int) Iterator {
+	switch spec.kind {
+	case kindJoin:
+		return &joinIter{ctx: ctx, left: left, spec: ps, lk: lk, residual: spec.residual}
+	case kindSemiJoin:
+		return &semiJoinIter{ctx: ctx, left: left, spec: ps, lk: lk, complement: false}
+	case kindComplementJoin:
+		return &semiJoinIter{ctx: ctx, left: left, spec: ps, lk: lk, complement: true}
+	case kindOuterJoin:
+		return &outerJoinIter{ctx: ctx, left: left, spec: ps, lk: lk, rightArity: spec.rightArity}
+	default:
+		return &cojIter{ctx: ctx, left: left, spec: ps, lk: lk, node: spec.coj}
+	}
 }
 
 func buildPair(ctx *Context, l, r algebra.Plan) (Iterator, Iterator, error) {
@@ -172,7 +302,10 @@ func buildPair(ctx *Context, l, r algebra.Plan) (Iterator, Iterator, error) {
 	return li, ri, nil
 }
 
-// Run executes a plan to completion and materializes its result.
+// Run executes a plan to completion and materializes its result. If the
+// context's attached context.Context fires mid-run, Run returns its error
+// (context.Canceled or context.DeadlineExceeded) instead of a partial
+// result.
 func Run(ctx *Context, p algebra.Plan) (*relation.Relation, error) {
 	it, err := Build(ctx, p)
 	if err != nil {
@@ -183,11 +316,14 @@ func Run(ctx *Context, p algebra.Plan) (*relation.Relation, error) {
 	defer it.Close()
 	for {
 		t, ok := it.Next()
-		if !ok {
+		if !ok || ctx.Interrupted() {
 			break
 		}
 		out.Insert(t)
 		ctx.Stats.OutputTuples++
+	}
+	if err := ctx.CancelErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -235,14 +371,20 @@ func EvalBool(ctx *Context, p algebra.BoolPlan) (bool, error) {
 	}
 }
 
-// probeNonEmpty opens the plan and asks for a single tuple.
+// probeNonEmpty opens the plan and asks for a single tuple. It always runs
+// the serial pipeline: the partitioned executor's blocking partition phase
+// would trade the §3.2 near-constant emptiness test for a full drain.
 func probeNonEmpty(ctx *Context, p algebra.Plan) (bool, error) {
-	it, err := Build(ctx, p)
+	serial := ctx.serialChild()
+	it, err := Build(serial, p)
 	if err != nil {
 		return false, err
 	}
 	it.Open()
 	defer it.Close()
 	_, ok := it.Next()
+	if err := serial.CancelErr(); err != nil {
+		return false, err
+	}
 	return ok, nil
 }

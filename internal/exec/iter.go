@@ -15,7 +15,9 @@ type scanIter struct {
 func (it *scanIter) Open() { it.pos = 0 }
 
 func (it *scanIter) Next() (relation.Tuple, bool) {
-	if it.pos >= it.rel.Len() {
+	// Scans feed every pipeline leaf, so one check here bounds how long any
+	// streaming plan can outlive its context's cancellation.
+	if it.pos >= it.rel.Len() || it.ctx.Interrupted() {
 		return nil, false
 	}
 	t := it.rel.At(it.pos)
@@ -25,6 +27,8 @@ func (it *scanIter) Next() (relation.Tuple, bool) {
 }
 
 func (it *scanIter) Close() {}
+
+func (it *scanIter) sizeHint() int { return it.rel.Len() }
 
 // selectIter filters by a predicate, charging its comparisons.
 type selectIter struct {
@@ -50,6 +54,9 @@ func (it *selectIter) Next() (relation.Tuple, bool) {
 }
 
 func (it *selectIter) Close() { it.in.Close() }
+
+// A selection never produces more than its input.
+func (it *selectIter) sizeHint() int { return hintOf(it.in) }
 
 // projectIter projects columns, deduplicating unless the planner proved the
 // projection duplicate-free.
@@ -91,6 +98,9 @@ func (it *projectIter) Next() (relation.Tuple, bool) {
 }
 
 func (it *projectIter) Close() { it.in.Close() }
+
+// A projection (deduplicating or not) never produces more than its input.
+func (it *projectIter) sizeHint() int { return hintOf(it.in) }
 
 // productIter is the cartesian product; the right input is buffered at Open.
 type productIter struct {
@@ -492,7 +502,9 @@ func (it *divisionIter) Open() {
 }
 
 func (it *divisionIter) Next() (relation.Tuple, bool) {
-	for it.pos < len(it.order) {
+	// The group×divisor sweep below runs on buffered data, out of reach of
+	// the scan-level check, so it polls for cancellation itself.
+	for it.pos < len(it.order) && !it.ctx.Interrupted() {
 		kk := it.order[it.pos]
 		it.pos++
 		g := it.groups[kk]

@@ -1,0 +1,256 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// This file implements the partition-parallel executor for the hash-join
+// family (⋈, ⋉, ⊼, ⟕, ⟕⊥). Both sides are hash-partitioned on their join
+// columns into Parallelism disjoint partitions; each partition's build and
+// probe run on a dedicated worker with a forked stats shard, so the hot
+// path takes no locks. Partitioning is sound for every member of the
+// family, including the complement-join and the constrained outer-joins:
+// all potential partners of a tuple share its key hash and therefore its
+// partition, so "has no partner in my partition" equals "has no partner at
+// all" — the property Bry's Definition 6/7 operators need.
+//
+// The per-partition tables key on the 64-bit tuple hash directly
+// (relation.Tuple.HashCols) and verify candidates with EqualOn, instead of
+// the serial path's allocate-twice Project().Key() string keys. That makes
+// the parallel path faster per core as well as scalable across cores.
+
+// joinKind names the member of the join family being executed.
+type joinKind int
+
+const (
+	kindJoin joinKind = iota
+	kindSemiJoin
+	kindComplementJoin
+	kindOuterJoin
+	kindConstrainedOuterJoin
+)
+
+// keyed pairs a tuple with the hash of its join columns, computed once
+// during partitioning and reused for the table insert or probe.
+type keyed struct {
+	t relation.Tuple
+	h uint64
+}
+
+// sizeHinter is implemented by iterators that can cheaply bound how many
+// tuples they will produce. The partitioner uses the hint to pre-size its
+// scatter buffers; it is never relied on for correctness.
+type sizeHinter interface {
+	sizeHint() int
+}
+
+// hintOf returns an upper bound on the iterator's output cardinality, or
+// -1 when it cannot be bounded without running the plan.
+func hintOf(it Iterator) int {
+	if h, ok := it.(sizeHinter); ok {
+		return h.sizeHint()
+	}
+	return -1
+}
+
+// parallelJoinIter executes one join-family operator with partitioned
+// parallelism. It is blocking: Open drains both inputs, runs the partition
+// workers to completion, and Next streams the merged output.
+type parallelJoinIter struct {
+	ctx         *Context
+	spec        joinSpec
+	left, right Iterator
+	lk, rk      []int
+
+	out []relation.Tuple
+	pos int
+}
+
+func (it *parallelJoinIter) Open() {
+	p := it.ctx.parallelism()
+
+	// Phase 1 — partition. The inputs are volcano iterators (serial
+	// sources), so draining is single-threaded; hashes are computed here,
+	// once, and carried into the workers. Input-side stats (base reads,
+	// child operators) charge the parent context as usual.
+	rparts := drainPartitions(it.ctx, it.right, it.rk, p)
+	lparts := drainPartitions(it.ctx, it.left, it.lk, p)
+
+	// Phase 2 — per-partition build+probe, one worker per partition, each
+	// with a private stats shard. Outputs land in per-partition slices so
+	// the merge is a deterministic concatenation.
+	outs := make([][]relation.Tuple, p)
+	workers := make([]*Context, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		w := it.ctx.fork()
+		workers[i] = w
+		wg.Add(1)
+		go func(i int, w *Context) {
+			defer wg.Done()
+			outs[i] = runPartition(w, it.spec, lparts[i], rparts[i], it.lk, it.rk)
+		}(i, w)
+	}
+	wg.Wait()
+
+	// Phase 3 — merge: absorb stats shards and observed cancellations
+	// (single-threaded again), then concatenate outputs.
+	total := 0
+	for i := 0; i < p; i++ {
+		it.ctx.absorb(workers[i])
+		total += len(outs[i])
+	}
+	it.out = make([]relation.Tuple, 0, total)
+	for _, o := range outs {
+		it.out = append(it.out, o...)
+	}
+	it.pos = 0
+}
+
+func (it *parallelJoinIter) Next() (relation.Tuple, bool) {
+	if it.pos >= len(it.out) || it.ctx.Interrupted() {
+		return nil, false
+	}
+	t := it.out[it.pos]
+	it.pos++
+	return t, true
+}
+
+func (it *parallelJoinIter) Close() { it.left.Close(); it.right.Close() }
+
+// drainPartitions opens and drains an iterator, hashing each tuple's key
+// columns and scattering it into p partitions by hash. When the source can
+// bound its cardinality (sizeHinter), the partitions are pre-sized: the
+// scatter buffers are the partitioner's dominant allocation, and append
+// growth on large slices wastes several times the final footprint.
+func drainPartitions(ctx *Context, in Iterator, keyCols []int, p int) [][]keyed {
+	parts := make([][]keyed, p)
+	if hint := hintOf(in); hint > 0 {
+		per := hint/p + hint/(4*p) + 8 // uniform share plus skew slack
+		for i := range parts {
+			parts[i] = make([]keyed, 0, per)
+		}
+	}
+	in.Open()
+	for {
+		t, ok := in.Next()
+		if !ok {
+			break
+		}
+		h := t.HashCols(keyCols)
+		i := int(h % uint64(p))
+		parts[i] = append(parts[i], keyed{t: t, h: h})
+	}
+	return parts
+}
+
+// runPartition executes one partition of the join: build a hash table over
+// the right pieces, probe it with the left pieces, emit per the join kind.
+// Stats parity with the serial executor is deliberate: one HashInsert and
+// one IntermediateTuple per build tuple, one Comparison per probe, and no
+// probe charge for constraint-gated tuples — so serial and parallel runs of
+// the same plan report identical work (modulo PartitionsExecuted).
+func runPartition(w *Context, spec joinSpec, left, right []keyed, lk, rk []int) []relation.Tuple {
+	w.Stats.PartitionsExecuted++
+	if w.Interrupted() {
+		return nil
+	}
+
+	// Build: the table chains build tuples with equal hashes through a
+	// flat next-index slice — head holds 1-based indexes into right (0 is
+	// "no entry", which makes the missing-key lookup free), next[i] links
+	// tuple i to the previous tuple with its hash. Two allocations total,
+	// no tuple is moved or copied, unlike a map[hash][]Tuple whose
+	// per-bucket slices dominate the build's allocation profile.
+	head := make(map[uint64]int32, len(right))
+	next := make([]int32, len(right))
+	for i, kt := range right {
+		next[i] = head[kt.h]
+		head[kt.h] = int32(i + 1)
+	}
+	w.Stats.HashInserts += int64(len(right))
+	w.Stats.IntermediateTuples += int64(len(right))
+
+	// Every join kind emits at most one output per probe-side match pair,
+	// and the semi/complement/constrained kinds at most one per left tuple;
+	// len(left) is the right starting capacity for all of them.
+	out := make([]relation.Tuple, 0, len(left))
+	var nulls relation.Tuple
+	if spec.kind == kindOuterJoin {
+		nulls = make(relation.Tuple, spec.rightArity)
+		for i := range nulls {
+			nulls[i] = relation.Null()
+		}
+	}
+
+	// matches fills scratch with the right tuples whose key columns truly
+	// equal the left tuple's (hash chains may hold colliding keys). The
+	// chain links newest-first; scratch reverses it back to build order so
+	// emission order matches the serial executor's per-bucket order.
+	scratch := make([]relation.Tuple, 0, 8)
+	matches := func(kt keyed) []relation.Tuple {
+		w.Stats.Comparisons++
+		scratch = scratch[:0]
+		for j := head[kt.h]; j != 0; j = next[j-1] {
+			if kt.t.EqualOn(lk, right[j-1].t, rk) {
+				scratch = append(scratch, right[j-1].t)
+			}
+		}
+		for i, j := 0, len(scratch)-1; i < j; i, j = i+1, j-1 {
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		}
+		return scratch
+	}
+
+	for _, kt := range left {
+		if w.Interrupted() {
+			return out
+		}
+		switch spec.kind {
+		case kindJoin:
+			for _, rt := range matches(kt) {
+				joined := kt.t.Concat(rt)
+				if spec.residual != nil {
+					ok, c := spec.residual.Eval(joined)
+					w.Stats.Comparisons += int64(c)
+					if !ok {
+						continue
+					}
+				}
+				out = append(out, joined)
+			}
+		case kindSemiJoin:
+			if len(matches(kt)) > 0 {
+				out = append(out, kt.t)
+			}
+		case kindComplementJoin:
+			if len(matches(kt)) == 0 {
+				out = append(out, kt.t)
+			}
+		case kindOuterJoin:
+			m := matches(kt)
+			if len(m) == 0 {
+				out = append(out, kt.t.Concat(nulls))
+				continue
+			}
+			for _, rt := range m {
+				out = append(out, kt.t.Concat(rt))
+			}
+		case kindConstrainedOuterJoin:
+			// The 'const' gate reads flag columns the tuple already carries:
+			// no probe, no comparison charged (mirrors the serial cojIter).
+			if !spec.coj.ConstraintHolds(kt.t) {
+				out = append(out, kt.t.Append(relation.Null()))
+				continue
+			}
+			if len(matches(kt)) > 0 {
+				out = append(out, kt.t.Append(relation.Mark()))
+			} else {
+				out = append(out, kt.t.Append(relation.Null()))
+			}
+		}
+	}
+	return out
+}

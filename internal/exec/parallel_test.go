@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// randomJoinCatalog builds R(a,b) and S(b,c) with controlled key overlap so
+// every join kind exercises matched, unmatched and duplicate-key tuples.
+func randomJoinCatalog(seed int64, n int) *storage.Catalog {
+	rng := rand.New(rand.NewSource(seed))
+	cat := storage.NewCatalog()
+	r := cat.MustDefine("R", relation.NewSchema("a", "b"))
+	s := cat.MustDefine("S", relation.NewSchema("b", "c"))
+	dom := int64(n/2 + 1)
+	for i := 0; i < n; i++ {
+		r.InsertValues(relation.Int(int64(i)), relation.Int(rng.Int63n(dom)))
+		s.InsertValues(relation.Int(rng.Int63n(dom)), relation.Int(rng.Int63n(4)))
+	}
+	// A few string-keyed tuples to exercise mixed-kind hashing.
+	r.InsertValues(relation.Int(int64(n)), relation.Str("k1"))
+	s.InsertValues(relation.Str("k1"), relation.Int(0))
+	s.InsertValues(relation.Str("k2"), relation.Int(1))
+	return cat
+}
+
+// joinFamilyPlans returns one plan per join-family member over R and S,
+// including a residual-predicate join and a constrained-outer-join chain
+// whose second hop is gated on the first hop's flag column.
+func joinFamilyPlans(cat *storage.Catalog) map[string]algebra.Plan {
+	on := []algebra.ColPair{{Left: 1, Right: 0}}
+	mk := func() (algebra.Plan, algebra.Plan) { return scan(cat, "R"), scan(cat, "S") }
+	plans := map[string]algebra.Plan{}
+
+	l, r := mk()
+	plans["join"] = &algebra.Join{Left: l, Right: r, On: on}
+	l, r = mk()
+	plans["join-residual"] = &algebra.Join{Left: l, Right: r, On: on,
+		Residual: algebra.CmpCols{Left: 0, Op: relation.OpGt, Right: 3}}
+	l, r = mk()
+	plans["semijoin"] = &algebra.SemiJoin{Left: l, Right: r, On: on}
+	l, r = mk()
+	plans["complementjoin"] = &algebra.ComplementJoin{Left: l, Right: r, On: on}
+	l, r = mk()
+	plans["outerjoin"] = &algebra.OuterJoin{Left: l, Right: r, On: on}
+	l, r = mk()
+	c1 := &algebra.ConstrainedOuterJoin{Left: l, Right: r, On: on}
+	plans["coj-chain"] = &algebra.ConstrainedOuterJoin{
+		Left: c1, Right: scan(cat, "S"),
+		On:         []algebra.ColPair{{Left: 1, Right: 0}},
+		Constraint: []algebra.NullCond{{Col: 2, IsNull: true}},
+	}
+	return plans
+}
+
+// TestParallelMatchesSerial checks, for every join-family member and a
+// range of partition counts, that the partition-parallel executor returns
+// the same relation as the serial one and charges the same stats (modulo
+// the partition counter).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cat := randomJoinCatalog(seed, 300)
+		for name, plan := range joinFamilyPlans(cat) {
+			serialCtx := NewContext(cat)
+			want, err := Run(serialCtx, plan)
+			if err != nil {
+				t.Fatalf("seed %d %s: serial run: %v", seed, name, err)
+			}
+			for _, p := range []int{2, 4, 7} {
+				ctx := NewContext(cat)
+				ctx.Parallelism = p
+				got, err := Run(ctx, plan)
+				if err != nil {
+					t.Fatalf("seed %d %s p=%d: parallel run: %v", seed, name, p, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("seed %d %s p=%d: parallel result differs from serial\ngot %d tuples, want %d",
+						seed, name, p, got.Len(), want.Len())
+				}
+				gotStats := *ctx.Stats
+				if gotStats.PartitionsExecuted == 0 {
+					t.Errorf("seed %d %s p=%d: parallel executor did not run", seed, name, p)
+				}
+				gotStats.PartitionsExecuted = 0
+				if gotStats != *serialCtx.Stats {
+					t.Errorf("seed %d %s p=%d: stats diverge\nparallel: %s\nserial:   %s",
+						seed, name, p, gotStats.String(), serialCtx.Stats.String())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEdgeCases covers empty inputs and an empty key-column list
+// (a pure existence product: every tuple shares the one key).
+func TestParallelEdgeCases(t *testing.T) {
+	cat := storage.NewCatalog()
+	r := cat.MustDefine("R", relation.NewSchema("a"))
+	cat.MustDefine("Empty", relation.NewSchema("a"))
+	for i := 0; i < 10; i++ {
+		r.InsertValues(relation.Int(int64(i)))
+	}
+
+	cases := map[string]algebra.Plan{
+		"empty-right-outer": &algebra.OuterJoin{Left: scan(cat, "R"), Right: scan(cat, "Empty"),
+			On: []algebra.ColPair{{Left: 0, Right: 0}}},
+		"empty-left": &algebra.SemiJoin{Left: scan(cat, "Empty"), Right: scan(cat, "R"),
+			On: []algebra.ColPair{{Left: 0, Right: 0}}},
+		"no-key-cols": &algebra.SemiJoin{Left: scan(cat, "R"), Right: scan(cat, "R"), On: nil},
+		"complement-vs-empty": &algebra.ComplementJoin{Left: scan(cat, "R"), Right: scan(cat, "Empty"),
+			On: []algebra.ColPair{{Left: 0, Right: 0}}},
+	}
+	for name, plan := range cases {
+		want, err := Run(NewContext(cat), plan)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		ctx := NewContext(cat)
+		ctx.Parallelism = 4
+		got, err := Run(ctx, plan)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: parallel %d tuples, serial %d", name, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestParallelPreservesIndexPath checks that UseIndexes still wins over
+// Parallelism when the right side is indexable — the §3.2 emptiness-test
+// cost model depends on the index path's zero build cost.
+func TestParallelPreservesIndexPath(t *testing.T) {
+	cat := randomJoinCatalog(1, 100)
+	plan := &algebra.SemiJoin{Left: scan(cat, "R"), Right: scan(cat, "S"),
+		On: []algebra.ColPair{{Left: 1, Right: 0}}}
+	ctx := NewIndexedContext(cat)
+	ctx.Parallelism = 4
+	if _, err := Run(ctx, plan); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ctx.Stats.PartitionsExecuted != 0 {
+		t.Errorf("indexable right side took the partitioned path (part=%d), want index path",
+			ctx.Stats.PartitionsExecuted)
+	}
+	if ctx.Stats.HashInserts != 0 {
+		t.Errorf("index path charged %d hash inserts, want 0", ctx.Stats.HashInserts)
+	}
+}
+
+// TestRunCancellation checks that a cancelled context aborts both the
+// serial and the partitioned executor and surfaces context.Canceled.
+func TestRunCancellation(t *testing.T) {
+	cat := randomJoinCatalog(1, 5000)
+	plan := &algebra.Join{Left: scan(cat, "R"), Right: scan(cat, "S"),
+		On: []algebra.ColPair{{Left: 1, Right: 0}}}
+	for _, p := range []int{1, 4} {
+		goCtx, cancel := context.WithCancel(context.Background())
+		cancel() // already cancelled: the run must abort, not finish
+		ctx := NewContext(cat)
+		ctx.Parallelism = p
+		ctx.AttachContext(goCtx)
+		out, err := Run(ctx, plan)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: err = %v, want context.Canceled", p, err)
+		}
+		if out != nil {
+			t.Fatalf("p=%d: got partial result with error", p)
+		}
+	}
+}
+
+// TestRunDeadline checks that an expired deadline surfaces as
+// context.DeadlineExceeded from Run.
+func TestRunDeadline(t *testing.T) {
+	cat := randomJoinCatalog(2, 5000)
+	plan := &algebra.Join{Left: scan(cat, "R"), Right: scan(cat, "S"),
+		On: []algebra.ColPair{{Left: 1, Right: 0}}}
+	goCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	ctx := NewContext(cat)
+	ctx.AttachContext(goCtx)
+	if _, err := Run(ctx, plan); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestUncancelledRunKeepsResult checks that attaching a context that never
+// fires changes nothing about the run's outcome.
+func TestUncancelledRunKeepsResult(t *testing.T) {
+	cat := randomJoinCatalog(3, 200)
+	plan := &algebra.Join{Left: scan(cat, "R"), Right: scan(cat, "S"),
+		On: []algebra.ColPair{{Left: 1, Right: 0}}}
+	want, err := Run(NewContext(cat), plan)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	ctx := NewContext(cat)
+	ctx.AttachContext(context.Background())
+	got, err := Run(ctx, plan)
+	if err != nil {
+		t.Fatalf("attached run: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("attaching an inert context changed the result")
+	}
+}

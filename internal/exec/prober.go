@@ -103,21 +103,18 @@ func (s *proberSpec) close() {
 	}
 }
 
-// newProberSpec picks the probing strategy for a join-like operator: a
-// persistent index when enabled and applicable, else a transient hash
-// table over the compiled right input.
-func newProberSpec(ctx *Context, rightPlan algebra.Plan, rightCols []int) (*proberSpec, error) {
-	if ctx.UseIndexes {
-		if name, residual, ok := indexablePlan(rightPlan); ok {
-			if idx, err := ctx.Catalog.EnsureIndex(name, rightCols); err == nil {
-				return &proberSpec{ctx: ctx, cols: rightCols, index: &indexProber{idx: idx, pred: residual}}, nil
-			}
-			// Fall through: unknown-relation errors resurface below.
-		}
+// indexProberFor returns a persistent-index prober for the right-side plan
+// when one can serve it (a bare Scan or Select layers over one), and nil
+// otherwise. Unknown-relation errors fall through to the hash path, where
+// Build resurfaces them with a proper message.
+func indexProberFor(ctx *Context, rightPlan algebra.Plan, rightCols []int) *indexProber {
+	name, residual, ok := indexablePlan(rightPlan)
+	if !ok {
+		return nil
 	}
-	it, err := Build(ctx, rightPlan)
+	idx, err := ctx.Catalog.EnsureIndex(name, rightCols)
 	if err != nil {
-		return nil, err
+		return nil
 	}
-	return &proberSpec{ctx: ctx, cols: rightCols, rightIter: it}, nil
+	return &indexProber{idx: idx, pred: residual}
 }

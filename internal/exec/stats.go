@@ -26,6 +26,9 @@ type Stats struct {
 	Materializations int64
 	// OutputTuples counts tuples delivered at the plan root.
 	OutputTuples int64
+	// PartitionsExecuted counts hash partitions run by the partition-parallel
+	// join executor (0 for a fully serial run).
+	PartitionsExecuted int64
 }
 
 // Add accumulates another stats record into s.
@@ -36,11 +39,17 @@ func (s *Stats) Add(o Stats) {
 	s.IntermediateTuples += o.IntermediateTuples
 	s.Materializations += o.Materializations
 	s.OutputTuples += o.OutputTuples
+	s.PartitionsExecuted += o.PartitionsExecuted
 }
 
-// String renders the counters on one line.
+// String renders the counters on one line. The partition counter is only
+// shown when the parallel executor ran, keeping serial output stable.
 func (s *Stats) String() string {
-	return fmt.Sprintf("read=%d cmp=%d hash=%d interm=%d mat=%d out=%d",
+	base := fmt.Sprintf("read=%d cmp=%d hash=%d interm=%d mat=%d out=%d",
 		s.BaseTuplesRead, s.Comparisons, s.HashInserts, s.IntermediateTuples,
 		s.Materializations, s.OutputTuples)
+	if s.PartitionsExecuted > 0 {
+		base += fmt.Sprintf(" part=%d", s.PartitionsExecuted)
+	}
+	return base
 }

@@ -1,0 +1,18 @@
+package ranges
+
+import "fmt"
+
+// Error is a safety rejection under Definitions 1–3: the query is
+// syntactically well-formed but not range-restricted, so it has no safe
+// evaluation. Callers (core) distinguish it from parse and planner errors
+// with errors.As.
+type Error struct {
+	msg string
+}
+
+func (e *Error) Error() string { return e.msg }
+
+// errf builds a typed safety error.
+func errf(format string, args ...any) error {
+	return &Error{msg: fmt.Sprintf(format, args...)}
+}

@@ -92,17 +92,17 @@ func Validate(f calculus.Formula, openVars []string) error {
 	if !declared.ContainsAll(free) {
 		for _, v := range free.Sorted() {
 			if !declared.Has(v) {
-				return fmt.Errorf("ranges: variable %q is free but not declared", v)
+				return errf("ranges: variable %q is free but not declared", v)
 			}
 		}
 	}
 	if len(openVars) > 0 {
 		if !free.Equal(declared) {
-			return fmt.Errorf("ranges: open variables %v must all occur in the formula (free: %v)", openVars, free.Sorted())
+			return errf("ranges: open variables %v must all occur in the formula (free: %v)", openVars, free.Sorted())
 		}
 		produced := ProducesIn(f, declared)
 		if !produced.Equal(declared) {
-			return fmt.Errorf("ranges: open query does not restrict variables %v in %s", missing(declared, produced), f)
+			return errf("ranges: open query does not restrict variables %v in %s", missing(declared, produced), f)
 		}
 	}
 	return validateQuantifiers(f)
@@ -133,7 +133,7 @@ func validateQuantifiers(f calculus.Formula) error {
 		want := occurring(n.Vars, n.Body) // useless variables fall to Rules 6/7
 		got := ProducesIn(n.Body, want)
 		if !got.Equal(want) {
-			return fmt.Errorf("ranges: existential variables %v have no range in %s", missing(want, got), f)
+			return errf("ranges: existential variables %v have no range in %s", missing(want, got), f)
 		}
 		return validateQuantifiers(n.Body)
 	case calculus.Forall:
@@ -143,14 +143,14 @@ func validateQuantifiers(f calculus.Formula) error {
 			// ∀x̄ ¬R[x̄]
 			got := ProducesIn(body.F, want)
 			if !got.Equal(want) {
-				return fmt.Errorf("ranges: universal variables %v have no range in %s", missing(want, got), f)
+				return errf("ranges: universal variables %v have no range in %s", missing(want, got), f)
 			}
 			return validateQuantifiers(body.F)
 		case calculus.Implies:
 			// ∀x̄ R[x̄] ⇒ F
 			got := ProducesIn(body.L, want)
 			if !got.Equal(want) {
-				return fmt.Errorf("ranges: universal variables %v have no range in %s", missing(want, got), f)
+				return errf("ranges: universal variables %v have no range in %s", missing(want, got), f)
 			}
 			if err := validateQuantifiers(body.L); err != nil {
 				return err
@@ -177,9 +177,9 @@ func validateQuantifiers(f calculus.Formula) error {
 					return nil
 				}
 			}
-			return fmt.Errorf("ranges: universal quantification must carry a range for %v, got %s", want.Sorted(), f)
+			return errf("ranges: universal quantification must carry a range for %v, got %s", want.Sorted(), f)
 		default:
-			return fmt.Errorf("ranges: universal quantification must have the form ∀x̄ ¬R or ∀x̄ R ⇒ F, got %s", f)
+			return errf("ranges: universal quantification must have the form ∀x̄ ¬R or ∀x̄ R ⇒ F, got %s", f)
 		}
 	default:
 		panic(fmt.Sprintf("ranges: unknown formula %T", f))
@@ -235,7 +235,7 @@ func SplitProducerFilter(conjuncts []calculus.Formula, vars []string) (producers
 		}
 	}
 	if !covered.Equal(need) {
-		return nil, nil, fmt.Errorf("ranges: conjunction does not produce %v", missing(need, covered))
+		return nil, nil, errf("ranges: conjunction does not produce %v", missing(need, covered))
 	}
 	return producers, filters, nil
 }

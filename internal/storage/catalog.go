@@ -55,11 +55,22 @@ func (c *Catalog) Add(r *relation.Relation) {
 	delete(c.indexes, r.Name)
 }
 
+// UnknownRelationError reports a lookup of a relation the catalog does not
+// define; callers can detect it with errors.As to distinguish a user typo
+// from an internal planning failure.
+type UnknownRelationError struct {
+	Name string
+}
+
+func (e *UnknownRelationError) Error() string {
+	return fmt.Sprintf("storage: unknown relation %q", e.Name)
+}
+
 // Relation looks up a base relation by name.
 func (c *Catalog) Relation(name string) (*relation.Relation, error) {
 	r, ok := c.relations[name]
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown relation %q", name)
+		return nil, &UnknownRelationError{Name: name}
 	}
 	return r, nil
 }

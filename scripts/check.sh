@@ -1,0 +1,33 @@
+#!/bin/sh
+# check.sh — the repo's tier-1 gate, runnable locally and in CI.
+#
+#   ./scripts/check.sh         # format, vet, build, full tests, race tests
+#
+# The race pass covers the packages with real concurrency: the partitioned
+# executor (internal/exec) and the engine API that drives it with
+# contexts and timeouts (internal/core).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (exec, core)"
+go test -race ./internal/exec/ ./internal/core/
+
+echo "ALL CHECKS PASSED"
