@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench repro
+.PHONY: check fmt vet build test race bench bench-smoke repro
 
 ## check: the tier-1 gate — format, vet, build, tests, race tests
 check:
@@ -25,6 +25,11 @@ race:
 ## bench: the paper's figure/experiment benchmarks
 bench:
 	$(GO) test -bench=. -benchmem .
+
+## bench-smoke: run every benchmark exactly once — catches bit-rotted
+## benchmark code without paying for real measurements
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 ## repro: regenerate every paper figure and experiment table
 repro:

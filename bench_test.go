@@ -21,6 +21,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/loopeval"
 	"repro/internal/parser"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
@@ -613,6 +614,106 @@ func BenchmarkE12ParallelPartitionedJoin(b *testing.B) {
 				drainPlan(b, cat, pl.plan, par)
 			})
 		}
+	}
+}
+
+// --- E13: memoizing subplan cache on wide disjunctions (DESIGN.md) ------------
+
+// e13Query builds the width-w disjunctive query and its PTU catalog: under
+// the union strategy each of the w disjuncts re-derives the same P ⋈ T
+// producer, which is exactly the repeated subtree the Shared pass spools
+// once and replays w−1 times.
+func e13Query(w int) (*storage.Catalog, string) {
+	cat := dataset.PTU(dataset.PTUParams{N: 4000, TProb: 0.5, UProb: 0.1, ExtraShare: 0.05, Branches: w + 1, Seed: 13})
+	input := `{ x | P(x) and T(x) and (U(x)`
+	for i := 2; i <= w; i++ {
+		input += fmt.Sprintf(" or T%d(x)", i)
+	}
+	input += `) }`
+	return cat, input
+}
+
+// runMemo exhausts the plan b.N times against the given memo (nil = cache
+// off). A fresh memo per iteration measures the cold path; a pre-warmed
+// persistent memo measures pure replay.
+func runMemo(b *testing.B, cat *storage.Catalog, plan algebra.Plan, memo func() *exec.Memo) {
+	var total exec.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext(cat)
+		if memo != nil {
+			ctx.Memo = memo()
+		}
+		if _, err := exec.Run(ctx, plan); err != nil {
+			b.Fatal(err)
+		}
+		total.Add(*ctx.Stats)
+	}
+	b.StopTimer()
+	reportStats(b, total)
+	b.ReportMetric(float64(total.CacheHits)/float64(b.N), "chit/op")
+	b.ReportMetric(float64(total.CacheTuplesReplayed)/float64(b.N), "creplay/op")
+}
+
+// BenchmarkE13SharedSubplans sweeps the disjunct width w under the union
+// strategy, comparing cache off, cold (fresh memo per run: intra-plan
+// sharing only) and warm (persistent memo: whole-plan replay). This is the
+// acceptance gate for the subplan cache: at w=4 the cold run must read
+// ≤ half the base tuples of the uncached run (asserted by
+// TestE13SharedSubplanReduction).
+func BenchmarkE13SharedSubplans(b *testing.B) {
+	for _, w := range []int{2, 4, 6} {
+		cat, input := e13Query(w)
+		raw, _ := prepare(b, cat, core.StrategyBry, translate.Options{DisjunctiveFilters: translate.StrategyUnion}, input)
+		shared := planopt.Share(raw)
+		b.Run(fmt.Sprintf("w=%d/cache=off", w), func(b *testing.B) {
+			runMemo(b, cat, raw, nil)
+		})
+		b.Run(fmt.Sprintf("w=%d/cache=cold", w), func(b *testing.B) {
+			runMemo(b, cat, shared, func() *exec.Memo { return exec.NewMemo(0) })
+		})
+		b.Run(fmt.Sprintf("w=%d/cache=warm", w), func(b *testing.B) {
+			memo := exec.NewMemo(0)
+			warm := exec.NewContext(cat)
+			warm.Memo = memo
+			if _, err := exec.Run(warm, shared); err != nil {
+				b.Fatal(err)
+			}
+			runMemo(b, cat, shared, func() *exec.Memo { return memo })
+		})
+	}
+}
+
+// TestE13SharedSubplanReduction pins the E13 acceptance bar outside the
+// benchmark harness: on the width-4 query the cold cached run reads at most
+// half the base tuples of the uncached run and produces the same relation.
+func TestE13SharedSubplanReduction(t *testing.T) {
+	cat, input := e13Query(4)
+	q, err := rewrite.Normalize(parser.MustParse(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _, err := translate.NewBryWithOptions(cat, translate.Options{DisjunctiveFilters: translate.StrategyUnion}).Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := exec.NewContext(cat)
+	want, err := exec.Run(off, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := exec.NewContext(cat)
+	on.Memo = exec.NewMemo(0)
+	got, err := exec.Run(on, planopt.Share(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("cached plan changed the answer:\n%s\nvs\n%s", got, want)
+	}
+	if 2*on.Stats.BaseTuplesRead > off.Stats.BaseTuplesRead {
+		t.Fatalf("cold cache must at least halve base reads: %d vs %d",
+			on.Stats.BaseTuplesRead, off.Stats.BaseTuplesRead)
 	}
 }
 

@@ -7,11 +7,14 @@
 // Usage:
 //
 //	benchrepro             # everything
-//	benchrepro -only fig4  # one artifact: fig1..fig4, e1..e12
+//	benchrepro -only fig4  # one artifact: fig1..fig4, e1..e13
 //	benchrepro -parallel 4 # run the query artifacts on the partitioned executor
+//	benchrepro -json out.jsonl  # also write every table row as a JSON line
+//	                            # (scripts/benchcmp.sh diffs two such files)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,10 +39,24 @@ import (
 // to be identical either way — e12 demonstrates exactly that.
 var parallelism = 1
 
+// jsonOut, when non-nil, receives one JSON line per table row (-json flag);
+// scripts/benchcmp.sh diffs two such files counter by counter.
+var jsonOut *os.File
+
 func main() {
-	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e12")
+	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e13")
 	flag.IntVar(&parallelism, "parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
+	jsonPath := flag.String("json", "", "also append every table row as a JSON line to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jsonOut = f
+	}
 
 	artifacts := []struct {
 		id  string
@@ -61,6 +78,7 @@ func main() {
 		{"e9", e9, "E9 — indexed vs hash-building executor (ablation)"},
 		{"e10", e10, "E10 — universal quantification: counting vs division vs complement-join"},
 		{"e12", e12, "E12 — partitioned parallel executor: serial vs parallel counter parity"},
+		{"e13", e13, "E13 — memoizing subplan cache on wide disjunctions (union strategy)"},
 	}
 	ran := false
 	for _, a := range artifacts {
@@ -138,8 +156,50 @@ func printTable(header string, rows []row) {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\n", r.label,
 			r.stats.BaseTuplesRead, r.stats.Comparisons, r.stats.IntermediateTuples,
 			r.stats.Materializations, r.extra)
+		writeJSONRow(header, r)
 	}
 	w.Flush()
+}
+
+// jsonRow is the line format of -json: one object per table row, keyed by
+// table header + row label so two runs can be matched counter by counter.
+type jsonRow struct {
+	Table          string `json:"table"`
+	Label          string `json:"label"`
+	Reads          int64  `json:"reads"`
+	Comparisons    int64  `json:"comparisons"`
+	Intermediates  int64  `json:"intermediates"`
+	Materialized   int64  `json:"materializations"`
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+	TuplesReplayed int64  `json:"cache_tuples_replayed"`
+	TuplesSpooled  int64  `json:"cache_tuples_spooled"`
+	Result         string `json:"result"`
+}
+
+func writeJSONRow(header string, r row) {
+	if jsonOut == nil {
+		return
+	}
+	line, err := json.Marshal(jsonRow{
+		Table:          header,
+		Label:          r.label,
+		Reads:          r.stats.BaseTuplesRead,
+		Comparisons:    r.stats.Comparisons,
+		Intermediates:  r.stats.IntermediateTuples,
+		Materialized:   r.stats.Materializations,
+		CacheHits:      r.stats.CacheHits,
+		CacheMisses:    r.stats.CacheMisses,
+		TuplesReplayed: r.stats.CacheTuplesReplayed,
+		TuplesSpooled:  r.stats.CacheTuplesSpooled,
+		Result:         r.extra,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fmt.Fprintf(jsonOut, "%s\n", line); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func universityDB(n int) *core.DB {
@@ -560,4 +620,42 @@ func e12() {
 		})
 	}
 	printTable("partitioned executor parity, 3000 students", rows)
+}
+
+// e13 shows the memoizing subplan cache on the union disjunctive-filter
+// strategy: splitting P(x) ∧ T(x) ∧ (U(x) ∨ T2(x) ∨ T3(x) ∨ T4(x)) into a
+// union re-derives the P ⋈ T producer in every disjunct, so the shared-
+// subtree pass spools it once and replays it w−1 times; a second (warm) run
+// replays the whole answer from the engine-held memo without touching base
+// relations.
+func e13() {
+	cat := dataset.PTU(dataset.PTUParams{N: 4000, TProb: 0.5, UProb: 0.1, ExtraShare: 0.05, Branches: 5, Seed: 13})
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	q := `{ x | P(x) and T(x) and (U(x) or T2(x) or T3(x) or T4(x)) }`
+	run := func(eng *core.Engine, label string) row {
+		res, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return row{label: label, stats: res.Stats,
+			extra: fmt.Sprintf("%d rows, hits=%d misses=%d replayed=%d spooled=%d",
+				res.Rows.Len(), res.Stats.CacheHits, res.Stats.CacheMisses,
+				res.Stats.CacheTuplesReplayed, res.Stats.CacheTuplesSpooled)}
+	}
+	opts := []core.Option{
+		core.WithDisjunctiveFilters(translate.StrategyUnion),
+		core.WithParallelism(parallelism),
+	}
+	off := core.NewEngine(db, opts...)
+	on := core.NewEngine(db, append([]core.Option{core.WithPlanCache(0)}, opts...)...)
+	rows := []row{
+		run(off, "cache off"),
+		run(on, "cache cold"),
+		run(on, "cache warm"),
+	}
+	printTable("memoizing subplan cache, width-4 disjunction, |P|=4000, union strategy", rows)
 }

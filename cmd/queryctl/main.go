@@ -15,6 +15,7 @@
 //	\strategy S    switch evaluation strategy (bry, codd, codd-improved, loop)
 //	\filters S     disjunctive-filter strategy (constrained, outerjoin, union)
 //	\parallel P    partition fan-out of the hash-join family (1 = serial)
+//	\cache on|off|status   memoizing subplan cache (shared-subtree results)
 //	\timeout D     per-query execution bound, e.g. 500ms or 10s (0 = none)
 //	\explain Q     show canonical form and plan without executing
 //	\cost Q        show the plan with cost-model estimates
@@ -120,6 +121,13 @@ func main() {
 			}
 			eng.Configure(core.WithParallelism(p))
 			fmt.Printf("parallelism = %d\n", eng.Parallelism())
+		case strings.HasPrefix(line, `\cache `):
+			out, err := setCache(eng, strings.TrimSpace(line[7:]))
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println(out)
+			}
 		case strings.HasPrefix(line, `\timeout `):
 			d, err := time.ParseDuration(strings.TrimSpace(line[9:]))
 			if err != nil || d < 0 {
@@ -262,6 +270,28 @@ func setFilters(eng *core.Engine, s string) error {
 		return fmt.Errorf("unknown filter strategy %q (constrained, outerjoin, union)", s)
 	}
 	return nil
+}
+
+// setCache drives the memoizing subplan cache: on installs a fresh memo
+// (default budget), off drops it, status reports occupancy.
+func setCache(eng *core.Engine, arg string) (string, error) {
+	switch arg {
+	case "on":
+		eng.Configure(core.WithPlanCache(0))
+		return fmt.Sprintf("cache = on (budget %d tuples)", eng.PlanCacheBudget()), nil
+	case "off":
+		eng.Configure(core.WithoutPlanCache())
+		return "cache = off", nil
+	case "status":
+		if !eng.PlanCacheEnabled() {
+			return "cache = off", nil
+		}
+		entries, tuples := eng.PlanCacheInfo()
+		return fmt.Sprintf("cache = on: %d entries, %d/%d tuples buffered",
+			entries, tuples, eng.PlanCacheBudget()), nil
+	default:
+		return "", fmt.Errorf(`usage: \cache on|off|status`)
+	}
 }
 
 func runQuery(eng *core.Engine, input string) error {

@@ -55,6 +55,35 @@ func TestSetStrategyAndFilters(t *testing.T) {
 	}
 }
 
+func TestSetCache(t *testing.T) {
+	cat, _ := buildDataset("ptu", 10)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	eng := core.NewEngine(db)
+	if out, err := setCache(eng, "status"); err != nil || out != "cache = off" {
+		t.Fatalf("status while off: %q, %v", out, err)
+	}
+	if _, err := setCache(eng, "on"); err != nil || !eng.PlanCacheEnabled() {
+		t.Fatalf("on: %v, enabled=%v", err, eng.PlanCacheEnabled())
+	}
+	if _, err := eng.Query(`{ x | P(x) and T(x) }`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := setCache(eng, "status")
+	if err != nil || out == "cache = off" {
+		t.Fatalf("status while on: %q, %v", out, err)
+	}
+	if _, err := setCache(eng, "off"); err != nil || eng.PlanCacheEnabled() {
+		t.Fatalf("off: %v, enabled=%v", err, eng.PlanCacheEnabled())
+	}
+	if _, err := setCache(eng, "sideways"); err == nil {
+		t.Fatal("bad argument must fail")
+	}
+}
+
 func TestSplitTwo(t *testing.T) {
 	if a, b, ok := splitTwo(" rel  path "); !ok || a != "rel" || b != "path" {
 		t.Fatalf("splitTwo = %q %q %v", a, b, ok)

@@ -1,0 +1,301 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// This file defines the structural fingerprint used by the memoizing
+// subplan cache: two subtrees computing the same result under set semantics
+// get the same fingerprint, independent of the order in which commutative
+// inputs were written. The planner pass (internal/planopt) detects repeated
+// fingerprints within one plan and wraps them in Shared nodes; the executor
+// memo (internal/exec) keys spooled results by fingerprint and verifies
+// candidates against the full canonical string, so a 64-bit collision can
+// never replay a wrong result.
+
+// Shared wraps a subtree whose result may be computed once and replayed:
+// the planner inserts it around subtrees that occur more than once in a
+// plan (union branches re-reading their producer, the ⋉/⊼ twins of
+// Proposition 4), and the executor consults the plan-cache memo under FP.
+// Without a memo on the execution context the node is transparent.
+type Shared struct {
+	Input Plan
+	// FP is Fingerprint(Input), precomputed by the planner.
+	FP uint64
+}
+
+// NewShared wraps a plan with its fingerprint.
+func NewShared(p Plan) *Shared { return &Shared{Input: p, FP: Fingerprint(p)} }
+
+// Schema implements Plan.
+func (s *Shared) Schema() relation.Schema { return s.Input.Schema() }
+
+// Children implements Plan.
+func (s *Shared) Children() []Plan { return []Plan{s.Input} }
+
+// Describe implements Plan.
+func (s *Shared) Describe() string { return fmt.Sprintf("Shared#%016x", s.FP) }
+
+// Fingerprint returns a 64-bit FNV-1a hash of the plan's canonical
+// serialization. Shared wrappers are skipped, so a subtree and its wrapped
+// form fingerprint identically.
+func Fingerprint(p Plan) uint64 {
+	return fnvString(Canonical(p))
+}
+
+// Canonical serializes a plan into a string that is equal exactly for
+// structurally equivalent subtrees: commutative operators (∪, ∩) sort their
+// child serializations, join conditions sort their column pairs, and
+// predicate conjunctions/disjunctions sort their operand strings. It is the
+// collision check paired with Fingerprint.
+func Canonical(p Plan) string {
+	var b strings.Builder
+	c := canonicalizer{memo: make(map[Plan]string)}
+	c.plan(&b, p)
+	return b.String()
+}
+
+// canonicalizer memoizes per-pointer serializations so DAG-shaped plans
+// (the same subtree pointer reused across union branches) serialize in
+// linear time.
+type canonicalizer struct {
+	memo map[Plan]string
+}
+
+func (c *canonicalizer) str(p Plan) string {
+	if s, ok := c.memo[p]; ok {
+		return s
+	}
+	var b strings.Builder
+	c.plan(&b, p)
+	s := b.String()
+	c.memo[p] = s
+	return s
+}
+
+func (c *canonicalizer) plan(b *strings.Builder, p Plan) {
+	switch n := p.(type) {
+	case *Scan:
+		b.WriteString("scan(")
+		b.WriteString(n.Name)
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(n.Sch.Arity()))
+		b.WriteByte(')')
+	case *Select:
+		b.WriteString("select[")
+		b.WriteString(canonicalPred(n.Pred))
+		b.WriteString("](")
+		b.WriteString(c.str(n.Input))
+		b.WriteByte(')')
+	case *Project:
+		b.WriteString("project[")
+		writeCols(b, n.Cols)
+		if n.NoDedup {
+			b.WriteString(";nodedup")
+		}
+		b.WriteString("](")
+		b.WriteString(c.str(n.Input))
+		b.WriteByte(')')
+	case *Product:
+		b.WriteString("product(")
+		b.WriteString(c.str(n.Left))
+		b.WriteByte(',')
+		b.WriteString(c.str(n.Right))
+		b.WriteByte(')')
+	case *Join:
+		b.WriteString("join[")
+		writePairs(b, n.On)
+		if n.Residual != nil {
+			b.WriteString(";res=")
+			b.WriteString(canonicalPred(n.Residual))
+		}
+		b.WriteString("](")
+		b.WriteString(c.str(n.Left))
+		b.WriteByte(',')
+		b.WriteString(c.str(n.Right))
+		b.WriteByte(')')
+	case *SemiJoin:
+		c.joinLike(b, "semijoin", n.On, n.Left, n.Right)
+	case *ComplementJoin:
+		c.joinLike(b, "complementjoin", n.On, n.Left, n.Right)
+	case *OuterJoin:
+		c.joinLike(b, "outerjoin", n.On, n.Left, n.Right)
+	case *ConstrainedOuterJoin:
+		b.WriteString("coj[")
+		writePairs(b, n.On)
+		b.WriteString(";const=")
+		for i, cc := range n.Constraint {
+			if i > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(cc.String())
+		}
+		b.WriteString("](")
+		b.WriteString(c.str(n.Left))
+		b.WriteByte(',')
+		b.WriteString(c.str(n.Right))
+		b.WriteByte(')')
+	case *Union:
+		c.commutative(b, "union", n.Left, n.Right)
+	case *Intersect:
+		c.commutative(b, "intersect", n.Left, n.Right)
+	case *Diff:
+		b.WriteString("diff(")
+		b.WriteString(c.str(n.Left))
+		b.WriteByte(',')
+		b.WriteString(c.str(n.Right))
+		b.WriteByte(')')
+	case *Division:
+		b.WriteString("division[key=")
+		writeCols(b, n.KeyCols)
+		b.WriteString(";div=")
+		writeCols(b, n.DivCols)
+		b.WriteString("](")
+		b.WriteString(c.str(n.Dividend))
+		b.WriteByte(',')
+		b.WriteString(c.str(n.Divisor))
+		b.WriteByte(')')
+	case *GroupCount:
+		b.WriteString("groupcount[")
+		writeCols(b, n.GroupCols)
+		b.WriteString("](")
+		b.WriteString(c.str(n.Input))
+		b.WriteByte(')')
+	case *Materialize:
+		// The label is presentation only; materialization does not change
+		// the result, but it does change the charged cost, so it stays a
+		// distinct node in the serialization.
+		b.WriteString("materialize(")
+		b.WriteString(c.str(n.Input))
+		b.WriteByte(')')
+	case *Shared:
+		// Transparent: a wrapped subtree equals its unwrapped twin.
+		b.WriteString(c.str(n.Input))
+	default:
+		// Unknown nodes serialize by their description; they can still be
+		// cached as long as Describe is faithful.
+		b.WriteString("op[")
+		b.WriteString(p.Describe())
+		b.WriteString("](")
+		for i, ch := range p.Children() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.str(ch))
+		}
+		b.WriteByte(')')
+	}
+}
+
+// joinLike serializes an order-sensitive join-family node.
+func (c *canonicalizer) joinLike(b *strings.Builder, name string, on []ColPair, l, r Plan) {
+	b.WriteString(name)
+	b.WriteByte('[')
+	writePairs(b, on)
+	b.WriteString("](")
+	b.WriteString(c.str(l))
+	b.WriteByte(',')
+	b.WriteString(c.str(r))
+	b.WriteByte(')')
+}
+
+// commutative serializes ∪/∩ with sorted child strings, so A ∪ B and B ∪ A
+// fingerprint identically.
+func (c *canonicalizer) commutative(b *strings.Builder, name string, l, r Plan) {
+	ls, rs := c.str(l), c.str(r)
+	if rs < ls {
+		ls, rs = rs, ls
+	}
+	b.WriteString(name)
+	b.WriteByte('(')
+	b.WriteString(ls)
+	b.WriteByte(',')
+	b.WriteString(rs)
+	b.WriteByte(')')
+}
+
+// canonicalPred serializes a predicate with commutative connectives
+// order-normalized (∧ and ∨ operand strings are sorted).
+func canonicalPred(p Pred) string {
+	switch n := p.(type) {
+	case And:
+		return sortedPreds("and", n.Preds)
+	case Or:
+		return sortedPreds("or", n.Preds)
+	case Not:
+		return "not(" + canonicalPred(n.Pred) + ")"
+	default:
+		// The leaf String() forms (CmpCols, CmpConst, IsNull, NotNull,
+		// True) are already canonical: they render column indexes, the
+		// operator and quoted constants.
+		return p.String()
+	}
+}
+
+func sortedPreds(name string, preds []Pred) string {
+	parts := make([]string, len(preds))
+	for i, q := range preds {
+		parts[i] = canonicalPred(q)
+	}
+	sort.Strings(parts)
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// writePairs renders a join condition with its pairs sorted: a conjunction
+// of column equalities is order-independent.
+func writePairs(b *strings.Builder, on []ColPair) {
+	sorted := append([]ColPair(nil), on...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Left != sorted[j].Left {
+			return sorted[i].Left < sorted[j].Left
+		}
+		return sorted[i].Right < sorted[j].Right
+	})
+	for i, p := range sorted {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(strconv.Itoa(p.Left))
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(p.Right))
+	}
+}
+
+func writeCols(b *strings.Builder, cols []int) {
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+}
+
+// fnvString is 64-bit FNV-1a over a string (same parameters as
+// relation.HashCols, kept local to avoid exporting hash internals).
+func fnvString(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// NodeCount returns the number of operator nodes in the subtree (Shared
+// wrappers excluded); the planner's share pass uses it as a cost threshold
+// so bare scans are not worth a memo round-trip.
+func NodeCount(p Plan) int {
+	if s, ok := p.(*Shared); ok {
+		return NodeCount(s.Input)
+	}
+	n := 1
+	for _, c := range p.Children() {
+		n += NodeCount(c)
+	}
+	return n
+}

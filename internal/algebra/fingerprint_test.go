@@ -1,0 +1,137 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func fpScan(name string) *Scan { return NewScan(name, relation.NewSchema("v")) }
+
+func TestFingerprintCommutativeUnion(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	ab := &Union{Left: a, Right: b}
+	ba := &Union{Left: b, Right: a}
+	if Fingerprint(ab) != Fingerprint(ba) {
+		t.Fatalf("A ∪ B and B ∪ A must fingerprint equally:\n%s\n%s", Canonical(ab), Canonical(ba))
+	}
+	iab := &Intersect{Left: a, Right: b}
+	iba := &Intersect{Left: b, Right: a}
+	if Fingerprint(iab) != Fingerprint(iba) {
+		t.Fatal("∩ must be order-normalized")
+	}
+	// Difference is NOT commutative.
+	dab := &Diff{Left: a, Right: b}
+	dba := &Diff{Left: b, Right: a}
+	if Fingerprint(dab) == Fingerprint(dba) {
+		t.Fatal("A − B and B − A must differ")
+	}
+}
+
+func TestFingerprintJoinOrderSensitive(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	on := []ColPair{{Left: 0, Right: 0}}
+	ab := &Join{Left: a, Right: b, On: on}
+	ba := &Join{Left: b, Right: a, On: on}
+	if Fingerprint(ab) == Fingerprint(ba) {
+		t.Fatal("⋈ output columns depend on operand order; fingerprints must differ")
+	}
+}
+
+func TestFingerprintPairOrderNormalized(t *testing.T) {
+	r := NewScan("R", relation.NewSchema("a", "b"))
+	s := NewScan("S", relation.NewSchema("a", "b"))
+	j1 := &SemiJoin{Left: r, Right: s, On: []ColPair{{Left: 0, Right: 0}, {Left: 1, Right: 1}}}
+	j2 := &SemiJoin{Left: r, Right: s, On: []ColPair{{Left: 1, Right: 1}, {Left: 0, Right: 0}}}
+	if Fingerprint(j1) != Fingerprint(j2) {
+		t.Fatal("a conjunction of join equalities is order-independent")
+	}
+}
+
+func TestFingerprintPredNormalized(t *testing.T) {
+	a := fpScan("A")
+	p := CmpConst{Col: 0, Op: OpEq, Const: relation.Str("x")}
+	q := NotNull{Col: 0}
+	s1 := &Select{Input: a, Pred: And{Preds: []Pred{p, q}}}
+	s2 := &Select{Input: a, Pred: And{Preds: []Pred{q, p}}}
+	if Fingerprint(s1) != Fingerprint(s2) {
+		t.Fatal("∧ operands must be order-normalized")
+	}
+	s3 := &Select{Input: a, Pred: Or{Preds: []Pred{p, q}}}
+	if Fingerprint(s1) == Fingerprint(s3) {
+		t.Fatal("∧ and ∨ must differ")
+	}
+	// Different constants must differ.
+	s4 := &Select{Input: a, Pred: CmpConst{Col: 0, Op: OpEq, Const: relation.Str("y")}}
+	s5 := &Select{Input: a, Pred: CmpConst{Col: 0, Op: OpEq, Const: relation.Str("x")}}
+	if Fingerprint(s4) == Fingerprint(s5) {
+		t.Fatal("constants are part of the fingerprint")
+	}
+}
+
+func TestFingerprintSharedTransparent(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	j := &SemiJoin{Left: a, Right: b, On: []ColPair{{Left: 0, Right: 0}}}
+	sh := NewShared(j)
+	if sh.FP != Fingerprint(j) {
+		t.Fatal("NewShared must precompute the input's fingerprint")
+	}
+	if Fingerprint(sh) != Fingerprint(j) {
+		t.Fatal("a Shared wrapper must fingerprint as its input")
+	}
+	// Wrapping inside a larger tree must not change the tree's fingerprint.
+	plain := &Union{Left: j, Right: fpScan("C")}
+	wrapped := &Union{Left: sh, Right: fpScan("C")}
+	if Fingerprint(plain) != Fingerprint(wrapped) {
+		t.Fatal("Shared must be transparent to enclosing fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishesOperators(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	on := []ColPair{{Left: 0, Right: 0}}
+	fps := map[uint64]string{}
+	for _, p := range []Plan{
+		&SemiJoin{Left: a, Right: b, On: on},
+		&ComplementJoin{Left: a, Right: b, On: on},
+		&OuterJoin{Left: a, Right: b, On: on},
+		&ConstrainedOuterJoin{Left: a, Right: b, On: on},
+		&Join{Left: a, Right: b, On: on},
+		&Product{Left: a, Right: b},
+		&Union{Left: a, Right: b},
+		&Diff{Left: a, Right: b},
+		&Intersect{Left: a, Right: b},
+	} {
+		fp := Fingerprint(p)
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("%s and %s collide", prev, p.Describe())
+		}
+		fps[fp] = p.Describe()
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	j := &SemiJoin{Left: a, Right: b, On: []ColPair{{Left: 0, Right: 0}}}
+	if got := NodeCount(j); got != 3 {
+		t.Fatalf("NodeCount(⋉(scan,scan)) = %d, want 3", got)
+	}
+	if got := NodeCount(NewShared(j)); got != 3 {
+		t.Fatalf("Shared wrappers must not count: got %d", got)
+	}
+	if got := NodeCount(a); got != 1 {
+		t.Fatalf("NodeCount(scan) = %d", got)
+	}
+}
+
+func TestValidateShared(t *testing.T) {
+	a, b := fpScan("A"), fpScan("B")
+	good := NewShared(&SemiJoin{Left: a, Right: b, On: []ColPair{{Left: 0, Right: 0}}})
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid shared subtree rejected: %v", err)
+	}
+	bad := NewShared(&SemiJoin{Left: a, Right: b, On: []ColPair{{Left: 7, Right: 0}}})
+	if err := Validate(bad); err == nil {
+		t.Fatal("validation must descend through Shared")
+	}
+}

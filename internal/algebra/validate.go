@@ -86,6 +86,8 @@ func Validate(p Plan) error {
 		return checkCols(n.GroupCols, n.Input.Schema().Arity(), "group")
 	case *Materialize:
 		return Validate(n.Input)
+	case *Shared:
+		return Validate(n.Input)
 	default:
 		return fmt.Errorf("algebra: unknown plan node %T", p)
 	}

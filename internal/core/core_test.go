@@ -238,6 +238,11 @@ func TestCrossStrategyAgreement(t *testing.T) {
 			check("bry-parallel", NewEngine(db, WithParallelism(4)))
 			check("bry-parallel-union", NewEngine(db, WithParallelism(3),
 				WithDisjunctiveFilters(translate.StrategyUnion)))
+			check("bry-cached", NewEngine(db, WithPlanCache(0)))
+			check("bry-cached-union", NewEngine(db, WithPlanCache(0),
+				WithDisjunctiveFilters(translate.StrategyUnion)))
+			check("bry-cached-parallel", NewEngine(db, WithPlanCache(0), WithParallelism(4)))
+			check("codd-cached", NewEngine(db, WithStrategy(StrategyCodd), WithPlanCache(0)))
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/translate"
 )
 
@@ -48,6 +49,24 @@ func WithParallelism(p int) Option {
 	}
 }
 
+// WithPlanCache enables the memoizing subplan cache: PrepareQuery wraps
+// repeated subtrees (and plan roots) in Shared references, and executions
+// resolve them against an engine-held result memo bounded to budget buffered
+// tuples (budget <= 0 selects exec.DefaultMemoBudget). The memo persists
+// across Query/Check/Run calls and is flushed automatically whenever any
+// base relation mutates. Applying the option again replaces the memo with a
+// fresh (cold) one.
+func WithPlanCache(budget int) Option {
+	return func(e *Engine) { e.memo = exec.NewMemo(budget) }
+}
+
+// WithoutPlanCache disables the memoizing subplan cache and drops the memo.
+// Queries prepared while the cache was on keep their Shared wrappers, which
+// execute transparently once no memo is installed.
+func WithoutPlanCache() Option {
+	return func(e *Engine) { e.memo = nil }
+}
+
 // WithTimeout bounds every execution started through this engine: the
 // run is cancelled and returns context.DeadlineExceeded once the duration
 // elapses. Zero (the default) means no engine-level bound; per-call bounds
@@ -88,3 +107,23 @@ func (e *Engine) Parallelism() int {
 
 // Timeout returns the engine-level execution bound (0 = none).
 func (e *Engine) Timeout() time.Duration { return e.timeout }
+
+// PlanCacheEnabled reports whether the memoizing subplan cache is on.
+func (e *Engine) PlanCacheEnabled() bool { return e.memo != nil }
+
+// PlanCacheBudget returns the cache's tuple budget (0 when disabled).
+func (e *Engine) PlanCacheBudget() int {
+	if e.memo == nil {
+		return 0
+	}
+	return e.memo.Budget()
+}
+
+// PlanCacheInfo returns the cache's current entry and buffered-tuple counts
+// (both 0 when disabled).
+func (e *Engine) PlanCacheInfo() (entries, tuples int) {
+	if e.memo == nil {
+		return 0, 0
+	}
+	return e.memo.Entries(), e.memo.Tuples()
+}

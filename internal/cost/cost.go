@@ -76,8 +76,15 @@ func (m *Model) SetParallelism(p int) {
 	m.parallelism = float64(p)
 }
 
-// Estimate walks the plan bottom-up.
+// Estimate walks the plan bottom-up. Each call prices the plan standalone:
+// the first occurrence of a Shared fingerprint pays its full subtree cost
+// plus a spooling pass, repeats pay only the replay — tracked in a per-call
+// set so Explain's node-by-node walk stays deterministic.
 func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
+	return m.est(p, make(map[uint64]bool))
+}
+
+func (m *Model) est(p algebra.Plan, seen map[uint64]bool) (Estimate, error) {
 	switch n := p.(type) {
 	case *algebra.Scan:
 		r, err := m.cat.Relation(n.Name)
@@ -87,14 +94,14 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		rows := float64(r.Len())
 		return Estimate{Rows: rows, Cost: rows}, nil
 	case *algebra.Select:
-		in, err := m.Estimate(n.Input)
+		in, err := m.est(n.Input, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		sel := m.selectivity(n.Pred, n.Input)
 		return Estimate{Rows: in.Rows * sel, Cost: in.Cost + in.Rows}, nil
 	case *algebra.Project:
-		in, err := m.Estimate(n.Input)
+		in, err := m.est(n.Input, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -106,13 +113,13 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		}
 		return Estimate{Rows: rows, Cost: in.Cost + in.Rows}, nil
 	case *algebra.Product:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: l.Rows * r.Rows, Cost: l.Cost + r.Cost + l.Rows*r.Rows}, nil
 	case *algebra.Join:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -122,26 +129,26 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		}
 		return Estimate{Rows: rows, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.SemiJoin:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: l.Rows * joinKeyShare, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.ComplementJoin:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.OuterJoin:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		rows := math.Max(l.Rows, joinRows(l.Rows, r.Rows, len(n.On)))
 		return Estimate{Rows: rows, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.ConstrainedOuterJoin:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -150,25 +157,25 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		probeShare := math.Pow(0.5, float64(len(n.Constraint)))
 		return Estimate{Rows: l.Rows, Cost: m.probeCost(l, r, probeShare)}, nil
 	case *algebra.Union:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: (l.Rows + r.Rows) * 0.9, Cost: l.Cost + r.Cost + l.Rows + r.Rows}, nil
 	case *algebra.Diff:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: l.Rows * (1 - joinKeyShare), Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.Intersect:
-		l, r, err := m.pair(n.Left, n.Right)
+		l, r, err := m.pair(n.Left, n.Right, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
 		return Estimate{Rows: math.Min(l.Rows, r.Rows) * joinKeyShare, Cost: m.probeCost(l, r, 1)}, nil
 	case *algebra.Division:
-		l, r, err := m.pair(n.Dividend, n.Divisor)
+		l, r, err := m.pair(n.Dividend, n.Divisor, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -178,7 +185,7 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 			Cost: l.Cost + r.Cost + l.Rows + r.Rows + groups*r.Rows,
 		}, nil
 	case *algebra.GroupCount:
-		in, err := m.Estimate(n.Input)
+		in, err := m.est(n.Input, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -188,10 +195,23 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 		}
 		return Estimate{Rows: groups, Cost: in.Cost + in.Rows}, nil
 	case *algebra.Materialize:
-		in, err := m.Estimate(n.Input)
+		in, err := m.est(n.Input, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
+		return Estimate{Rows: in.Rows, Cost: in.Cost + in.Rows}, nil
+	case *algebra.Shared:
+		in, err := m.est(n.Input, seen)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if seen[n.FP] {
+			// Replay: the subtree ran earlier in this plan; only the
+			// spooled rows are streamed back out.
+			return Estimate{Rows: in.Rows, Cost: in.Rows}, nil
+		}
+		seen[n.FP] = true
+		// First occurrence: full subtree cost plus one spooling pass.
 		return Estimate{Rows: in.Rows, Cost: in.Cost + in.Rows}, nil
 	default:
 		return Estimate{}, fmt.Errorf("cost: unknown plan node %T", p)
@@ -202,6 +222,10 @@ func (m *Model) Estimate(p algebra.Plan) (Estimate, error) {
 // early termination (a fraction of the full input cost), connectives sum
 // with short-circuit discounting.
 func (m *Model) EstimateBool(p algebra.BoolPlan) (Estimate, error) {
+	return m.estBool(p, make(map[uint64]bool))
+}
+
+func (m *Model) estBool(p algebra.BoolPlan, seen map[uint64]bool) (Estimate, error) {
 	switch n := p.(type) {
 	case *algebra.NotEmpty, *algebra.IsEmpty:
 		var input algebra.Plan
@@ -210,7 +234,7 @@ func (m *Model) EstimateBool(p algebra.BoolPlan) (Estimate, error) {
 		} else {
 			input = n.(*algebra.IsEmpty).Input
 		}
-		in, err := m.Estimate(input)
+		in, err := m.est(input, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -218,11 +242,11 @@ func (m *Model) EstimateBool(p algebra.BoolPlan) (Estimate, error) {
 		// share stops at the first tuple. Credit one third.
 		return Estimate{Rows: 1, Cost: in.Cost / 3}, nil
 	case *algebra.BoolAnd:
-		return m.boolSeq(n.Inputs)
+		return m.boolSeq(n.Inputs, seen)
 	case *algebra.BoolOr:
-		return m.boolSeq(n.Inputs)
+		return m.boolSeq(n.Inputs, seen)
 	case *algebra.BoolNot:
-		return m.EstimateBool(n.Input)
+		return m.estBool(n.Input, seen)
 	case *algebra.BoolConst:
 		return Estimate{Rows: 1, Cost: 0}, nil
 	default:
@@ -231,11 +255,11 @@ func (m *Model) EstimateBool(p algebra.BoolPlan) (Estimate, error) {
 }
 
 // boolSeq sums children with a geometric short-circuit discount.
-func (m *Model) boolSeq(inputs []algebra.BoolPlan) (Estimate, error) {
+func (m *Model) boolSeq(inputs []algebra.BoolPlan, seen map[uint64]bool) (Estimate, error) {
 	total := Estimate{Rows: 1}
 	weight := 1.0
 	for _, c := range inputs {
-		e, err := m.EstimateBool(c)
+		e, err := m.estBool(c, seen)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -245,12 +269,12 @@ func (m *Model) boolSeq(inputs []algebra.BoolPlan) (Estimate, error) {
 	return total, nil
 }
 
-func (m *Model) pair(l, r algebra.Plan) (Estimate, Estimate, error) {
-	le, err := m.Estimate(l)
+func (m *Model) pair(l, r algebra.Plan, seen map[uint64]bool) (Estimate, Estimate, error) {
+	le, err := m.est(l, seen)
 	if err != nil {
 		return Estimate{}, Estimate{}, err
 	}
-	re, err := m.Estimate(r)
+	re, err := m.est(r, seen)
 	if err != nil {
 		return Estimate{}, Estimate{}, err
 	}

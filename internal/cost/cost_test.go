@@ -270,3 +270,66 @@ func TestSelectivityDistinctFallbacks(t *testing.T) {
 		t.Fatalf("missing relation distinct = %v", d)
 	}
 }
+
+func TestEstimateSharedPricedOncePlusReplay(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	sub := &algebra.SemiJoin{
+		Left:  scan(cat, "P"),
+		Right: scan(cat, "Q"),
+		On:    []algebra.ColPair{{Left: 0, Right: 0}},
+	}
+	subEst, err := m.Estimate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sh := algebra.NewShared(sub)
+	both := &algebra.Union{Left: sh, Right: sh}
+	plain := &algebra.Union{Left: sub, Right: sub}
+	shared, err := m.Estimate(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshared, err := m.Estimate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Cost >= unshared.Cost {
+		t.Fatalf("sharing must be cheaper: shared=%.0f unshared=%.0f", shared.Cost, unshared.Cost)
+	}
+	// The second occurrence costs a replay (its rows), not a re-run, while
+	// the first additionally pays one spooling pass: the net saving is the
+	// subtree cost minus replay minus spool.
+	saving := unshared.Cost - shared.Cost
+	want := subEst.Cost - 2*subEst.Rows
+	if diff := saving - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("saving = %.2f, want %.2f", saving, want)
+	}
+	// Estimates are per-call deterministic: re-estimating the same node
+	// (as Explain's walk does) must not accumulate shared-seen state.
+	again, err := m.Estimate(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != shared {
+		t.Fatalf("re-estimate drifted: %+v vs %+v", again, shared)
+	}
+}
+
+func TestExplainAnnotatesShared(t *testing.T) {
+	cat := fixture()
+	m := New(cat)
+	sh := algebra.NewShared(&algebra.SemiJoin{
+		Left:  scan(cat, "P"),
+		Right: scan(cat, "Q"),
+		On:    []algebra.ColPair{{Left: 0, Right: 0}},
+	})
+	out, err := m.Explain(&algebra.Union{Left: sh, Right: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Shared#") {
+		t.Fatalf("Explain must show Shared nodes:\n%s", out)
+	}
+}

@@ -38,6 +38,11 @@ type Context struct {
 	// Parallelism disjoint partitions, each run on its own worker with a
 	// private stats shard. Values below 2 select the serial executor.
 	Parallelism int
+	// Memo is the optional result cache consulted by algebra.Shared nodes.
+	// nil makes Shared transparent. The memo belongs to the root context:
+	// fork() deliberately drops it, so partition workers never touch it,
+	// while serialChild copies carry it (the memo is mutex-guarded).
+	Memo *Memo
 
 	// goCtx is the cancellation source; nil means uncancellable.
 	goCtx context.Context
@@ -225,6 +230,17 @@ func Build(ctx *Context, p algebra.Plan) (Iterator, error) {
 			return nil, err
 		}
 		return &materializeIter{ctx: ctx, in: in, schema: n.Schema()}, nil
+	case *algebra.Shared:
+		// The input is built eagerly either way, so catalog errors surface
+		// at build time even when the first Next will hit the memo.
+		in, err := Build(ctx, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Memo == nil {
+			return in, nil
+		}
+		return newMemoIter(ctx, in, n), nil
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", p)
 	}

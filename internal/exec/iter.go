@@ -64,13 +64,13 @@ type projectIter struct {
 	ctx  *Context
 	in   Iterator
 	cols []int
-	seen map[string]struct{}
+	seen *tupleSet
 }
 
 func newProjectIter(ctx *Context, in Iterator, cols []int, dedup bool) *projectIter {
 	it := &projectIter{ctx: ctx, in: in, cols: cols}
 	if dedup {
-		it.seen = make(map[string]struct{})
+		it.seen = newTupleSet()
 	}
 	return it
 }
@@ -87,11 +87,9 @@ func (it *projectIter) Next() (relation.Tuple, bool) {
 		if it.seen == nil {
 			return out, true
 		}
-		k := out.Key()
-		if _, dup := it.seen[k]; dup {
+		if !it.seen.add(out) {
 			continue
 		}
-		it.seen[k] = struct{}{}
 		it.ctx.Stats.HashInserts++
 		return out, true
 	}
@@ -360,14 +358,14 @@ func (it *cojIter) Close() { it.left.Close(); it.spec.close() }
 type unionIter struct {
 	ctx         *Context
 	left, right Iterator
-	seen        map[string]struct{}
+	seen        *tupleSet
 	onRight     bool
 }
 
 func (it *unionIter) Open() {
 	it.left.Open()
 	it.right.Open()
-	it.seen = make(map[string]struct{})
+	it.seen = newTupleSet()
 	it.onRight = false
 }
 
@@ -387,11 +385,9 @@ func (it *unionIter) Next() (relation.Tuple, bool) {
 				return nil, false
 			}
 		}
-		k := t.Key()
-		if _, dup := it.seen[k]; dup {
+		if !it.seen.add(t) {
 			continue
 		}
-		it.seen[k] = struct{}{}
 		it.ctx.Stats.HashInserts++
 		it.ctx.Stats.IntermediateTuples++
 		return t, true
@@ -400,30 +396,40 @@ func (it *unionIter) Next() (relation.Tuple, bool) {
 
 func (it *unionIter) Close() { it.left.Close(); it.right.Close() }
 
+// A union never produces more than its inputs combined; the hint survives
+// only when both sides can bound themselves.
+func (it *unionIter) sizeHint() int {
+	l, r := hintOf(it.left), hintOf(it.right)
+	if l < 0 || r < 0 {
+		return -1
+	}
+	return l + r
+}
+
 // diffIter implements set difference (keep=false) and intersection
 // (keep=true) by materializing the right side's keys and streaming the left.
 type diffIter struct {
 	ctx         *Context
 	left, right Iterator
 	keep        bool
-	rightKeys   map[string]struct{}
-	emitted     map[string]struct{}
+	rightKeys   *tupleSet
+	emitted     *tupleSet
 }
 
 func (it *diffIter) Open() {
 	it.right.Open()
-	it.rightKeys = make(map[string]struct{})
+	it.rightKeys = newTupleSet()
 	for {
 		t, ok := it.right.Next()
 		if !ok {
 			break
 		}
-		it.rightKeys[t.Key()] = struct{}{}
+		it.rightKeys.add(t)
 		it.ctx.Stats.HashInserts++
 		it.ctx.Stats.IntermediateTuples++
 	}
 	it.left.Open()
-	it.emitted = make(map[string]struct{})
+	it.emitted = newTupleSet()
 }
 
 func (it *diffIter) Next() (relation.Tuple, bool) {
@@ -432,16 +438,13 @@ func (it *diffIter) Next() (relation.Tuple, bool) {
 		if !ok {
 			return nil, false
 		}
-		k := t.Key()
 		it.ctx.Stats.Comparisons++
-		_, inRight := it.rightKeys[k]
-		if inRight != it.keep {
+		if it.rightKeys.has(t) != it.keep {
 			continue
 		}
-		if _, dup := it.emitted[k]; dup {
+		if !it.emitted.add(t) {
 			continue
 		}
-		it.emitted[k] = struct{}{}
 		return t, true
 	}
 }
@@ -619,3 +622,13 @@ func (it *materializeIter) Next() (relation.Tuple, bool) {
 }
 
 func (it *materializeIter) Close() { it.in.Close() }
+
+// Before Open the bound is the child's; after Open the buffer is exact.
+// drainPartitions calls hintOf before Open, so propagating the child's hint
+// is what keeps hints alive across materialization boundaries.
+func (it *materializeIter) sizeHint() int {
+	if it.buf != nil {
+		return it.buf.Len()
+	}
+	return hintOf(it.in)
+}

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// This file implements the result memo behind the memoizing subplan cache.
+// The planner (internal/planopt) wraps repeated subtrees in algebra.Shared
+// nodes; at execution, the first evaluation of a fingerprint streams through
+// a spool and publishes it, and every later evaluation — in the same plan
+// (union branches, ⋉/⊼ twins) or in a later Query/Check/Run on the same
+// engine — replays the spool without touching base relations. Entries are
+// verified against the full canonical plan string, so a 64-bit fingerprint
+// collision degrades to a miss, never to a wrong result; and the memo
+// remembers the catalog generation it was filled under, so any base-relation
+// mutation flushes it wholesale.
+
+// DefaultMemoBudget bounds the memo's total buffered tuples when the caller
+// does not pick a budget.
+const DefaultMemoBudget = 1 << 20
+
+// Memo is a bounded, generation-invalidated result cache keyed by plan
+// fingerprint. It is owned by the root execution context (worker forks never
+// see it) and guarded by a mutex, so replays are safe even when several
+// executions share one engine-held memo.
+type Memo struct {
+	mu      sync.Mutex
+	budget  int
+	gen     int64
+	tuples  int
+	entries map[uint64]*memoEntry
+	lru     *list.List // front = most recently used; values are *memoEntry
+}
+
+type memoEntry struct {
+	fp     uint64
+	key    string // canonical plan string: the collision check
+	tuples []relation.Tuple
+	elem   *list.Element
+}
+
+// NewMemo builds a memo bounded to at most budget buffered tuples across all
+// entries; budget <= 0 selects DefaultMemoBudget.
+func NewMemo(budget int) *Memo {
+	if budget <= 0 {
+		budget = DefaultMemoBudget
+	}
+	return &Memo{
+		budget:  budget,
+		gen:     -1,
+		entries: make(map[uint64]*memoEntry),
+		lru:     list.New(),
+	}
+}
+
+// Budget returns the tuple budget.
+func (m *Memo) Budget() int { return m.budget }
+
+// Entries returns the number of cached results.
+func (m *Memo) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Tuples returns the number of buffered tuples across all entries.
+func (m *Memo) Tuples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tuples
+}
+
+// Flush drops every entry.
+func (m *Memo) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushLocked()
+}
+
+func (m *Memo) flushLocked() {
+	m.entries = make(map[uint64]*memoEntry)
+	m.lru.Init()
+	m.tuples = 0
+}
+
+// advance flushes the memo when a newer catalog generation is observed.
+// Generations are monotonic, so gen < m.gen identifies a stale caller (a
+// run that started before a mutation); those neither read nor write.
+// Returns whether gen is current. Callers hold the mutex.
+func (m *Memo) advance(gen int64) bool {
+	if gen > m.gen {
+		m.flushLocked()
+		m.gen = gen
+	}
+	return gen == m.gen
+}
+
+// lookup returns the spooled result for fp under catalog generation gen, or
+// nil/false. The canonical key must match: a fingerprint collision is a miss.
+// A hit moves the entry to the LRU front. The returned slice is shared and
+// must not be mutated.
+func (m *Memo) lookup(gen int64, fp uint64, key string) ([]relation.Tuple, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.advance(gen) {
+		return nil, false
+	}
+	e, ok := m.entries[fp]
+	if !ok || e.key != key {
+		return nil, false
+	}
+	m.lru.MoveToFront(e.elem)
+	return e.tuples, true
+}
+
+// store publishes a fully drained spool under fp, evicting least recently
+// used entries until the budget holds. Oversized results and results spooled
+// under a superseded generation are dropped.
+func (m *Memo) store(gen int64, fp uint64, key string, tuples []relation.Tuple) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.advance(gen) || len(tuples) > m.budget {
+		return
+	}
+	if e, ok := m.entries[fp]; ok {
+		// Another evaluation of the same fingerprint already published.
+		if e.key == key {
+			return
+		}
+		// Fingerprint collision between distinct plans: keep the incumbent.
+		return
+	}
+	for m.tuples+len(tuples) > m.budget {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*memoEntry)
+		m.lru.Remove(back)
+		delete(m.entries, victim.fp)
+		m.tuples -= len(victim.tuples)
+	}
+	e := &memoEntry{fp: fp, key: key, tuples: tuples}
+	e.elem = m.lru.PushFront(e)
+	m.entries[fp] = e
+	m.tuples += len(tuples)
+}
+
+// entryLen returns the cached result's length for fp/key without touching
+// LRU order; -1 when absent. Used for size hints.
+func (m *Memo) entryLen(fp uint64, key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[fp]; ok && e.key == key {
+		return len(e.tuples)
+	}
+	return -1
+}
+
+// memoIter executes an algebra.Shared node against the context memo. It is
+// deliberately lazy: the memo lookup and the input Open both happen at the
+// first Next, not at Open — all iterators of a plan Open before any drains,
+// so an eager lookup would miss results a sibling branch is about to
+// publish, and an eager input Open would run blocking hash builds that a hit
+// makes unnecessary.
+type memoIter struct {
+	ctx *Context
+	in  Iterator
+	fp  uint64
+	key string
+
+	started   bool
+	gen       int64
+	replay    []relation.Tuple // non-nil on a hit
+	replayPos int
+	spool     []relation.Tuple
+	spooling  bool
+	inOpened  bool
+}
+
+func newMemoIter(ctx *Context, in Iterator, n *algebra.Shared) *memoIter {
+	return &memoIter{ctx: ctx, in: in, fp: n.FP, key: algebra.Canonical(n.Input)}
+}
+
+func (it *memoIter) Open() {
+	it.started = false
+	it.replay = nil
+	it.replayPos = 0
+	it.spool = nil
+	it.spooling = false
+	it.inOpened = false
+}
+
+func (it *memoIter) Next() (relation.Tuple, bool) {
+	if it.ctx.Interrupted() {
+		return nil, false
+	}
+	if !it.started {
+		it.started = true
+		it.gen = it.ctx.Catalog.Generation()
+		if tuples, ok := it.ctx.Memo.lookup(it.gen, it.fp, it.key); ok {
+			it.ctx.Stats.CacheHits++
+			it.replay = tuples
+		} else {
+			it.ctx.Stats.CacheMisses++
+			it.in.Open()
+			it.inOpened = true
+			it.spool = []relation.Tuple{}
+			it.spooling = true
+		}
+	}
+	if it.replay != nil {
+		if it.replayPos >= len(it.replay) {
+			return nil, false
+		}
+		t := it.replay[it.replayPos]
+		it.replayPos++
+		it.ctx.Stats.CacheTuplesReplayed++
+		return t, true
+	}
+	t, ok := it.in.Next()
+	if !ok {
+		// Complete drain: publish, unless cancellation may have truncated
+		// the stream or the spool was abandoned as over budget.
+		if it.spooling && it.ctx.CancelErr() == nil {
+			it.ctx.Memo.store(it.gen, it.fp, it.key, it.spool)
+		}
+		it.spooling = false
+		it.spool = nil
+		return nil, false
+	}
+	if it.spooling {
+		it.spool = append(it.spool, t)
+		it.ctx.Stats.CacheTuplesSpooled++
+		if len(it.spool) > it.ctx.Memo.Budget() {
+			it.spooling = false
+			it.spool = nil
+		}
+	}
+	return t, true
+}
+
+func (it *memoIter) Close() {
+	if it.inOpened {
+		it.in.Close()
+	}
+	it.replay = nil
+	it.spool = nil
+}
+
+// sizeHint bounds the output: exactly the entry length on a warm cache,
+// otherwise whatever the input can promise.
+func (it *memoIter) sizeHint() int {
+	if n := it.ctx.Memo.entryLen(it.fp, it.key); n >= 0 {
+		return n
+	}
+	return hintOf(it.in)
+}

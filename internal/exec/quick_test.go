@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/algebra"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -236,6 +237,62 @@ func TestQuickIndexedAgreesWithHash(t *testing.T) {
 			return false
 		}
 		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMemoTransparency: for arbitrary relations, running a plan whose
+// repeated subtrees went through planopt.Share with the memo on — serial and
+// with Parallelism(4) — yields exactly the uncached result, and base reads
+// never exceed the uncached run's.
+func TestQuickMemoTransparency(t *testing.T) {
+	on := []algebra.ColPair{{Left: 0, Right: 0}}
+	f := func(ps, qs, us []byte) bool {
+		p := relFromBytes("P", ps)
+		q := relFromBytes("Q", qs)
+		u := relFromBytes("U", us)
+		cat := catFor(p, q, u)
+		// Two ⋉ twins over the same producer under a union, plus a diff
+		// against U — the Rule 12 shape the share pass targets.
+		mk := func() algebra.Plan {
+			producer := func() algebra.Plan {
+				return &algebra.SemiJoin{Left: scan(cat, "P"), Right: scan(cat, "Q"), On: on}
+			}
+			return &algebra.Diff{
+				Left:  &algebra.Union{Left: producer(), Right: producer()},
+				Right: scan(cat, "U"),
+			}
+		}
+		shared := planopt.Share(mk())
+
+		offCtx := NewContext(cat)
+		want, err := Run(offCtx, mk())
+		if err != nil {
+			return false
+		}
+		for _, par := range []int{1, 4} {
+			ctx := NewContext(cat)
+			ctx.Parallelism = par
+			ctx.Memo = NewMemo(0)
+			got, err := Run(ctx, shared)
+			if err != nil || !got.Equal(want) {
+				return false
+			}
+			if ctx.Stats.BaseTuplesRead > offCtx.Stats.BaseTuplesRead {
+				return false
+			}
+			// Warm re-run against the same memo must agree too.
+			warm := NewContext(cat)
+			warm.Parallelism = par
+			warm.Memo = ctx.Memo
+			again, err := Run(warm, shared)
+			if err != nil || !again.Equal(want) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

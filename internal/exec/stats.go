@@ -29,6 +29,17 @@ type Stats struct {
 	// PartitionsExecuted counts hash partitions run by the partition-parallel
 	// join executor (0 for a fully serial run).
 	PartitionsExecuted int64
+	// CacheHits counts Shared-node evaluations answered from the plan-cache
+	// memo; CacheMisses counts the ones that had to run their subtree.
+	CacheHits   int64
+	CacheMisses int64
+	// CacheTuplesReplayed counts tuples served out of memo entries — work
+	// the executor did NOT redo. BaseTuplesRead net of replays is invariant
+	// between cache-on and cache-off runs of the same plan.
+	CacheTuplesReplayed int64
+	// CacheTuplesSpooled counts tuples buffered into candidate memo entries
+	// while their first evaluation streamed through.
+	CacheTuplesSpooled int64
 }
 
 // Add accumulates another stats record into s.
@@ -40,6 +51,10 @@ func (s *Stats) Add(o Stats) {
 	s.Materializations += o.Materializations
 	s.OutputTuples += o.OutputTuples
 	s.PartitionsExecuted += o.PartitionsExecuted
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheTuplesReplayed += o.CacheTuplesReplayed
+	s.CacheTuplesSpooled += o.CacheTuplesSpooled
 }
 
 // String renders the counters on one line. The partition counter is only
@@ -50,6 +65,10 @@ func (s *Stats) String() string {
 		s.Materializations, s.OutputTuples)
 	if s.PartitionsExecuted > 0 {
 		base += fmt.Sprintf(" part=%d", s.PartitionsExecuted)
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		base += fmt.Sprintf(" chit=%d cmiss=%d creplay=%d cspool=%d",
+			s.CacheHits, s.CacheMisses, s.CacheTuplesReplayed, s.CacheTuplesSpooled)
 	}
 	return base
 }

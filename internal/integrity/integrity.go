@@ -51,9 +51,17 @@ type Manager struct {
 	byName      map[string]*Constraint
 }
 
-// NewManager builds a manager over the database.
+// NewManager builds a manager over the database. Its engine runs with the
+// plan cache on: constraint checking re-evaluates the same closed formulas
+// after every database change, and between changes the memo serves repeated
+// CheckAll sweeps from warm entries (mutations flush it automatically via
+// the catalog generation counter).
 func NewManager(db *core.DB) *Manager {
-	return &Manager{db: db, eng: core.NewEngine(db), byName: make(map[string]*Constraint)}
+	return &Manager{
+		db:     db,
+		eng:    core.NewEngine(db, core.WithPlanCache(0)),
+		byName: make(map[string]*Constraint),
+	}
 }
 
 // Define registers a constraint. The formula must be closed and safe

@@ -1,0 +1,257 @@
+// Package planopt holds plan-to-plan rewrites applied between translation
+// and execution. Its only pass today is Share, the common-subexpression
+// detector feeding the executor's memoizing subplan cache: Bry's Rule 12
+// deliberately duplicates the producer subtree across the branches of a
+// distributed disjunction, and the quantifier translations of Prop. 4 emit
+// ⋉/⊼ twins over the same range subplan. Share finds those repetitions by
+// structural fingerprint and wraps them in algebra.Shared nodes so the
+// executor computes each one once and replays it thereafter.
+package planopt
+
+import "repro/internal/algebra"
+
+// MinShareNodes is the smallest subtree (in operator nodes) worth wrapping.
+// Bare scans and single-predicate filters over scans are excluded: replaying
+// them saves nothing over re-reading the base relation, and wrapping the
+// right side of a join would hide it from the index prober.
+const MinShareNodes = 3
+
+// Share rewrites a relational plan, wrapping in algebra.Shared every subtree
+// that either occurs two or more times within the plan or is the plan root,
+// provided it has at least MinShareNodes operator nodes. The rewrite is
+// structural only — it never changes the result — and is a no-op for the
+// executor unless a memo is installed on the execution context.
+func Share(p algebra.Plan) algebra.Plan {
+	s := newSharer()
+	s.count(p)
+	return s.wrapRoot(s.rewrite(p))
+}
+
+// ShareBool rewrites every relational subplan of a boolean plan with one
+// shared fingerprint census, so duplicates are detected across emptiness
+// tests (the ⋉/⊼ twins of Prop. 4 sit under different boolean branches).
+// Each emptiness test's input is additionally wrapped as a root: a fully
+// drained probe (the common "no violations" integrity outcome) then leaves a
+// warm memo entry for the next run of the same check.
+func ShareBool(bp algebra.BoolPlan) algebra.BoolPlan {
+	s := newSharer()
+	s.countBool(bp)
+	return s.rewriteBool(bp)
+}
+
+type sharer struct {
+	fps       map[algebra.Plan]uint64 // per-pointer fingerprint cache
+	counts    map[uint64]int          // occurrences per fingerprint (per edge)
+	rewritten map[algebra.Plan]algebra.Plan
+	shared    map[uint64]*algebra.Shared // one wrapper per fingerprint
+}
+
+func newSharer() *sharer {
+	return &sharer{
+		fps:       make(map[algebra.Plan]uint64),
+		counts:    make(map[uint64]int),
+		rewritten: make(map[algebra.Plan]algebra.Plan),
+		shared:    make(map[uint64]*algebra.Shared),
+	}
+}
+
+func (s *sharer) fp(p algebra.Plan) uint64 {
+	if fp, ok := s.fps[p]; ok {
+		return fp
+	}
+	fp := algebra.Fingerprint(p)
+	s.fps[p] = fp
+	return fp
+}
+
+// count tallies fingerprint occurrences, one per edge: a subtree pointer
+// reused across union branches (as the disjunctive-filter translation does)
+// counts once per branch, exactly as often as the executor would build it.
+func (s *sharer) count(p algebra.Plan) {
+	if sh, ok := p.(*algebra.Shared); ok {
+		s.count(sh.Input)
+		return
+	}
+	s.counts[s.fp(p)]++
+	for _, c := range p.Children() {
+		s.count(c)
+	}
+}
+
+func (s *sharer) countBool(bp algebra.BoolPlan) {
+	for _, c := range bp.PlanChildren() {
+		s.count(c)
+	}
+	for _, c := range bp.BoolChildren() {
+		s.countBool(c)
+	}
+}
+
+// shareable reports whether the subtree rooted at p (an original, pre-rewrite
+// pointer) clears the size threshold for memoization.
+func (s *sharer) shareable(p algebra.Plan) bool {
+	return algebra.NodeCount(p) >= MinShareNodes
+}
+
+// wrap returns the canonical Shared wrapper for p's fingerprint, creating it
+// around the rewritten subtree on first use. All occurrences of a
+// fingerprint share one wrapper, so Explain shows the same Shared#id at each
+// site.
+func (s *sharer) wrap(fp uint64, rewritten algebra.Plan) algebra.Plan {
+	if sh, ok := s.shared[fp]; ok {
+		return sh
+	}
+	sh := &algebra.Shared{Input: rewritten, FP: fp}
+	s.shared[fp] = sh
+	return sh
+}
+
+// wrapRoot wraps a plan root unconditionally (threshold permitting): the
+// root occurs once per plan but recurs across Query/Check/Run calls, and a
+// warm engine-held memo replays the whole query.
+func (s *sharer) wrapRoot(rewritten algebra.Plan) algebra.Plan {
+	if _, ok := rewritten.(*algebra.Shared); ok {
+		return rewritten
+	}
+	if algebra.NodeCount(rewritten) < MinShareNodes {
+		return rewritten
+	}
+	return s.wrap(algebra.Fingerprint(rewritten), rewritten)
+}
+
+// rewrite rebuilds the tree bottom-up, wrapping every repeated subtree that
+// clears the threshold. Rewrites are memoized per pointer so DAG-shaped
+// inputs stay DAGs.
+func (s *sharer) rewrite(p algebra.Plan) algebra.Plan {
+	if done, ok := s.rewritten[p]; ok {
+		return done
+	}
+	out := s.rewriteChildren(p)
+	if _, isShared := p.(*algebra.Shared); !isShared {
+		if fp := s.fp(p); s.counts[fp] >= 2 && s.shareable(p) {
+			out = s.wrap(fp, out)
+		}
+	}
+	s.rewritten[p] = out
+	return out
+}
+
+// rewriteChildren rebuilds one node with rewritten children, preserving the
+// original pointer when nothing underneath changed.
+func (s *sharer) rewriteChildren(p algebra.Plan) algebra.Plan {
+	switch n := p.(type) {
+	case *algebra.Scan:
+		return n
+	case *algebra.Select:
+		if in := s.rewrite(n.Input); in != n.Input {
+			return &algebra.Select{Input: in, Pred: n.Pred}
+		}
+	case *algebra.Project:
+		if in := s.rewrite(n.Input); in != n.Input {
+			return &algebra.Project{Input: in, Cols: n.Cols, NoDedup: n.NoDedup}
+		}
+	case *algebra.Product:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.Product{Left: l, Right: r}
+		}
+	case *algebra.Join:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.Join{Left: l, Right: r, On: n.On, Residual: n.Residual}
+		}
+	case *algebra.SemiJoin:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.SemiJoin{Left: l, Right: r, On: n.On}
+		}
+	case *algebra.ComplementJoin:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.ComplementJoin{Left: l, Right: r, On: n.On}
+		}
+	case *algebra.OuterJoin:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.OuterJoin{Left: l, Right: r, On: n.On}
+		}
+	case *algebra.ConstrainedOuterJoin:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.ConstrainedOuterJoin{Left: l, Right: r, On: n.On, Constraint: n.Constraint}
+		}
+	case *algebra.Union:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.Union{Left: l, Right: r}
+		}
+	case *algebra.Diff:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.Diff{Left: l, Right: r}
+		}
+	case *algebra.Intersect:
+		l, r := s.rewrite(n.Left), s.rewrite(n.Right)
+		if l != n.Left || r != n.Right {
+			return &algebra.Intersect{Left: l, Right: r}
+		}
+	case *algebra.Division:
+		l, r := s.rewrite(n.Dividend), s.rewrite(n.Divisor)
+		if l != n.Dividend || r != n.Divisor {
+			return &algebra.Division{Dividend: l, Divisor: r, KeyCols: n.KeyCols, DivCols: n.DivCols}
+		}
+	case *algebra.GroupCount:
+		if in := s.rewrite(n.Input); in != n.Input {
+			return &algebra.GroupCount{Input: in, GroupCols: n.GroupCols}
+		}
+	case *algebra.Materialize:
+		if in := s.rewrite(n.Input); in != n.Input {
+			return &algebra.Materialize{Input: in, Label: n.Label}
+		}
+	case *algebra.Shared:
+		if in := s.rewrite(n.Input); in != n.Input {
+			return &algebra.Shared{Input: in, FP: n.FP}
+		}
+	}
+	return p
+}
+
+func (s *sharer) rewriteBool(bp algebra.BoolPlan) algebra.BoolPlan {
+	switch n := bp.(type) {
+	case *algebra.NotEmpty:
+		if in := s.wrapRoot(s.rewrite(n.Input)); in != n.Input {
+			return &algebra.NotEmpty{Input: in}
+		}
+	case *algebra.IsEmpty:
+		if in := s.wrapRoot(s.rewrite(n.Input)); in != n.Input {
+			return &algebra.IsEmpty{Input: in}
+		}
+	case *algebra.BoolAnd:
+		ins, changed := s.rewriteBools(n.Inputs)
+		if changed {
+			return &algebra.BoolAnd{Inputs: ins}
+		}
+	case *algebra.BoolOr:
+		ins, changed := s.rewriteBools(n.Inputs)
+		if changed {
+			return &algebra.BoolOr{Inputs: ins}
+		}
+	case *algebra.BoolNot:
+		if in := s.rewriteBool(n.Input); in != n.Input {
+			return &algebra.BoolNot{Input: in}
+		}
+	}
+	return bp
+}
+
+func (s *sharer) rewriteBools(ins []algebra.BoolPlan) ([]algebra.BoolPlan, bool) {
+	out := make([]algebra.BoolPlan, len(ins))
+	changed := false
+	for i, in := range ins {
+		out[i] = s.rewriteBool(in)
+		if out[i] != in {
+			changed = true
+		}
+	}
+	return out, changed
+}

@@ -1,0 +1,128 @@
+package planopt
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+func scanOf(name string) *algebra.Scan {
+	return algebra.NewScan(name, relation.NewSchema("a", "b"))
+}
+
+// producer builds a 3-node subtree (⋉ over two scans) that clears
+// MinShareNodes.
+func producer() algebra.Plan {
+	return &algebra.SemiJoin{
+		Left:  scanOf("P"),
+		Right: scanOf("T"),
+		On:    []algebra.ColPair{{Left: 0, Right: 0}},
+	}
+}
+
+func countShared(p algebra.Plan) int {
+	n := 0
+	if _, ok := p.(*algebra.Shared); ok {
+		n++
+	}
+	for _, c := range p.Children() {
+		n += countShared(c)
+	}
+	return n
+}
+
+func TestShareWrapsRepeatedSubtrees(t *testing.T) {
+	// Two structurally identical producers under a union, as the
+	// disjunctive-filter translation emits.
+	u := &algebra.Union{
+		Left:  &algebra.Select{Input: producer(), Pred: algebra.NotNull{Col: 0}},
+		Right: &algebra.Select{Input: producer(), Pred: algebra.IsNull{Col: 0}},
+	}
+	out := Share(u)
+	root, ok := out.(*algebra.Shared)
+	if !ok {
+		t.Fatalf("plan root must be wrapped, got %T", out)
+	}
+	inner, ok := root.Input.(*algebra.Union)
+	if !ok {
+		t.Fatalf("expected union under root wrapper, got %T", root.Input)
+	}
+	var wrappers []*algebra.Shared
+	for _, side := range []algebra.Plan{inner.Left, inner.Right} {
+		sel, ok := side.(*algebra.Select)
+		if !ok {
+			t.Fatalf("union branch should stay a select, got %T", side)
+		}
+		sh, ok := sel.Input.(*algebra.Shared)
+		if !ok {
+			t.Fatalf("repeated producer not wrapped, got %T", sel.Input)
+		}
+		wrappers = append(wrappers, sh)
+	}
+	if wrappers[0] != wrappers[1] {
+		t.Fatal("both occurrences must reference one Shared wrapper")
+	}
+	if wrappers[0].FP != algebra.Fingerprint(producer()) {
+		t.Fatal("wrapper fingerprint must match the producer")
+	}
+	if algebra.Fingerprint(out) != algebra.Fingerprint(u) {
+		t.Fatal("Share must not change the plan fingerprint")
+	}
+	if err := algebra.Validate(out); err != nil {
+		t.Fatalf("shared plan fails validation: %v", err)
+	}
+}
+
+func TestShareSkipsSmallSubtrees(t *testing.T) {
+	// A repeated bare scan is below MinShareNodes and must stay bare: the
+	// index prober needs to see raw scans on join right sides.
+	u := &algebra.Union{Left: scanOf("P"), Right: scanOf("P")}
+	out := Share(u)
+	if root, ok := out.(*algebra.Shared); ok {
+		out = root.Input
+	}
+	inner := out.(*algebra.Union)
+	if _, ok := inner.Left.(*algebra.Scan); !ok {
+		t.Fatalf("bare scan was wrapped: %T", inner.Left)
+	}
+}
+
+func TestShareWrapsRootOnce(t *testing.T) {
+	p := producer()
+	out := Share(p)
+	if countShared(out) != 1 {
+		t.Fatalf("expected exactly the root wrapper, got %d Shared nodes", countShared(out))
+	}
+	if _, ok := out.(*algebra.Shared); !ok {
+		t.Fatalf("root not wrapped: %T", out)
+	}
+	// Re-running the pass must not double-wrap.
+	again := Share(out)
+	if countShared(again) != 1 {
+		t.Fatalf("Share is not idempotent: %d wrappers", countShared(again))
+	}
+}
+
+func TestShareBoolSpansBranches(t *testing.T) {
+	// The ⋉/⊼ twins of Prop. 4: each side occurs once per branch, and the
+	// shared range subplan must be detected across the boolean tree.
+	bp := &algebra.BoolAnd{Inputs: []algebra.BoolPlan{
+		&algebra.NotEmpty{Input: producer()},
+		&algebra.IsEmpty{Input: producer()},
+	}}
+	out := ShareBool(bp).(*algebra.BoolAnd)
+	ne := out.Inputs[0].(*algebra.NotEmpty)
+	ie := out.Inputs[1].(*algebra.IsEmpty)
+	sh1, ok1 := ne.Input.(*algebra.Shared)
+	sh2, ok2 := ie.Input.(*algebra.Shared)
+	if !ok1 || !ok2 {
+		t.Fatalf("probe inputs not wrapped: %T, %T", ne.Input, ie.Input)
+	}
+	if sh1 != sh2 {
+		t.Fatal("identical probe inputs must share one wrapper")
+	}
+	if err := algebra.ValidateBool(out); err != nil {
+		t.Fatalf("shared bool plan fails validation: %v", err)
+	}
+}

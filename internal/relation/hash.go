@@ -44,6 +44,18 @@ func (v Value) hash64(h uint64) uint64 {
 	return h
 }
 
+// Hash returns a 64-bit FNV-1a hash over every column of the tuple, without
+// allocating. It is HashCols over the identity column list; the deduplicating
+// operators (project, union, diff, intersect) use it as a bucket key and
+// confirm candidates with Equal.
+func (t Tuple) Hash() uint64 {
+	h := fnvOffset64
+	for _, v := range t {
+		h = v.hash64(h)
+	}
+	return h
+}
+
 // EqualOn reports whether t's cols equal u's ucols component-wise, under the
 // set-semantics Equal (∅ = ∅, ⊥ = ⊥). The two column lists must have equal
 // length; this is the probe-time verification paired with HashCols.

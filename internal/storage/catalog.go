@@ -18,6 +18,10 @@ import (
 type Catalog struct {
 	relations map[string]*relation.Relation
 	indexes   map[string]map[string]*HashIndex // relation -> index key -> index
+	// structural accumulates definition-level changes (Define, Add). Together
+	// with the per-relation versions it forms Generation, the monotonic
+	// counter that invalidates the executor's plan-cache memo.
+	structural int64
 }
 
 // NewCatalog returns an empty catalog.
@@ -36,6 +40,7 @@ func (c *Catalog) Define(name string, schema relation.Schema) (*relation.Relatio
 	}
 	r := relation.New(name, schema)
 	c.relations[name] = r
+	c.structural++
 	return r, nil
 }
 
@@ -51,8 +56,29 @@ func (c *Catalog) MustDefine(name string, schema relation.Schema) *relation.Rela
 // Add registers an already-built relation under its own name, replacing any
 // previous definition and dropping its indexes.
 func (c *Catalog) Add(r *relation.Relation) {
+	// Replacing relation v_old with a fresh relation (version 0) would let
+	// Generation move backwards; fold the displaced version (plus one for
+	// the replacement itself) into the structural counter to keep it
+	// monotonic.
+	if old, ok := c.relations[r.Name]; ok {
+		c.structural += old.Version()
+	}
+	c.structural++
 	c.relations[r.Name] = r
 	delete(c.indexes, r.Name)
+}
+
+// Generation returns a counter that strictly increases with every catalog
+// mutation: definitions and replacements bump the structural part, and every
+// Insert/Delete on a base relation bumps that relation's version. The
+// executor memo compares generations to detect staleness, so monotonicity —
+// not density — is the contract.
+func (c *Catalog) Generation() int64 {
+	g := c.structural
+	for _, r := range c.relations {
+		g += r.Version()
+	}
+	return g
 }
 
 // UnknownRelationError reports a lookup of a relation the catalog does not

@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestGenerationMonotonic drives every mutation path and checks that the
+// generation counter strictly increases — including the Add path that
+// replaces a many-times-mutated relation with a fresh (version 0) one, which
+// a naive sum of versions would count as going backwards.
+func TestGenerationMonotonic(t *testing.T) {
+	cat := NewCatalog()
+	last := cat.Generation()
+	bump := func(what string) {
+		g := cat.Generation()
+		if g <= last {
+			t.Fatalf("after %s: generation %d not above %d", what, g, last)
+		}
+		last = g
+	}
+
+	r := cat.MustDefine("p", relation.NewSchema("a"))
+	bump("define")
+	r.InsertValues(relation.Int(1))
+	bump("insert")
+	r.InsertValues(relation.Int(2))
+	bump("second insert")
+	r.Delete(relation.NewTuple(relation.Int(1)))
+	bump("delete")
+
+	// Replace p with a fresh relation: its version restarts at 0.
+	fresh := relation.New("p", relation.NewSchema("a"))
+	cat.Add(fresh)
+	bump("replacement add")
+
+	// A no-op mutation (duplicate insert) must not move the counter.
+	fresh.InsertValues(relation.Int(7))
+	bump("insert into replacement")
+	g := cat.Generation()
+	fresh.InsertValues(relation.Int(7))
+	if cat.Generation() != g {
+		t.Fatal("duplicate insert is a no-op and must not bump the generation")
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 gate, runnable locally and in CI.
 #
-#   ./scripts/check.sh         # format, vet, build, full tests, race tests
+#   ./scripts/check.sh         # format, vet, build, full tests, race tests,
+#                              # one-shot benchmark smoke
 #
 # The race pass covers the packages with real concurrency: the partitioned
 # executor (internal/exec) and the engine API that drives it with
@@ -29,5 +30,8 @@ go test ./...
 
 echo "== go test -race (exec, core)"
 go test -race ./internal/exec/ ./internal/core/
+
+echo "== bench smoke (every benchmark once)"
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "ALL CHECKS PASSED"
