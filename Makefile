@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke repro
+.PHONY: check fmt vet build test race chaos bench bench-smoke repro
 
 ## check: the tier-1 gate — format, vet, build, tests, race tests
 check:
@@ -21,6 +21,11 @@ test:
 ## race: race-detector pass over the concurrent packages
 race:
 	$(GO) test -race ./internal/exec/ ./internal/core/
+
+## chaos: deep seeded fault-injection sweep under -race (CHAOS_SEEDS
+## overrides the seed count; check.sh runs a shorter sweep of 24)
+chaos:
+	CHAOS_SEEDS=$${CHAOS_SEEDS:-64} $(GO) test -race -run Chaos -count=1 -v ./internal/exec/ ./internal/core/
 
 ## bench: the paper's figure/experiment benchmarks
 bench:

@@ -717,6 +717,64 @@ func TestE13SharedSubplanReduction(t *testing.T) {
 	}
 }
 
+// --- E14: resource governor overhead (DESIGN.md) ------------------------------
+
+// BenchmarkE14GovernorOverhead pairs the E12 join workloads ungoverned and
+// under generous budgets (every charge taken, no trip). The pair is the
+// acceptance gate for the governor: the governed median must stay within 5%
+// of the ungoverned one.
+func BenchmarkE14GovernorOverhead(b *testing.B) {
+	p := dataset.DefaultUniversity(50000)
+	p.Lectures = 40
+	p.AttendProb = 0.03
+	cat := dataset.University(p)
+
+	plans := []struct {
+		name string
+		plan algebra.Plan
+	}{
+		{"join/member-skill", func() algebra.Plan {
+			member, _ := cat.Relation("member")
+			skill, _ := cat.Relation("skill")
+			return &algebra.Join{
+				Left:  algebra.NewScan("member", member.Schema()),
+				Right: algebra.NewScan("skill", skill.Schema()),
+				On:    []algebra.ColPair{{Left: 0, Right: 0}},
+			}
+		}()},
+		{"complement-join/member-not-skill-db", func() algebra.Plan {
+			plan, _ := prepare(b, cat, core.StrategyBry, translate.Options{},
+				`{ x, z | member(x, z) and not skill(x, "db") }`)
+			return plan
+		}()},
+	}
+	for _, pl := range plans {
+		for _, governed := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/governed=%v", pl.name, governed), func(b *testing.B) {
+				var total exec.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx := exec.NewContext(cat)
+					if governed {
+						ctx.Gov = exec.NewGovernor(1<<40, 1<<40)
+						ctx.CheckInterval = exec.GovernedCheckInterval
+					}
+					out, err := exec.Run(ctx, pl.plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Len() == 0 {
+						b.Fatal("benchmark plan produced no rows")
+					}
+					total.Add(*ctx.Stats)
+				}
+				b.StopTimer()
+				reportStats(b, total)
+			})
+		}
+	}
+}
+
 // --- E8: emptiness tests and early termination (§3.2) ------------------------
 
 // BenchmarkE8EmptinessTest compares the boolean emptiness-test pipeline

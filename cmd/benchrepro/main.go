@@ -44,7 +44,7 @@ var parallelism = 1
 var jsonOut *os.File
 
 func main() {
-	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e13")
+	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e14")
 	flag.IntVar(&parallelism, "parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
 	jsonPath := flag.String("json", "", "also append every table row as a JSON line to this file")
 	flag.Parse()
@@ -79,6 +79,7 @@ func main() {
 		{"e10", e10, "E10 — universal quantification: counting vs division vs complement-join"},
 		{"e12", e12, "E12 — partitioned parallel executor: serial vs parallel counter parity"},
 		{"e13", e13, "E13 — memoizing subplan cache on wide disjunctions (union strategy)"},
+		{"e14", e14, "E14 — resource governor: overhead parity, budget trips, degradation"},
 	}
 	ran := false
 	for _, a := range artifacts {
@@ -658,4 +659,74 @@ func e13() {
 		run(on, "cache warm"),
 	}
 	printTable("memoizing subplan cache, width-4 disjunction, |P|=4000, union strategy", rows)
+}
+
+// e14 shows the resource governor's three behaviours on deterministic
+// counters (wall-clock overhead lives in go test -bench E14):
+//
+//  1. parity — a generous budget leaves every counter of the E12 workload
+//     identical to the ungoverned run (accounting is observation only);
+//  2. trips — the Codd reduction of a negated query blows past a tuple
+//     budget the Bry translation of the same query fits in comfortably;
+//  3. degradation — under memory pressure the engine sheds warm plan-cache
+//     entries, credits the freed bytes, and still answers.
+func e14() {
+	p := dataset.DefaultUniversity(3000)
+	p.Lectures = 60
+	p.AttendProb = 0.1
+	cat := dataset.University(p)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	q := `{ x, z | member(x, z) and not skill(x, "db") and exists y: cs_lecture(y) and attends(x, y) }`
+	run := func(label string, opts ...core.Option) row {
+		eng := core.NewEngine(db, append([]core.Option{core.WithParallelism(parallelism)}, opts...)...)
+		res, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return row{label: label, stats: res.Stats, extra: fmt.Sprintf("%d rows", res.Rows.Len())}
+	}
+	rows := []row{
+		run("ungoverned"),
+		run("governed (generous budgets)", core.WithTupleLimit(1<<40), core.WithMemoryBudget(1<<40)),
+	}
+
+	// Budget trip: the same negated query under both translations, one
+	// tuple budget. Codd's domain products blow past it; Bry fits.
+	small := universityDB(60)
+	qneg := `{ x | student(x) and not exists y: attends(x, y) }`
+	const budget = 2000
+	codd := core.NewEngine(small, core.WithStrategy(core.StrategyCodd), core.WithTupleLimit(budget))
+	if _, err := codd.Query(qneg); err != nil {
+		rows = append(rows, row{label: fmt.Sprintf("codd, %d-tuple budget", budget),
+			extra: fmt.Sprintf("aborted: %v", err)})
+	} else {
+		rows = append(rows, row{label: fmt.Sprintf("codd, %d-tuple budget", budget), extra: "UNEXPECTED: fit"})
+	}
+	bry := core.NewEngine(small, core.WithTupleLimit(budget))
+	bres, err := bry.Query(qneg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{label: fmt.Sprintf("bry, %d-tuple budget", budget), stats: bres.Stats,
+		extra: fmt.Sprintf("%d rows", bres.Rows.Len())})
+
+	// Graceful degradation: warm the plan cache, then query under a memory
+	// budget smaller than the warm entry — the engine sheds it and answers.
+	qpos := `{ x | student(x) and exists y: attends(x, y) }`
+	mem := core.NewEngine(small, core.WithPlanCache(0))
+	if _, err := mem.Query(qpos); err != nil {
+		log.Fatal(err)
+	}
+	mem.Configure(core.WithMemoryBudget(2048))
+	mres, err := mem.Query(qpos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{label: "2048-byte budget vs warm cache", stats: mres.Stats,
+		extra: fmt.Sprintf("%d rows, cache entries shed=%d", mres.Rows.Len(), mres.Stats.DegradedEvictions)})
+	printTable("resource governor, E12 workload + Codd blowup, 3000 students", rows)
 }

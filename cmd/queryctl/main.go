@@ -16,6 +16,10 @@
 //	\filters S     disjunctive-filter strategy (constrained, outerjoin, union)
 //	\parallel P    partition fan-out of the hash-join family (1 = serial)
 //	\cache on|off|status   memoizing subplan cache (shared-subtree results)
+//	\limits        show the per-query resource budgets and trip counters
+//	\limits tuples N   abort queries that materialize more than N tuples
+//	\limits mem N  abort queries that hold more than N bytes of tuples
+//	\limits off    clear both budgets
 //	\timeout D     per-query execution bound, e.g. 500ms or 10s (0 = none)
 //	\explain Q     show canonical form and plan without executing
 //	\cost Q        show the plan with cost-model estimates
@@ -128,6 +132,13 @@ func main() {
 			} else {
 				fmt.Println(out)
 			}
+		case line == `\limits` || strings.HasPrefix(line, `\limits `):
+			out, err := setLimits(eng, strings.TrimSpace(strings.TrimPrefix(line, `\limits`)))
+			if err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println(out)
+			}
 		case strings.HasPrefix(line, `\timeout `):
 			d, err := time.ParseDuration(strings.TrimSpace(line[9:]))
 			if err != nil || d < 0 {
@@ -211,6 +222,8 @@ func diagnose(err error) string {
 	var pe *core.ParseError
 	var se *core.SafetyError
 	var le *core.PlanError
+	var re *core.ResourceError
+	var ee *core.ExecError
 	switch {
 	case errors.As(err, &pe):
 		return fmt.Sprintf("syntax error: %v\n  (queries look like { x | student(x) } or a closed formula like exists x: student(x))", pe.Err)
@@ -222,6 +235,10 @@ func diagnose(err error) string {
 			return fmt.Sprintf("unknown relation %q\n  (\\d lists the relations and views this database defines)", ur.Name)
 		}
 		return fmt.Sprintf("planner error (%s stage): %v\n  (the query is well-formed; this is likely a bug worth reporting)", le.Stage, le.Err)
+	case errors.As(err, &re):
+		return fmt.Sprintf("query aborted: %v\n  (raise or clear the budget with \\limits)", re)
+	case errors.As(err, &ee):
+		return fmt.Sprintf("execution fault (%s stage): %v\n  (the engine recovered; the database is still queryable)", ee.Stage, ee.Err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Sprintf("query timed out: %v\n  (raise or clear the bound with \\timeout)", err)
 	default:
@@ -292,6 +309,43 @@ func setCache(eng *core.Engine, arg string) (string, error) {
 	default:
 		return "", fmt.Errorf(`usage: \cache on|off|status`)
 	}
+}
+
+// setLimits drives the per-query resource budgets. With no argument it
+// reports the current budgets and the engine's cumulative robustness
+// counters; `tuples N` and `mem N` set one budget; `off` clears both.
+func setLimits(eng *core.Engine, arg string) (string, error) {
+	fields := strings.Fields(arg)
+	switch {
+	case len(fields) == 0:
+		status := func(v int64, unit string) string {
+			if v == 0 {
+				return "unbounded"
+			}
+			return fmt.Sprintf("%d %s", v, unit)
+		}
+		rc := eng.Robustness()
+		return fmt.Sprintf("tuples = %s, memory = %s\ntrips = %d, panics recovered = %d, cache entries shed = %d",
+			status(eng.TupleLimit(), "tuples"), status(eng.MemoryBudget(), "bytes"),
+			rc.LimitsTripped, rc.PanicsRecovered, rc.DegradedEvictions), nil
+	case len(fields) == 1 && fields[0] == "off":
+		eng.Configure(core.WithTupleLimit(0), core.WithMemoryBudget(0))
+		return "limits cleared", nil
+	case len(fields) == 2:
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 0 {
+			break
+		}
+		switch fields[0] {
+		case "tuples":
+			eng.Configure(core.WithTupleLimit(n))
+			return fmt.Sprintf("tuple limit = %d", eng.TupleLimit()), nil
+		case "mem":
+			eng.Configure(core.WithMemoryBudget(n))
+			return fmt.Sprintf("memory budget = %d bytes", eng.MemoryBudget()), nil
+		}
+	}
+	return "", fmt.Errorf(`usage: \limits [tuples N | mem N | off]`)
 }
 
 func runQuery(eng *core.Engine, input string) error {

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/testutil"
+)
+
+// chaosSeedCount mirrors the exec-layer sweep: 16 seeds by default, raised
+// via CHAOS_SEEDS by the `make chaos` gate.
+func chaosSeedCount(t testing.TB) int64 {
+	t.Helper()
+	n := int64(16)
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 1 {
+			t.Fatalf("bad CHAOS_SEEDS %q", s)
+		}
+		n = v
+	}
+	return n
+}
+
+// TestChaosEngineSurvivesSeededFaults is the engine-boundary counterpart of
+// the exec sweep: one seeded fault per iteration against a cached, parallel
+// engine. For every seed the call must return — typed error or correct
+// result, never a crash — and after clearing the plan the SAME engine (same
+// catalog, same warm plan cache) must answer exactly the fault-free answer.
+func TestChaosEngineSurvivesSeededFaults(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	db := robustDB()
+	baseline := NewEngine(db, WithParallelism(4)) // cache-off reference
+	want, err := baseline.Query(robustQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(db, WithParallelism(4), WithPlanCache(0))
+	seeds := chaosSeedCount(t)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fp := faultinject.Seeded(seed)
+			eng.Configure(WithFaultPlan(fp))
+			res, err := eng.Query(robustQuery)
+			if err != nil {
+				assertTypedError(t, err)
+				if !errors.Is(err, faultinject.ErrInjected) {
+					// Panic arms do not carry the sentinel; they must at
+					// least have crossed the recovery boundary.
+					var ee *ExecError
+					if !errors.As(err, &ee) {
+						t.Fatalf("seed %d: untyped failure %T(%v)", seed, err, err)
+					}
+				}
+			} else if !res.Rows.Equal(want.Rows) {
+				t.Fatalf("seed %d: survived run returned a wrong result", seed)
+			}
+
+			// Post-fault health on the same engine: cache-on must still
+			// equal the cache-off baseline.
+			eng.Configure(WithoutFaultPlan())
+			res, err = eng.Query(robustQuery)
+			if err != nil {
+				t.Fatalf("seed %d: post-fault query: %v", seed, err)
+			}
+			if !res.Rows.Equal(want.Rows) {
+				t.Fatalf("seed %d: post-fault answer differs (cache-on ≢ cache-off)", seed)
+			}
+		})
+	}
+}

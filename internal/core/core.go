@@ -23,11 +23,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/loopeval"
 	"repro/internal/parser"
 	"repro/internal/planopt"
@@ -123,6 +125,18 @@ type Engine struct {
 	// caching. It persists across Query/Check/Run calls, so repeated
 	// queries — the integrity-check workload — replay warm entries.
 	memo *exec.Memo
+	// tupleLimit/memBudget are the engine-level resource budgets
+	// (WithTupleLimit, WithMemoryBudget); 0 = unbounded. Per-call overrides
+	// arrive through WithQueryLimits on the context.
+	tupleLimit int64
+	memBudget  int64
+	// faults is the fault-injection plan (WithFaultPlan); nil in production.
+	faults *faultinject.Plan
+	// Cumulative robustness counters (Robustness accessor). Atomics: one
+	// engine may execute concurrently from several goroutines.
+	panicsRecovered   atomic.Int64
+	limitsTripped     atomic.Int64
+	degradedEvictions atomic.Int64
 }
 
 // NewEngine builds an engine with the default (Bry) strategy, then applies
@@ -181,8 +195,38 @@ func (e *Engine) Prepare(input string) (*Prepared, error) {
 	return e.PrepareQuery(q)
 }
 
+// runGuarded runs fn inside an isolation boundary: a panic anywhere below —
+// an iterator, a translator, a worker panic re-surfaced on the merging
+// goroutine — is recovered, counted on st, and returned as a typed
+// *ExecError instead of killing the process. Organic errors are classified
+// (classifyExec) on the way out.
+func (e *Engine) runGuarded(st *exec.Stats, stage, plan string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.PanicsRecovered++
+			err = &ExecError{Stage: stage, Plan: plan, Err: exec.CapturePanic(r, stage)}
+		}
+	}()
+	return classifyExec(stage, plan, fn())
+}
+
 // PrepareQuery is Prepare for an already-parsed query.
 func (e *Engine) PrepareQuery(q parser.Query) (*Prepared, error) {
+	var st exec.Stats
+	defer e.noteRobustness(&st)
+	var p *Prepared
+	err := e.runGuarded(&st, "prepare", q.String(), func() (err error) {
+		p, err = e.prepareQuery(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// prepareQuery is PrepareQuery's body, run inside the isolation boundary.
+func (e *Engine) prepareQuery(q parser.Query) (*Prepared, error) {
 	q, err := e.db.views.Expand(q)
 	if err != nil {
 		return nil, &PlanError{Stage: "views", Err: err}
@@ -246,6 +290,23 @@ func (e *Engine) execContext(goCtx context.Context) (*exec.Context, context.Canc
 	ctx.UseIndexes = e.useIndexes
 	ctx.Parallelism = e.parallelism
 	ctx.Memo = e.memo
+	tl, mb := e.tupleLimit, e.memBudget
+	if l, ok := queryLimits(goCtx); ok {
+		tl, mb = l.Tuples, l.MemoryBytes
+	}
+	if tl > 0 || mb > 0 {
+		gov := exec.NewGovernor(tl, mb)
+		if e.memo != nil {
+			gov.AttachMemo(e.memo)
+		}
+		ctx.Gov = gov
+	}
+	ctx.Faults = e.faults
+	// With a governor or fault plan installed, tighten the poll interval so
+	// abort latency is bounded in tuples, not just "eventually".
+	if ctx.Gov != nil || ctx.Faults != nil {
+		ctx.CheckInterval = exec.GovernedCheckInterval
+	}
 	cancel := context.CancelFunc(func() {})
 	if e.timeout > 0 {
 		goCtx, cancel = context.WithTimeout(goCtx, e.timeout)
@@ -267,41 +328,56 @@ func (e *Engine) Run(p *Prepared) (*Result, error) {
 func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error) {
 	res := &Result{Open: p.Source.IsOpen(), Canonical: p.Canonical.String()}
 	if p.strategy == StrategyLoop {
-		if err := goCtx.Err(); err != nil {
+		var st exec.Stats
+		defer e.noteRobustness(&st)
+		err := e.runGuarded(&st, "run", res.Canonical, func() error {
+			if err := goCtx.Err(); err != nil {
+				return err
+			}
+			ev := loopeval.New(e.db.cat)
+			if p.Source.IsOpen() {
+				rows, err := ev.EvalOpen(p.Canonical)
+				if err != nil {
+					return err
+				}
+				res.Rows = rows
+			} else {
+				ok, err := ev.EvalClosed(p.Canonical.Body, loopeval.Env{})
+				if err != nil {
+					return err
+				}
+				res.Truth = ok
+			}
+			res.Stats = *ev.Stats
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		ev := loopeval.New(e.db.cat)
-		if p.Source.IsOpen() {
-			rows, err := ev.EvalOpen(p.Canonical)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = rows
-		} else {
-			ok, err := ev.EvalClosed(p.Canonical.Body, loopeval.Env{})
-			if err != nil {
-				return nil, err
-			}
-			res.Truth = ok
-		}
-		res.Stats = *ev.Stats
 		return res, nil
 	}
 
 	ctx, cancel := e.execContext(goCtx)
 	defer cancel()
-	if p.Plan != nil {
-		rows, err := exec.Run(ctx, p.Plan)
-		if err != nil {
-			return nil, err
+	defer func() { e.noteRobustness(ctx.Stats) }()
+	err := e.runGuarded(ctx.Stats, "run", res.Canonical, func() error {
+		if p.Plan != nil {
+			rows, err := exec.Run(ctx, p.Plan)
+			if err != nil {
+				return err
+			}
+			res.Rows = rows
+			return nil
 		}
-		res.Rows = rows
-	} else {
 		ok, err := exec.EvalBool(ctx, p.BoolPlan)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.Truth = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Stats = *ctx.Stats
 	return res, nil
@@ -338,30 +414,34 @@ func (e *Engine) StreamContext(goCtx context.Context, p *Prepared, visit func(re
 	}
 	ctx, cancel := e.execContext(goCtx)
 	defer cancel()
-	it, err := exec.Build(ctx, p.Plan)
-	if err != nil {
-		return exec.Stats{}, err
-	}
-	it.Open()
-	defer it.Close()
-	seen := make(map[string]struct{})
-	for {
-		t, ok := it.Next()
-		if !ok {
-			break
+	defer func() { e.noteRobustness(ctx.Stats) }()
+	err := e.runGuarded(ctx.Stats, "stream", p.Canonical.String(), func() error {
+		it, err := exec.Build(ctx, p.Plan)
+		if err != nil {
+			return err
 		}
-		// Preserve the set semantics of materialized results.
-		k := t.Key()
-		if _, dup := seen[k]; dup {
-			continue
+		it.Open()
+		defer it.Close()
+		seen := make(map[string]struct{})
+		for {
+			t, ok := it.Next()
+			if !ok {
+				break
+			}
+			// Preserve the set semantics of materialized results.
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			ctx.Stats.OutputTuples++
+			if !visit(t) {
+				break
+			}
 		}
-		seen[k] = struct{}{}
-		ctx.Stats.OutputTuples++
-		if !visit(t) {
-			break
-		}
-	}
-	return *ctx.Stats, ctx.CancelErr()
+		return ctx.CancelErr()
+	})
+	return *ctx.Stats, err
 }
 
 // Query prepares and runs a query in one step.

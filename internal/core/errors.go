@@ -1,21 +1,29 @@
 package core
 
 import (
+	"context"
 	"errors"
 
+	"repro/internal/exec"
 	"repro/internal/ranges"
 )
 
-// The engine classifies pipeline failures into three wrapper types, so
-// callers can react with errors.As without parsing messages:
+// The engine classifies pipeline failures into typed wrappers, so callers
+// can react with errors.As without parsing messages:
 //
 //   - ParseError — the input is not syntactically a calculus query;
 //   - SafetyError — the query parsed but is not range-restricted
 //     (a Definition 1–3 rejection from the safety checker);
 //   - PlanError — normalization internals, view expansion, translation or
-//     plan validation failed.
+//     plan validation failed;
+//   - ResourceError — the run exceeded a governor budget (WithTupleLimit,
+//     WithMemoryBudget); carries which limit and which operator tripped;
+//   - ExecError — the run failed at an isolation boundary: a recovered
+//     panic, an injected fault, or any other execution failure.
 //
-// All three unwrap to the underlying stage error.
+// Context cancellation (context.Canceled, context.DeadlineExceeded) is
+// deliberately NOT wrapped: callers match it with errors.Is directly.
+// All wrappers unwrap to the underlying stage error.
 
 // ParseError reports a syntax error in the query text.
 type ParseError struct {
@@ -54,4 +62,45 @@ func classifyNormalize(query string, err error) error {
 		return &SafetyError{Query: query, Err: err}
 	}
 	return &PlanError{Stage: "normalize", Err: err}
+}
+
+// ResourceError re-exports the executor's budget-violation error so callers
+// can match it without importing internal/exec.
+type ResourceError = exec.ResourceError
+
+// ExecError reports a failure during execution: a panic recovered at an
+// isolation boundary, an injected fault, or a catalog failure surfacing at
+// run time. Stage names the entry point ("prepare", "run", "stream"); Plan
+// is the canonical query when one exists.
+type ExecError struct {
+	Stage string
+	Plan  string
+	Err   error
+}
+
+func (e *ExecError) Error() string { return e.Err.Error() }
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// classifyExec wraps an execution failure as ExecError, passing through the
+// errors callers already match directly: the typed family (a Prepare failure
+// crossing a guarded boundary), context cancellation, and budget trips.
+func classifyExec(stage, plan string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *ParseError
+	var se *SafetyError
+	var ple *PlanError
+	var ee *ExecError
+	if errors.As(err, &pe) || errors.As(err, &se) || errors.As(err, &ple) || errors.As(err, &ee) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var re *ResourceError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &ExecError{Stage: stage, Plan: plan, Err: err}
 }

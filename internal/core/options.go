@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/translate"
 )
 
@@ -80,6 +82,75 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
+// WithTupleLimit bounds every execution started through this engine to at
+// most n tuples materialized or delivered, accounted across all operators
+// (and all partition workers) of one run. Exceeding the bound aborts the
+// query with a *ResourceError. Zero (the default) means unbounded.
+func WithTupleLimit(n int64) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.tupleLimit = n
+	}
+}
+
+// WithMemoryBudget bounds every execution's estimated buffered bytes (join
+// build tables, materializations, dedup sets, memo spools, partition
+// buffers, the result). Under pressure the engine first sheds warm plan-cache
+// entries (graceful degradation); if the run still does not fit it aborts
+// with a *ResourceError. Zero (the default) means unbounded.
+func WithMemoryBudget(bytes int64) Option {
+	return func(e *Engine) {
+		if bytes < 0 {
+			bytes = 0
+		}
+		e.memBudget = bytes
+	}
+}
+
+// WithFaultPlan installs a deterministic fault-injection plan consulted at
+// the executor's registered injection points and at catalog lookups. It
+// exists for robustness tests; production engines never install one. A nil
+// plan (or WithoutFaultPlan) removes it.
+func WithFaultPlan(p *faultinject.Plan) Option {
+	return func(e *Engine) {
+		e.faults = p
+		if p == nil {
+			e.db.cat.SetFaultHook(nil)
+			return
+		}
+		e.db.cat.SetFaultHook(func(op, name string) error {
+			return p.Invoke(faultinject.PointCatalogLookup)
+		})
+	}
+}
+
+// WithoutFaultPlan removes any installed fault-injection plan.
+func WithoutFaultPlan() Option { return WithFaultPlan(nil) }
+
+// Limits is a per-call resource budget, overriding the engine-level
+// WithTupleLimit/WithMemoryBudget wholesale for one execution (zero fields
+// mean unbounded for that call, even when the engine has a bound).
+type Limits struct {
+	Tuples      int64
+	MemoryBytes int64
+}
+
+type limitsKey struct{}
+
+// WithQueryLimits returns a context carrying a per-call budget override;
+// pass it to QueryContext/RunContext/StreamContext/CheckContext.
+func WithQueryLimits(ctx context.Context, l Limits) context.Context {
+	return context.WithValue(ctx, limitsKey{}, l)
+}
+
+// queryLimits extracts a per-call budget override, if present.
+func queryLimits(ctx context.Context) (Limits, bool) {
+	l, ok := ctx.Value(limitsKey{}).(Limits)
+	return l, ok
+}
+
 // Configure applies options to an existing engine (e.g. a REPL switching
 // strategies). Prepared queries keep the strategy they were prepared with.
 func (e *Engine) Configure(opts ...Option) {
@@ -126,4 +197,46 @@ func (e *Engine) PlanCacheInfo() (entries, tuples int) {
 		return 0, 0
 	}
 	return e.memo.Entries(), e.memo.Tuples()
+}
+
+// TupleLimit returns the engine-level tuple budget (0 = unbounded).
+func (e *Engine) TupleLimit() int64 { return e.tupleLimit }
+
+// MemoryBudget returns the engine-level byte budget (0 = unbounded).
+func (e *Engine) MemoryBudget() int64 { return e.memBudget }
+
+// FaultPlan returns the installed fault-injection plan (nil in production).
+func (e *Engine) FaultPlan() *faultinject.Plan { return e.faults }
+
+// RobustnessCounters are the engine's cumulative robustness counters,
+// accumulated across every execution since construction.
+type RobustnessCounters struct {
+	PanicsRecovered   int64
+	LimitsTripped     int64
+	DegradedEvictions int64
+}
+
+// Robustness returns the cumulative robustness counters. They keep counting
+// across failed runs — precisely the runs whose per-call Stats the caller
+// never sees.
+func (e *Engine) Robustness() RobustnessCounters {
+	return RobustnessCounters{
+		PanicsRecovered:   e.panicsRecovered.Load(),
+		LimitsTripped:     e.limitsTripped.Load(),
+		DegradedEvictions: e.degradedEvictions.Load(),
+	}
+}
+
+// noteRobustness folds one run's robustness counters into the engine's
+// cumulative ones (atomics: executions may run concurrently).
+func (e *Engine) noteRobustness(st *exec.Stats) {
+	if st.PanicsRecovered > 0 {
+		e.panicsRecovered.Add(st.PanicsRecovered)
+	}
+	if st.LimitsTripped > 0 {
+		e.limitsTripped.Add(st.LimitsTripped)
+	}
+	if st.DegradedEvictions > 0 {
+		e.degradedEvictions.Add(st.DegradedEvictions)
+	}
 }

@@ -5,15 +5,23 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
-// cancelCheckInterval is how many Interrupted polls pass between actual
-// reads of the attached context.Context. Iterator hot loops call
-// Interrupted once per tuple, so the common case is a single integer
-// increment; a cancellation or deadline is observed within N tuples.
-const cancelCheckInterval = 1024
+// DefaultCheckInterval is how many Interrupted polls pass between actual
+// reads of the attached context.Context when the Context does not choose
+// its own interval. Iterator hot loops call Interrupted once per tuple, so
+// the common case is a single integer increment; a cancellation or deadline
+// is observed within N tuples.
+const DefaultCheckInterval = 1024
+
+// GovernedCheckInterval is the tighter poll interval selected automatically
+// when a Governor or fault plan is installed: abort latency is then bounded
+// by a budget the caller chose, so the engine trades a little poll overhead
+// for tuple-bounded limit and cancel latency.
+const GovernedCheckInterval = 64
 
 // maxParallelism caps the partition fan-out of one operator; beyond this the
 // per-partition bookkeeping outweighs any plausible hardware.
@@ -43,13 +51,29 @@ type Context struct {
 	// fork() deliberately drops it, so partition workers never touch it,
 	// while serialChild copies carry it (the memo is mutex-guarded).
 	Memo *Memo
+	// Gov is the optional per-query resource governor. Every materializing
+	// operator charges it; a budget violation aborts the run with a typed
+	// *ResourceError. The governor is shared by worker forks (its counters
+	// are atomic), so the budget bounds the whole query, not one partition.
+	Gov *Governor
+	// Faults is the optional deterministic fault-injection plan consulted at
+	// the registered faultinject points. nil (the production state) reduces
+	// every point to a single pointer check.
+	Faults *faultinject.Plan
+	// CheckInterval overrides how many Interrupted polls pass between reads
+	// of the attached context.Context; 0 selects DefaultCheckInterval.
+	// Installing a Governor or fault plan is expected to lower it (the
+	// engine uses GovernedCheckInterval) so abort latency stays
+	// tuple-bounded.
+	CheckInterval int
 
 	// goCtx is the cancellation source; nil means uncancellable.
 	goCtx context.Context
 	// ticks counts Interrupted calls since the last context poll.
 	ticks int
-	// cancelErr is set once Interrupted observes cancellation; it is sticky
-	// so every later iterator call stops immediately.
+	// cancelErr is the sticky abort cause: a context cancellation observed
+	// by Interrupted, a governor budget violation, or an injected fault.
+	// Once set, every later iterator call stops immediately.
 	cancelErr error
 }
 
@@ -71,9 +95,10 @@ func NewIndexedContext(cat *storage.Catalog) *Context {
 // error instead of a partial result.
 func (c *Context) AttachContext(ctx context.Context) { c.goCtx = ctx }
 
-// Interrupted reports (stickily) whether the attached context has been
-// cancelled, polling it every cancelCheckInterval calls. Iterator hot loops
-// call it once per tuple.
+// Interrupted reports (stickily) whether the run has been aborted — by
+// context cancellation (polled every checkInterval calls), a governor
+// budget trip, or an injected fault. Iterator hot loops call it once per
+// tuple; the sticky check is a single comparison.
 func (c *Context) Interrupted() bool {
 	if c.cancelErr != nil {
 		return true
@@ -82,7 +107,7 @@ func (c *Context) Interrupted() bool {
 		return false
 	}
 	c.ticks++
-	if c.ticks < cancelCheckInterval {
+	if c.ticks < c.checkInterval() {
 		return false
 	}
 	c.ticks = 0
@@ -95,10 +120,75 @@ func (c *Context) Interrupted() bool {
 	}
 }
 
-// CancelErr returns the cancellation error once Interrupted has observed
-// one, and nil otherwise. A run whose iterators drained normally before the
-// context fired keeps its (complete, correct) result.
+// checkInterval returns the effective context poll interval.
+func (c *Context) checkInterval() int {
+	if c.CheckInterval > 0 {
+		return c.CheckInterval
+	}
+	return DefaultCheckInterval
+}
+
+// CancelErr returns the abort cause once Interrupted has observed one (a
+// context error, a *ResourceError, or an injected fault), and nil
+// otherwise. A run whose iterators drained normally before the context
+// fired keeps its (complete, correct) result.
 func (c *Context) CancelErr() error { return c.cancelErr }
+
+// fail records err as the context's sticky abort cause; the first cause
+// wins. Iterators observe it through Interrupted on their next call.
+func (c *Context) fail(err error) {
+	if c.cancelErr == nil && err != nil {
+		c.cancelErr = err
+	}
+}
+
+// fireFault passes through a fault-injection point: without a plan it is a
+// single nil check; with one, an armed error fault becomes the context's
+// abort cause (panic and delay faults realize inside Invoke).
+func (c *Context) fireFault(point string) {
+	if c.Faults == nil {
+		return
+	}
+	c.fail(c.Faults.Invoke(point))
+}
+
+// chargeTuple accounts one tuple buffered by op against the governor and
+// reports whether execution may continue. With no governor it is a nil
+// check. A budget violation becomes the context's sticky abort cause.
+func (c *Context) chargeTuple(op string, t relation.Tuple) bool {
+	if c.Gov == nil {
+		return true
+	}
+	return c.chargeN(op, 1, tupleBytes(t))
+}
+
+// chargeBatch accounts a slice of already-buffered tuples in one governor
+// transaction (used by blocking builds that ingest whole partitions).
+func (c *Context) chargeBatch(op string, ts []relation.Tuple) bool {
+	if c.Gov == nil || len(ts) == 0 {
+		return true
+	}
+	var b int64
+	for _, t := range ts {
+		b += tupleBytes(t)
+	}
+	return c.chargeN(op, int64(len(ts)), b)
+}
+
+func (c *Context) chargeN(op string, n, bytes int64) bool {
+	evicted, err := c.Gov.charge(op, n, bytes)
+	c.Stats.DegradedEvictions += evicted
+	if err != nil {
+		// Charge once per context: sibling workers each record their own
+		// trip, but a context that is already aborting stays quiet.
+		if c.cancelErr == nil {
+			c.Stats.LimitsTripped++
+		}
+		c.fail(err)
+		return false
+	}
+	return true
+}
 
 // parallelism returns the effective partition fan-out.
 func (c *Context) parallelism() int {
@@ -117,10 +207,13 @@ func (c *Context) parallelism() int {
 // charge their work without locks.
 func (c *Context) fork() *Context {
 	return &Context{
-		Catalog:    c.Catalog,
-		Stats:      &Stats{},
-		UseIndexes: c.UseIndexes,
-		goCtx:      c.goCtx,
+		Catalog:       c.Catalog,
+		Stats:         &Stats{},
+		UseIndexes:    c.UseIndexes,
+		goCtx:         c.goCtx,
+		Gov:           c.Gov,
+		Faults:        c.Faults,
+		CheckInterval: c.CheckInterval,
 	}
 }
 
@@ -333,6 +426,9 @@ func Run(ctx *Context, p algebra.Plan) (*relation.Relation, error) {
 	for {
 		t, ok := it.Next()
 		if !ok || ctx.Interrupted() {
+			break
+		}
+		if !ctx.chargeTuple("output", t) {
 			break
 		}
 		out.Insert(t)

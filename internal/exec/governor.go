@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file implements the per-query resource governor. Every operator that
+// buffers tuples — hash-join build tables, explicit materializations, dedup
+// sets, cartesian-product buffers, division and aggregate groupings, memo
+// spools, partition scatter buffers and the root result — charges the
+// governor as it allocates. A query that exceeds its tuple or memory budget
+// aborts with a typed *ResourceError naming the limit and the operator that
+// tripped it, instead of exhausting the process: the enforcement-layer
+// counterpart of the paper's plan-shape discipline, which avoids unbounded
+// intermediates by construction but cannot bound a hostile query's output.
+//
+// Counters are atomic so partitioned workers charge the shared governor
+// lock-free; with no governor installed every charge site is a single nil
+// pointer check.
+
+// ResourceError reports a query aborted for exceeding a resource budget.
+// Limit names the budget ("tuples" or "memory"), Operator the
+// materialization point that tripped it.
+type ResourceError struct {
+	Limit    string // "tuples" or "memory"
+	Operator string // e.g. "join-build", "materialize", "memo-spool"
+	Used     int64  // accounted usage at the trip (tuples or bytes)
+	Budget   int64  // the configured bound
+}
+
+func (e *ResourceError) Error() string {
+	unit := "tuples"
+	if e.Limit == "memory" {
+		unit = "bytes"
+	}
+	return fmt.Sprintf("exec: %s budget exceeded at %s: %d > %d %s",
+		e.Limit, e.Operator, e.Used, e.Budget, unit)
+}
+
+// Governor enforces per-query resource budgets. One governor is shared by
+// the root context and all its worker forks; it is safe for concurrent use.
+type Governor struct {
+	tupleLimit int64 // 0 = unlimited
+	memBudget  int64 // estimated bytes; 0 = unlimited
+
+	tuples atomic.Int64
+	bytes  atomic.Int64
+	// tripped pins the first budget violation so every later charge — on any
+	// worker — fails fast with the same error.
+	tripped atomic.Pointer[ResourceError]
+	// memo, when attached, is shed under memory pressure before the query is
+	// failed: warm cache entries are the one materialization the engine can
+	// give back without breaking anything.
+	memo *Memo
+}
+
+// NewGovernor builds a governor with the given budgets; zero (or negative)
+// disables the corresponding bound.
+func NewGovernor(tupleLimit, memBudget int64) *Governor {
+	if tupleLimit < 0 {
+		tupleLimit = 0
+	}
+	if memBudget < 0 {
+		memBudget = 0
+	}
+	return &Governor{tupleLimit: tupleLimit, memBudget: memBudget}
+}
+
+// AttachMemo lets the governor evict warm memo entries under memory
+// pressure before failing the query (graceful degradation).
+func (g *Governor) AttachMemo(m *Memo) { g.memo = m }
+
+// TupleLimit returns the tuple budget (0 = unlimited).
+func (g *Governor) TupleLimit() int64 { return g.tupleLimit }
+
+// MemoryBudget returns the byte budget (0 = unlimited).
+func (g *Governor) MemoryBudget() int64 { return g.memBudget }
+
+// TuplesUsed returns the tuples accounted so far.
+func (g *Governor) TuplesUsed() int64 { return g.tuples.Load() }
+
+// BytesUsed returns the estimated bytes accounted so far.
+func (g *Governor) BytesUsed() int64 { return g.bytes.Load() }
+
+// Err returns the budget violation that tripped the governor, if any.
+func (g *Governor) Err() error {
+	if e := g.tripped.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// charge accounts n tuples totalling b estimated bytes materialized by op.
+// It returns the number of memo entries evicted to relieve memory pressure
+// and the budget violation, if the charge (still) does not fit.
+func (g *Governor) charge(op string, n, b int64) (evicted int64, err error) {
+	if e := g.tripped.Load(); e != nil {
+		return 0, e
+	}
+	t := g.tuples.Add(n)
+	if g.tupleLimit > 0 && t > g.tupleLimit {
+		return 0, g.trip(&ResourceError{Limit: "tuples", Operator: op, Used: t, Budget: g.tupleLimit})
+	}
+	by := g.bytes.Add(b)
+	if g.memBudget <= 0 || by <= g.memBudget {
+		return 0, nil
+	}
+	// Memory pressure: shed warm memo entries first. Evicted entries free
+	// engine-held memory, so the freed bytes are credited against the
+	// query's accounted footprint before the budget is re-checked.
+	if g.memo != nil {
+		freed, ev := g.memo.shed(by - g.memBudget)
+		if ev > 0 {
+			evicted = int64(ev)
+			by = g.bytes.Add(-freed)
+		}
+	}
+	if by <= g.memBudget {
+		return evicted, nil
+	}
+	return evicted, g.trip(&ResourceError{Limit: "memory", Operator: op, Used: by, Budget: g.memBudget})
+}
+
+// trip pins the first violation; concurrent trippers all report the winner
+// so every worker of one query fails with the same typed error.
+func (g *Governor) trip(e *ResourceError) *ResourceError {
+	if g.tripped.CompareAndSwap(nil, e) {
+		return e
+	}
+	return g.tripped.Load()
+}
+
+// tupleBytes estimates the heap footprint of one buffered tuple: the slice
+// header, the per-value records, and string payloads. An estimate is enough —
+// the budget bounds the order of magnitude of a runaway query, not the
+// allocator's exact arithmetic.
+func tupleBytes(t relation.Tuple) int64 {
+	const sliceHeader, valueSize = 24, 40
+	n := int64(sliceHeader + valueSize*len(t))
+	for _, v := range t {
+		if v.Kind() == relation.KindString {
+			n += int64(len(v.AsString()))
+		}
+	}
+	return n
+}

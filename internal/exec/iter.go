@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/algebra"
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 )
 
@@ -12,9 +13,13 @@ type scanIter struct {
 	pos int
 }
 
-func (it *scanIter) Open() { it.pos = 0 }
+func (it *scanIter) Open() {
+	it.pos = 0
+	it.ctx.fireFault(faultinject.PointIterOpen)
+}
 
 func (it *scanIter) Next() (relation.Tuple, bool) {
+	it.ctx.fireFault(faultinject.PointIterNext)
 	// Scans feed every pipeline leaf, so one check here bounds how long any
 	// streaming plan can outlive its context's cancellation.
 	if it.pos >= it.rel.Len() || it.ctx.Interrupted() {
@@ -90,6 +95,9 @@ func (it *projectIter) Next() (relation.Tuple, bool) {
 		if !it.seen.add(out) {
 			continue
 		}
+		if !it.ctx.chargeTuple("project-dedup", out) {
+			return nil, false
+		}
 		it.ctx.Stats.HashInserts++
 		return out, true
 	}
@@ -115,7 +123,7 @@ func (it *productIter) Open() {
 	it.right.Open()
 	for {
 		t, ok := it.right.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("product", t) {
 			break
 		}
 		it.rightBuf = append(it.rightBuf, t)
@@ -157,7 +165,7 @@ func buildHash(ctx *Context, in Iterator, keyCols []int) *hashTable {
 	in.Open()
 	for {
 		t, ok := in.Next()
-		if !ok {
+		if !ok || !ctx.chargeTuple("join-build", t) {
 			break
 		}
 		k := t.Project(keyCols).Key()
@@ -388,6 +396,9 @@ func (it *unionIter) Next() (relation.Tuple, bool) {
 		if !it.seen.add(t) {
 			continue
 		}
+		if !it.ctx.chargeTuple("union", t) {
+			return nil, false
+		}
 		it.ctx.Stats.HashInserts++
 		it.ctx.Stats.IntermediateTuples++
 		return t, true
@@ -421,7 +432,7 @@ func (it *diffIter) Open() {
 	it.rightKeys = newTupleSet()
 	for {
 		t, ok := it.right.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("difference", t) {
 			break
 		}
 		it.rightKeys.add(t)
@@ -444,6 +455,9 @@ func (it *diffIter) Next() (relation.Tuple, bool) {
 		}
 		if !it.emitted.add(t) {
 			continue
+		}
+		if !it.ctx.chargeTuple("difference", t) {
+			return nil, false
 		}
 		return t, true
 	}
@@ -473,7 +487,7 @@ func (it *divisionIter) Open() {
 	it.divset = make(map[string]struct{})
 	for {
 		t, ok := it.divisor.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("division", t) {
 			break
 		}
 		it.divset[t.Key()] = struct{}{}
@@ -485,7 +499,7 @@ func (it *divisionIter) Open() {
 	it.groups = make(map[string]map[string]struct{})
 	for {
 		t, ok := it.dividend.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("division", t) {
 			break
 		}
 		key := t.Project(it.keyCols)
@@ -552,7 +566,7 @@ func (it *groupCountIter) Open() {
 	it.order = nil
 	for {
 		t, ok := it.in.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("group-count", t) {
 			break
 		}
 		key := t.Project(it.groupCols)
@@ -601,7 +615,7 @@ func (it *materializeIter) Open() {
 	it.buf = relation.NewUnnamed(it.schema)
 	for {
 		t, ok := it.in.Next()
-		if !ok {
+		if !ok || !it.ctx.chargeTuple("materialize", t) {
 			break
 		}
 		if it.buf.Insert(t) {

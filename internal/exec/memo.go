@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/algebra"
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 )
 
@@ -150,6 +151,31 @@ func (m *Memo) store(gen int64, fp uint64, key string, tuples []relation.Tuple) 
 	m.tuples += len(tuples)
 }
 
+// shed evicts least-recently-used entries until at least need estimated
+// bytes are freed (or the memo is empty), returning the bytes freed and the
+// entry count evicted. The governor calls it under memory pressure: warm
+// cache entries are engine-held memory the query can give back without
+// affecting correctness — only later hit rates.
+func (m *Memo) shed(need int64) (freed int64, evicted int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for freed < need {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*memoEntry)
+		m.lru.Remove(back)
+		delete(m.entries, victim.fp)
+		m.tuples -= len(victim.tuples)
+		for _, t := range victim.tuples {
+			freed += tupleBytes(t)
+		}
+		evicted++
+	}
+	return freed, evicted
+}
+
 // entryLen returns the cached result's length for fp/key without touching
 // LRU order; -1 when absent. Used for size hints.
 func (m *Memo) entryLen(fp uint64, key string) int {
@@ -225,15 +251,25 @@ func (it *memoIter) Next() (relation.Tuple, bool) {
 	t, ok := it.in.Next()
 	if !ok {
 		// Complete drain: publish, unless cancellation may have truncated
-		// the stream or the spool was abandoned as over budget.
+		// the stream or the spool was abandoned as over budget. The fault
+		// point sits before the store so an injected failure (or panic)
+		// here proves aborted spools are never published.
 		if it.spooling && it.ctx.CancelErr() == nil {
-			it.ctx.Memo.store(it.gen, it.fp, it.key, it.spool)
+			it.ctx.fireFault(faultinject.PointMemoPublish)
+			if it.ctx.CancelErr() == nil {
+				it.ctx.Memo.store(it.gen, it.fp, it.key, it.spool)
+			}
 		}
 		it.spooling = false
 		it.spool = nil
 		return nil, false
 	}
 	if it.spooling {
+		if !it.ctx.chargeTuple("memo-spool", t) {
+			it.spooling = false
+			it.spool = nil
+			return nil, false
+		}
 		it.spool = append(it.spool, t)
 		it.ctx.Stats.CacheTuplesSpooled++
 		if len(it.spool) > it.ctx.Memo.Budget() {

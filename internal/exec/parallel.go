@@ -3,6 +3,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 )
 
@@ -83,6 +84,7 @@ func (it *parallelJoinIter) Open() {
 	// the merge is a deterministic concatenation.
 	outs := make([][]relation.Tuple, p)
 	workers := make([]*Context, p)
+	panics := make([]*PanicError, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		w := it.ctx.fork()
@@ -90,17 +92,32 @@ func (it *parallelJoinIter) Open() {
 		wg.Add(1)
 		go func(i int, w *Context) {
 			defer wg.Done()
+			// A panic on a worker goroutine would kill the process: no
+			// boundary above this frame can recover it. Capture it here and
+			// re-surface it after wg.Wait on the merging goroutine, where the
+			// engine's isolation boundary can convert it to a typed error.
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = CapturePanic(r, "partition-worker")
+				}
+			}()
 			outs[i] = runPartition(w, it.spec, lparts[i], rparts[i], it.lk, it.rk)
 		}(i, w)
 	}
 	wg.Wait()
 
 	// Phase 3 — merge: absorb stats shards and observed cancellations
-	// (single-threaded again), then concatenate outputs.
+	// (single-threaded again), then concatenate outputs. Absorption runs
+	// before any captured panic is re-surfaced so no worker's shard is lost.
 	total := 0
 	for i := 0; i < p; i++ {
 		it.ctx.absorb(workers[i])
 		total += len(outs[i])
+	}
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
 	}
 	it.out = make([]relation.Tuple, 0, total)
 	for _, o := range outs {
@@ -136,7 +153,7 @@ func drainPartitions(ctx *Context, in Iterator, keyCols []int, p int) [][]keyed 
 	in.Open()
 	for {
 		t, ok := in.Next()
-		if !ok {
+		if !ok || !ctx.chargeTuple("partition", t) {
 			break
 		}
 		h := t.HashCols(keyCols)
@@ -154,6 +171,7 @@ func drainPartitions(ctx *Context, in Iterator, keyCols []int, p int) [][]keyed 
 // the same plan report identical work (modulo PartitionsExecuted).
 func runPartition(w *Context, spec joinSpec, left, right []keyed, lk, rk []int) []relation.Tuple {
 	w.Stats.PartitionsExecuted++
+	w.fireFault(faultinject.PointWorker)
 	if w.Interrupted() {
 		return nil
 	}
@@ -175,8 +193,17 @@ func runPartition(w *Context, spec joinSpec, left, right []keyed, lk, rk []int) 
 
 	// Every join kind emits at most one output per probe-side match pair,
 	// and the semi/complement/constrained kinds at most one per left tuple;
-	// len(left) is the right starting capacity for all of them.
+	// len(left) is the right starting capacity for all of them. emit charges
+	// each buffered output against the shared governor, so a blowup inside
+	// one partition is bounded mid-loop, not after the fact.
 	out := make([]relation.Tuple, 0, len(left))
+	emit := func(t relation.Tuple) bool {
+		if !w.chargeTuple("parallel-join", t) {
+			return false
+		}
+		out = append(out, t)
+		return true
+	}
 	var nulls relation.Tuple
 	if spec.kind == kindOuterJoin {
 		nulls = make(relation.Tuple, spec.rightArity)
@@ -219,36 +246,48 @@ func runPartition(w *Context, spec joinSpec, left, right []keyed, lk, rk []int) 
 						continue
 					}
 				}
-				out = append(out, joined)
+				if !emit(joined) {
+					return out
+				}
 			}
 		case kindSemiJoin:
-			if len(matches(kt)) > 0 {
-				out = append(out, kt.t)
+			if len(matches(kt)) > 0 && !emit(kt.t) {
+				return out
 			}
 		case kindComplementJoin:
-			if len(matches(kt)) == 0 {
-				out = append(out, kt.t)
+			if len(matches(kt)) == 0 && !emit(kt.t) {
+				return out
 			}
 		case kindOuterJoin:
 			m := matches(kt)
 			if len(m) == 0 {
-				out = append(out, kt.t.Concat(nulls))
+				if !emit(kt.t.Concat(nulls)) {
+					return out
+				}
 				continue
 			}
 			for _, rt := range m {
-				out = append(out, kt.t.Concat(rt))
+				if !emit(kt.t.Concat(rt)) {
+					return out
+				}
 			}
 		case kindConstrainedOuterJoin:
 			// The 'const' gate reads flag columns the tuple already carries:
 			// no probe, no comparison charged (mirrors the serial cojIter).
 			if !spec.coj.ConstraintHolds(kt.t) {
-				out = append(out, kt.t.Append(relation.Null()))
+				if !emit(kt.t.Append(relation.Null())) {
+					return out
+				}
 				continue
 			}
+			var flagged relation.Tuple
 			if len(matches(kt)) > 0 {
-				out = append(out, kt.t.Append(relation.Mark()))
+				flagged = kt.t.Append(relation.Mark())
 			} else {
-				out = append(out, kt.t.Append(relation.Null()))
+				flagged = kt.t.Append(relation.Null())
+			}
+			if !emit(flagged) {
+				return out
 			}
 		}
 	}

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/faultinject"
+	"repro/internal/testutil"
+)
+
+// TestWorkerPanicSurfacesAfterAbsorb pins the satellite fix for the worker
+// crash: a panic on a partition-worker goroutine is captured, every worker's
+// stats shard is absorbed, and the panic re-surfaces as a *PanicError on the
+// merging goroutine (where the engine's boundary can convert it) — instead
+// of killing the process from an unrecoverable goroutine.
+func TestWorkerPanicSurfacesAfterAbsorb(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cat := randomJoinCatalog(1, 300)
+	plan := &algebra.Join{Left: scan(cat, "R"), Right: scan(cat, "S"),
+		On: []algebra.ColPair{{Left: 1, Right: 0}}}
+	ctx := NewContext(cat)
+	ctx.Parallelism = 4
+	ctx.Faults = faultinject.New(faultinject.Arm{Point: faultinject.PointWorker, Kind: faultinject.KindPanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not re-surface on the merging goroutine")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Origin != "partition-worker" {
+			t.Fatalf("origin = %q, want partition-worker", pe.Origin)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("captured panic has no stack")
+		}
+		// All four workers ran and their shards were absorbed before the
+		// re-panic: the panicking worker dies first, not the whole phase.
+		if ctx.Stats.PartitionsExecuted != 4 {
+			t.Errorf("PartitionsExecuted = %d, want 4 (shards absorbed before re-panic)",
+				ctx.Stats.PartitionsExecuted)
+		}
+	}()
+	Run(ctx, plan)
+}
+
+// TestMemoMidSpoolCancelNotPublished aborts a Shared drain mid-spool via
+// context cancellation and checks the entry is never published truncated,
+// the next evaluation re-spools, and the hit/miss/spool counters stay
+// consistent.
+func TestMemoMidSpoolCancelNotPublished(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cat := ptuCatalog(t)
+	memo := NewMemo(0)
+	plan := algebra.NewShared(memoProducer(cat))
+
+	goCtx, cancel := context.WithCancel(context.Background())
+	ctx := NewContext(cat)
+	ctx.Memo = memo
+	ctx.CheckInterval = 1
+	ctx.AttachContext(goCtx)
+	it, err := Build(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Open()
+	if _, ok := it.Next(); !ok {
+		t.Fatal("producer is non-empty")
+	}
+	cancel() // mid-spool: at least one tuple pulled, more remain
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	it.Close()
+	if !errors.Is(ctx.CancelErr(), context.Canceled) {
+		t.Fatalf("CancelErr = %v, want context.Canceled", ctx.CancelErr())
+	}
+	if memo.Entries() != 0 {
+		t.Fatal("cancelled drain published a truncated entry")
+	}
+	if ctx.Stats.CacheMisses != 1 || ctx.Stats.CacheHits != 0 {
+		t.Fatalf("counters after aborted spool: %s", ctx.Stats)
+	}
+
+	// The next evaluation re-spools from scratch and publishes.
+	c2 := NewContext(cat)
+	c2.Memo = memo
+	want, err := Run(c2, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats.CacheMisses != 1 || c2.Stats.CacheHits != 0 || c2.Stats.CacheTuplesSpooled != int64(want.Len()) {
+		t.Fatalf("re-spool counters: %s", c2.Stats)
+	}
+	if memo.Entries() != 1 {
+		t.Fatal("full re-drain should publish")
+	}
+
+	// And the third evaluation replays it.
+	c3 := NewContext(cat)
+	c3.Memo = memo
+	got, err := Run(c3, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("replayed result differs")
+	}
+	if c3.Stats.CacheHits != 1 || c3.Stats.CacheMisses != 0 {
+		t.Fatalf("warm counters: %s", c3.Stats)
+	}
+}
+
+// TestMemoSpoolAbortedByInjectedFault aborts the drain through an injected
+// iterator error instead of a cancellation.
+func TestMemoSpoolAbortedByInjectedFault(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cat := ptuCatalog(t)
+	memo := NewMemo(0)
+	plan := algebra.NewShared(memoProducer(cat))
+
+	ctx := NewContext(cat)
+	ctx.Memo = memo
+	ctx.Faults = faultinject.New(faultinject.Arm{Point: faultinject.PointIterNext, Kind: faultinject.KindError, After: 2})
+	_, err := Run(ctx, plan)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if memo.Entries() != 0 {
+		t.Fatal("aborted spool was published")
+	}
+
+	c2 := NewContext(cat)
+	c2.Memo = memo
+	if _, err := Run(c2, plan); err != nil {
+		t.Fatalf("post-fault evaluation: %v", err)
+	}
+	if memo.Entries() != 1 {
+		t.Fatal("post-fault evaluation did not publish")
+	}
+}
+
+// TestMemoPublishFaultLeavesMemoConsistent arms the memo.publish point: the
+// query fails, nothing is published, and the memo keeps serving.
+func TestMemoPublishFaultLeavesMemoConsistent(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cat := ptuCatalog(t)
+	memo := NewMemo(0)
+	plan := algebra.NewShared(memoProducer(cat))
+
+	ctx := NewContext(cat)
+	ctx.Memo = memo
+	ctx.Faults = faultinject.New(faultinject.Arm{Point: faultinject.PointMemoPublish, Kind: faultinject.KindError})
+	_, err := Run(ctx, plan)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if memo.Entries() != 0 {
+		t.Fatal("publish-point fault still published")
+	}
+
+	c2 := NewContext(cat)
+	c2.Memo = memo
+	if _, err := Run(c2, plan); err != nil {
+		t.Fatalf("post-fault evaluation: %v", err)
+	}
+	if memo.Entries() != 1 {
+		t.Fatal("memo unusable after publish fault")
+	}
+}
+
+// TestGovernorAbortsSpoolMidDrain: a memory budget that the spool itself
+// exceeds aborts the query, and the truncated spool is not published.
+func TestGovernorAbortsSpoolMidDrain(t *testing.T) {
+	cat := ptuCatalog(t)
+	memo := NewMemo(0)
+	plan := algebra.NewShared(memoProducer(cat))
+
+	ctx := NewContext(cat)
+	ctx.Memo = memo
+	ctx.Gov = NewGovernor(1, 0)
+	_, err := Run(ctx, plan)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *ResourceError", err)
+	}
+	if memo.Entries() != 0 {
+		t.Fatal("budget-aborted spool was published")
+	}
+}

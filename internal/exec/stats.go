@@ -40,6 +40,15 @@ type Stats struct {
 	// CacheTuplesSpooled counts tuples buffered into candidate memo entries
 	// while their first evaluation streamed through.
 	CacheTuplesSpooled int64
+	// PanicsRecovered counts panics converted to errors at isolation
+	// boundaries (partition workers, engine entry points).
+	PanicsRecovered int64
+	// LimitsTripped counts governor budget violations observed by this
+	// context (at most one per context; worker shards each record their own).
+	LimitsTripped int64
+	// DegradedEvictions counts memo entries shed under memory pressure to
+	// keep the query under its budget (graceful degradation).
+	DegradedEvictions int64
 }
 
 // Add accumulates another stats record into s.
@@ -55,6 +64,9 @@ func (s *Stats) Add(o Stats) {
 	s.CacheMisses += o.CacheMisses
 	s.CacheTuplesReplayed += o.CacheTuplesReplayed
 	s.CacheTuplesSpooled += o.CacheTuplesSpooled
+	s.PanicsRecovered += o.PanicsRecovered
+	s.LimitsTripped += o.LimitsTripped
+	s.DegradedEvictions += o.DegradedEvictions
 }
 
 // String renders the counters on one line. The partition counter is only
@@ -69,6 +81,12 @@ func (s *Stats) String() string {
 	if s.CacheHits+s.CacheMisses > 0 {
 		base += fmt.Sprintf(" chit=%d cmiss=%d creplay=%d cspool=%d",
 			s.CacheHits, s.CacheMisses, s.CacheTuplesReplayed, s.CacheTuplesSpooled)
+	}
+	// Robustness counters appear only on runs that hit a boundary, keeping
+	// clean-run output stable.
+	if s.PanicsRecovered+s.LimitsTripped+s.DegradedEvictions > 0 {
+		base += fmt.Sprintf(" panics=%d trips=%d shed=%d",
+			s.PanicsRecovered, s.LimitsTripped, s.DegradedEvictions)
 	}
 	return base
 }

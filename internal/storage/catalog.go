@@ -13,6 +13,13 @@ import (
 	"repro/internal/relation"
 )
 
+// FaultHook, when installed, is consulted on catalog operations before they
+// run; a non-nil return fails the operation. It exists for fault-injection
+// tests (the storage package cannot import the injection plan directly
+// without a cycle through exec): op names the operation ("relation"),
+// name the relation looked up.
+type FaultHook func(op, name string) error
+
 // Catalog is a named collection of base relations. It is the unit a query
 // is evaluated against.
 type Catalog struct {
@@ -22,7 +29,12 @@ type Catalog struct {
 	// with the per-relation versions it forms Generation, the monotonic
 	// counter that invalidates the executor's plan-cache memo.
 	structural int64
+	// faultHook, when non-nil, may fail lookups (fault-injection tests only).
+	faultHook FaultHook
 }
+
+// SetFaultHook installs (or, with nil, removes) the catalog's fault hook.
+func (c *Catalog) SetFaultHook(h FaultHook) { c.faultHook = h }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -94,6 +106,11 @@ func (e *UnknownRelationError) Error() string {
 
 // Relation looks up a base relation by name.
 func (c *Catalog) Relation(name string) (*relation.Relation, error) {
+	if c.faultHook != nil {
+		if err := c.faultHook("relation", name); err != nil {
+			return nil, err
+		}
+	}
 	r, ok := c.relations[name]
 	if !ok {
 		return nil, &UnknownRelationError{Name: name}

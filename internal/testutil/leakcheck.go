@@ -1,0 +1,43 @@
+// Package testutil holds helpers shared by the repository's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to the snapshot by the
+// end of the test (goleak-style, without the dependency). The comparison
+// retries briefly: goroutines that are *finishing* — a worker between its
+// last instruction and its exit, a runtime timer goroutine — are not leaks,
+// so the check must distinguish "still winding down" from "stuck forever".
+//
+// Call it first in any test that exercises the parallel executor, the memo,
+// or fault injection:
+//
+//	func TestSomething(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}

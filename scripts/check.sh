@@ -31,6 +31,9 @@ go test ./...
 echo "== go test -race (exec, core)"
 go test -race ./internal/exec/ ./internal/core/
 
+echo "== chaos sweep (seeded fault injection under -race)"
+CHAOS_SEEDS="${CHAOS_SEEDS:-24}" go test -race -run Chaos -count=1 ./internal/exec/ ./internal/core/
+
 echo "== bench smoke (every benchmark once)"
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
