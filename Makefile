@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench bench-smoke repro
+.PHONY: check fmt vet build test race chaos bench bench-smoke bench-baseline repro
 
 ## check: the tier-1 gate — format, vet, build, tests, race tests
 check:
@@ -32,9 +32,19 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 ## bench-smoke: run every benchmark exactly once — catches bit-rotted
-## benchmark code without paying for real measurements
+## benchmark code without paying for real measurements — then regenerate
+## the deterministic E13/E15 counters and gate them against the committed
+## baseline: any counter more than 10% worse than bench/baseline.jsonl
+## fails the target (and with it ./scripts/check.sh).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchrepro -only e13,e15 -json bench/current.jsonl > /dev/null
+	./scripts/benchcmp.sh -gate 10 bench/baseline.jsonl bench/current.jsonl
+
+## bench-baseline: re-bless the counters the bench-smoke gate compares
+## against (commit the result deliberately, with the change that moved them)
+bench-baseline:
+	$(GO) run ./cmd/benchrepro -only e13,e15 -json bench/baseline.jsonl > /dev/null
 
 ## repro: regenerate every paper figure and experiment table
 repro:

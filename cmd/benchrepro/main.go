@@ -7,7 +7,8 @@
 // Usage:
 //
 //	benchrepro             # everything
-//	benchrepro -only fig4  # one artifact: fig1..fig4, e1..e13
+//	benchrepro -only fig4      # one artifact: fig1..fig4, e1..e15
+//	benchrepro -only e13,e15   # a comma-separated subset
 //	benchrepro -parallel 4 # run the query artifacts on the partitioned executor
 //	benchrepro -json out.jsonl  # also write every table row as a JSON line
 //	                            # (scripts/benchcmp.sh diffs two such files)
@@ -20,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/algebra"
@@ -44,7 +46,7 @@ var parallelism = 1
 var jsonOut *os.File
 
 func main() {
-	only := flag.String("only", "", "restrict to one artifact: fig1, fig2, fig3, fig4, e1..e14")
+	only := flag.String("only", "", "restrict to a comma-separated list of artifacts: fig1..fig4, e1..e15")
 	flag.IntVar(&parallelism, "parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
 	jsonPath := flag.String("json", "", "also append every table row as a JSON line to this file")
 	flag.Parse()
@@ -80,10 +82,17 @@ func main() {
 		{"e12", e12, "E12 — partitioned parallel executor: serial vs parallel counter parity"},
 		{"e13", e13, "E13 — memoizing subplan cache on wide disjunctions (union strategy)"},
 		{"e14", e14, "E14 — resource governor: overhead parity, budget trips, degradation"},
+		{"e15", e15, "E15 — single-flight shared-spool evaluation under concurrent queries"},
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToLower(id)); id != "" {
+			wanted[id] = true
+		}
 	}
 	ran := false
 	for _, a := range artifacts {
-		if *only != "" && !strings.EqualFold(*only, a.id) {
+		if len(wanted) > 0 && !wanted[a.id] {
 			continue
 		}
 		fmt.Printf("================ %s ================\n%s\n\n", strings.ToUpper(a.id), a.doc)
@@ -729,4 +738,82 @@ func e14() {
 	rows = append(rows, row{label: "2048-byte budget vs warm cache", stats: mres.Stats,
 		extra: fmt.Sprintf("%d rows, cache entries shed=%d", mres.Rows.Len(), mres.Stats.DegradedEvictions)})
 	printTable("resource governor, E12 workload + Codd blowup, 3000 students", rows)
+}
+
+// e15 pins the single-flight cooperative spool on deterministic counters
+// (wall clock lives in go test -bench E15): six concurrent cold queries of
+// the E13 workload either each carry their own memo — so every one pays the
+// full evaluation, the pre-single-flight behaviour — or share one engine
+// memo, where exactly one run is elected producer and the other five stream
+// from its in-flight spool or replay the published entry. Whether a given
+// run streams (duplicate avoided) or replays (hit) depends on goroutine
+// scheduling, so the table folds both into one "shared" count, reported as
+// cache_hits in -json to keep two runs diffable.
+func e15() {
+	cat := dataset.PTU(dataset.PTUParams{N: 4000, TProb: 0.5, UProb: 0.1, ExtraShare: 0.05, Branches: 5, Seed: 13})
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	q := `{ x | P(x) and T(x) and (U(x) or T2(x) or T3(x) or T4(x)) }`
+	const n = 6
+	opts := []core.Option{
+		core.WithDisjunctiveFilters(translate.StrategyUnion),
+		core.WithParallelism(parallelism),
+	}
+	newCached := func() *core.Engine {
+		return core.NewEngine(db, append([]core.Option{core.WithPlanCache(0)}, opts...)...)
+	}
+
+	ref, err := newCached().Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runConcurrent := func(label string, engineFor func(int) *core.Engine) row {
+		results := make([]*core.Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			i := i
+			eng := engineFor(i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				results[i], errs[i] = eng.Query(q)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		var agg exec.Stats
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				log.Fatalf("%s run %d: %v", label, i, errs[i])
+			}
+			agg.Add(results[i].Stats)
+		}
+		shared := agg.CacheHits + agg.CacheDuplicatesAvoided
+		agg.CacheHits = shared
+		agg.CacheDuplicatesAvoided = 0
+		return row{label: label, stats: agg,
+			extra: fmt.Sprintf("%d rows each, shared=%d spooled=%d abandoned=%d",
+				results[0].Rows.Len(), shared, agg.CacheTuplesSpooled, agg.CacheSpoolsAbandoned)}
+	}
+
+	perQuery := make([]*core.Engine, n)
+	for i := range perQuery {
+		perQuery[i] = newCached()
+	}
+	one := newCached()
+	rows := []row{
+		{label: "single cold run (reference)", stats: ref.Stats, extra: fmt.Sprintf("%d rows", ref.Rows.Len())},
+		runConcurrent(fmt.Sprintf("%d concurrent, per-query memos (duplicate evaluation)", n),
+			func(i int) *core.Engine { return perQuery[i] }),
+		runConcurrent(fmt.Sprintf("%d concurrent, one single-flight memo", n),
+			func(int) *core.Engine { return one }),
+	}
+	printTable("single-flight shared spools, E13 workload, 6 concurrent cold queries", rows)
 }

@@ -304,8 +304,8 @@ func setCache(eng *core.Engine, arg string) (string, error) {
 			return "cache = off", nil
 		}
 		entries, tuples := eng.PlanCacheInfo()
-		return fmt.Sprintf("cache = on: %d entries, %d/%d tuples buffered",
-			entries, tuples, eng.PlanCacheBudget()), nil
+		return fmt.Sprintf("cache = on: %d entries, %d/%d tuples buffered, %d spools abandoned",
+			entries, tuples, eng.PlanCacheBudget(), eng.PlanCacheAbandoned()), nil
 	default:
 		return "", fmt.Errorf(`usage: \cache on|off|status`)
 	}
@@ -325,9 +325,9 @@ func setLimits(eng *core.Engine, arg string) (string, error) {
 			return fmt.Sprintf("%d %s", v, unit)
 		}
 		rc := eng.Robustness()
-		return fmt.Sprintf("tuples = %s, memory = %s\ntrips = %d, panics recovered = %d, cache entries shed = %d",
+		return fmt.Sprintf("tuples = %s, memory = %s\ntrips = %d, panics recovered = %d, cache entries shed = %d, cache spools abandoned = %d",
 			status(eng.TupleLimit(), "tuples"), status(eng.MemoryBudget(), "bytes"),
-			rc.LimitsTripped, rc.PanicsRecovered, rc.DegradedEvictions), nil
+			rc.LimitsTripped, rc.PanicsRecovered, rc.DegradedEvictions, rc.SpoolsAbandoned), nil
 	case len(fields) == 1 && fields[0] == "off":
 		eng.Configure(core.WithTupleLimit(0), core.WithMemoryBudget(0))
 		return "limits cleared", nil

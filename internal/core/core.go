@@ -137,6 +137,7 @@ type Engine struct {
 	panicsRecovered   atomic.Int64
 	limitsTripped     atomic.Int64
 	degradedEvictions atomic.Int64
+	spoolsAbandoned   atomic.Int64
 }
 
 // NewEngine builds an engine with the default (Bry) strategy, then applies

@@ -199,6 +199,15 @@ func (e *Engine) PlanCacheInfo() (entries, tuples int) {
 	return e.memo.Entries(), e.memo.Tuples()
 }
 
+// PlanCacheAbandoned returns how many cache spools were abandoned before
+// publication over the current memo's lifetime (0 when disabled).
+func (e *Engine) PlanCacheAbandoned() int64 {
+	if e.memo == nil {
+		return 0
+	}
+	return e.memo.SpoolsAbandoned()
+}
+
 // TupleLimit returns the engine-level tuple budget (0 = unbounded).
 func (e *Engine) TupleLimit() int64 { return e.tupleLimit }
 
@@ -214,6 +223,11 @@ type RobustnessCounters struct {
 	PanicsRecovered   int64
 	LimitsTripped     int64
 	DegradedEvictions int64
+	// SpoolsAbandoned counts plan-cache spools given up before publication
+	// (cancellation, governor trips, budget overflow, producer death under
+	// fault injection). A non-zero value explains why CacheTuplesSpooled can
+	// exceed the tuples ever published.
+	SpoolsAbandoned int64
 }
 
 // Robustness returns the cumulative robustness counters. They keep counting
@@ -224,6 +238,7 @@ func (e *Engine) Robustness() RobustnessCounters {
 		PanicsRecovered:   e.panicsRecovered.Load(),
 		LimitsTripped:     e.limitsTripped.Load(),
 		DegradedEvictions: e.degradedEvictions.Load(),
+		SpoolsAbandoned:   e.spoolsAbandoned.Load(),
 	}
 }
 
@@ -238,5 +253,8 @@ func (e *Engine) noteRobustness(st *exec.Stats) {
 	}
 	if st.DegradedEvictions > 0 {
 		e.degradedEvictions.Add(st.DegradedEvictions)
+	}
+	if st.CacheSpoolsAbandoned > 0 {
+		e.spoolsAbandoned.Add(st.CacheSpoolsAbandoned)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/algebra"
@@ -39,6 +40,70 @@ func chaosPlan(cat *storage.Catalog) algebra.Plan {
 	return &algebra.Union{
 		Left:  sh,
 		Right: &algebra.Select{Input: sh, Pred: algebra.True{}},
+	}
+}
+
+// TestChaosMemoProducerDeath sweeps every way an elected single-flight
+// producer can die at the memo.elect and memo.append points — injected
+// error, panic, delay — with a concurrent consumer attached, on a cold memo
+// every round. The invariant: both runs terminate (a deadlocked waiter
+// would hang the test), failures are typed, survivors return the baseline,
+// and the same memo afterwards serves a clean run — i.e. producer death
+// re-elects or fails, never leaves partial publications.
+func TestChaosMemoProducerDeath(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cat := randomJoinCatalog(43, 150)
+	plan := chaosPlan(cat)
+	baseline, err := Run(NewContext(cat), plan)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	points := []string{faultinject.PointMemoElect, faultinject.PointMemoAppend}
+	kinds := []faultinject.Kind{faultinject.KindError, faultinject.KindPanic, faultinject.KindDelay}
+	for _, point := range points {
+		for _, kind := range kinds {
+			for after := int64(1); after <= 3; after++ {
+				name := fmt.Sprintf("%s/%s@%d", point, kind, after)
+				t.Run(name, func(t *testing.T) {
+					memo := NewMemo(0) // cold: the fault points actually fire
+					fplan := faultinject.New(faultinject.Arm{Point: point, Kind: kind, After: after})
+					var wg sync.WaitGroup
+					for g := 0; g < 2; g++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							defer func() {
+								recover() // injected panics surface raw at this layer
+							}()
+							ctx := NewContext(cat)
+							ctx.Memo = memo
+							ctx.Faults = fplan
+							ctx.CheckInterval = GovernedCheckInterval
+							out, err := Run(ctx, plan)
+							if err != nil {
+								if !errors.Is(err, faultinject.ErrInjected) {
+									t.Errorf("non-injected error: %v", err)
+								}
+							} else if !out.Equal(baseline) {
+								t.Error("surviving run returned a wrong result")
+							}
+						}()
+					}
+					wg.Wait()
+
+					after := NewContext(cat)
+					after.Memo = memo
+					out, err := Run(after, plan)
+					if err != nil {
+						t.Fatalf("post-fault run: %v", err)
+					}
+					if !out.Equal(baseline) {
+						t.Fatal("post-fault run differs from baseline")
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/faultinject"
@@ -47,9 +48,11 @@ type Context struct {
 	// private stats shard. Values below 2 select the serial executor.
 	Parallelism int
 	// Memo is the optional result cache consulted by algebra.Shared nodes.
-	// nil makes Shared transparent. The memo belongs to the root context:
-	// fork() deliberately drops it, so partition workers never touch it,
-	// while serialChild copies carry it (the memo is mutex-guarded).
+	// nil makes Shared transparent. The memo is engine-wide and
+	// mutex-guarded: serialChild copies carry it, and fork() keeps it too so
+	// partition worker forks can consult the read side. Memo entries are
+	// single-flight — concurrent executions that miss the same fingerprint
+	// elect one producer and stream from its in-flight spool (memo.go).
 	Memo *Memo
 	// Gov is the optional per-query resource governor. Every materializing
 	// operator charges it; a budget violation aborts the run with a typed
@@ -75,11 +78,19 @@ type Context struct {
 	// by Interrupted, a governor budget violation, or an injected fault.
 	// Once set, every later iterator call stops immediately.
 	cancelErr error
+	// execID identifies the execution this context belongs to, across
+	// serialChild copies and worker forks. The memo uses it to keep an
+	// execution from blocking on a single-flight spool its own suspended
+	// producer is filling (which would deadlock one goroutine).
+	execID uint64
 }
+
+// execIDCounter hands out process-unique execution identities.
+var execIDCounter atomic.Uint64
 
 // NewContext builds a context with a fresh stats record.
 func NewContext(cat *storage.Catalog) *Context {
-	return &Context{Catalog: cat, Stats: &Stats{}}
+	return &Context{Catalog: cat, Stats: &Stats{}, execID: execIDCounter.Add(1)}
 }
 
 // NewIndexedContext builds a context with UseIndexes enabled.
@@ -133,6 +144,26 @@ func (c *Context) checkInterval() int {
 // otherwise. A run whose iterators drained normally before the context
 // fired keeps its (complete, correct) result.
 func (c *Context) CancelErr() error { return c.cancelErr }
+
+// doneChan returns the attached context's Done channel, or nil (blocks
+// forever in a select) when the execution is uncancellable. Memo consumers
+// select on it while waiting for a producer, so a blocked consumer observes
+// its own cancellation even though no tuples are flowing.
+func (c *Context) doneChan() <-chan struct{} {
+	if c.goCtx == nil {
+		return nil
+	}
+	return c.goCtx.Done()
+}
+
+// observeCancel makes the attached context's error sticky immediately,
+// bypassing the tick-counted poll. Called when a blocked wait saw the Done
+// channel fire.
+func (c *Context) observeCancel() {
+	if c.goCtx != nil {
+		c.fail(c.goCtx.Err())
+	}
+}
 
 // fail records err as the context's sticky abort cause; the first cause
 // wins. Iterators observe it through Interrupted on their next call.
@@ -202,18 +233,21 @@ func (c *Context) parallelism() int {
 	return p
 }
 
-// fork clones the context for one parallel worker: same catalog, flags and
-// cancellation source, but a private stats shard and poll state, so workers
-// charge their work without locks.
+// fork clones the context for one parallel worker: same catalog, flags,
+// cancellation source, execution identity and (mutex-guarded) memo, but a
+// private stats shard and poll state, so workers charge their work without
+// locks.
 func (c *Context) fork() *Context {
 	return &Context{
 		Catalog:       c.Catalog,
 		Stats:         &Stats{},
 		UseIndexes:    c.UseIndexes,
 		goCtx:         c.goCtx,
+		Memo:          c.Memo,
 		Gov:           c.Gov,
 		Faults:        c.Faults,
 		CheckInterval: c.CheckInterval,
+		execID:        c.execID,
 	}
 }
 

@@ -21,6 +21,12 @@ import (
 // (relation.Tuple.HashCols) and verify candidates with EqualOn, instead of
 // the serial path's allocate-twice Project().Key() string keys. That makes
 // the parallel path faster per core as well as scalable across cores.
+//
+// Worker forks carry the engine memo (fork keeps the pointer): inputs are
+// drained on the parent goroutine before workers start, so workers never
+// drive memoIters themselves today, but any read-side consultation from a
+// fork is safe — the memo is mutex-guarded and single-flight entries
+// identify their producer by execution, not by context pointer.
 
 // joinKind names the member of the join family being executed.
 type joinKind int

@@ -193,4 +193,12 @@ func TestGovernorAbortsSpoolMidDrain(t *testing.T) {
 	if memo.Entries() != 0 {
 		t.Fatal("budget-aborted spool was published")
 	}
+	// The spooled-tuple counter alone would overstate cache work here; the
+	// abandoned counter records that the spool bought nothing.
+	if ctx.Stats.CacheSpoolsAbandoned != 1 {
+		t.Fatalf("CacheSpoolsAbandoned = %d, want 1: %s", ctx.Stats.CacheSpoolsAbandoned, ctx.Stats)
+	}
+	if memo.SpoolsAbandoned() != 1 {
+		t.Fatalf("memo.SpoolsAbandoned() = %d, want 1", memo.SpoolsAbandoned())
+	}
 }

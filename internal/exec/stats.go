@@ -40,6 +40,18 @@ type Stats struct {
 	// CacheTuplesSpooled counts tuples buffered into candidate memo entries
 	// while their first evaluation streamed through.
 	CacheTuplesSpooled int64
+	// CacheSingleFlightWaits counts the times a consumer attached to an
+	// in-flight spool caught up with its producer and had to block for the
+	// next append or state change.
+	CacheSingleFlightWaits int64
+	// CacheDuplicatesAvoided counts Shared-node evaluations that found
+	// another execution already producing their fingerprint and attached as
+	// streaming consumers instead of re-evaluating — the single-flight win.
+	CacheDuplicatesAvoided int64
+	// CacheSpoolsAbandoned counts spools this execution gave up on before
+	// publication (cancellation, governor trip, budget overflow, producer
+	// death). Their CacheTuplesSpooled charges bought nothing.
+	CacheSpoolsAbandoned int64
 	// PanicsRecovered counts panics converted to errors at isolation
 	// boundaries (partition workers, engine entry points).
 	PanicsRecovered int64
@@ -64,6 +76,9 @@ func (s *Stats) Add(o Stats) {
 	s.CacheMisses += o.CacheMisses
 	s.CacheTuplesReplayed += o.CacheTuplesReplayed
 	s.CacheTuplesSpooled += o.CacheTuplesSpooled
+	s.CacheSingleFlightWaits += o.CacheSingleFlightWaits
+	s.CacheDuplicatesAvoided += o.CacheDuplicatesAvoided
+	s.CacheSpoolsAbandoned += o.CacheSpoolsAbandoned
 	s.PanicsRecovered += o.PanicsRecovered
 	s.LimitsTripped += o.LimitsTripped
 	s.DegradedEvictions += o.DegradedEvictions
@@ -81,6 +96,12 @@ func (s *Stats) String() string {
 	if s.CacheHits+s.CacheMisses > 0 {
 		base += fmt.Sprintf(" chit=%d cmiss=%d creplay=%d cspool=%d",
 			s.CacheHits, s.CacheMisses, s.CacheTuplesReplayed, s.CacheTuplesSpooled)
+	}
+	// Single-flight counters appear only when concurrency or failure made
+	// them move, keeping serial clean-run output stable.
+	if s.CacheDuplicatesAvoided+s.CacheSingleFlightWaits+s.CacheSpoolsAbandoned > 0 {
+		base += fmt.Sprintf(" cdup=%d cwait=%d caband=%d",
+			s.CacheDuplicatesAvoided, s.CacheSingleFlightWaits, s.CacheSpoolsAbandoned)
 	}
 	// Robustness counters appear only on runs that hit a boundary, keeping
 	// clean-run output stable.

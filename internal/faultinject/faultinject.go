@@ -66,11 +66,18 @@ const (
 	// PointCatalogLookup fires on catalog relation lookups (both the
 	// planner's resolution pass and the executor's scan builds).
 	PointCatalogLookup = "catalog.lookup"
+	// PointMemoElect fires right after an evaluation is elected producer of
+	// a single-flight memo spool — killing the producer here proves waiters
+	// re-elect instead of deadlocking.
+	PointMemoElect = "memo.elect"
+	// PointMemoAppend fires on each producer append into an in-flight spool,
+	// after the tuple was charged but before it is published to consumers.
+	PointMemoAppend = "memo.append"
 )
 
 // Points returns the registered injection point names.
 func Points() []string {
-	return []string{PointIterOpen, PointIterNext, PointWorker, PointMemoPublish, PointCatalogLookup}
+	return []string{PointIterOpen, PointIterNext, PointWorker, PointMemoPublish, PointCatalogLookup, PointMemoElect, PointMemoAppend}
 }
 
 // Arm describes one armed injection point.

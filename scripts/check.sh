@@ -25,16 +25,19 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+# -shuffle=on randomizes test order within each package, so tests that
+# lean on state left behind by an earlier test (a warm package-level cache,
+# relation mutation order) fail loudly instead of passing by accident.
+echo "== go test (shuffled)"
+go test -shuffle=on ./...
 
-echo "== go test -race (exec, core)"
-go test -race ./internal/exec/ ./internal/core/
+echo "== go test -race (exec, core, shuffled)"
+go test -race -shuffle=on ./internal/exec/ ./internal/core/
 
 echo "== chaos sweep (seeded fault injection under -race)"
-CHAOS_SEEDS="${CHAOS_SEEDS:-24}" go test -race -run Chaos -count=1 ./internal/exec/ ./internal/core/
+CHAOS_SEEDS="${CHAOS_SEEDS:-24}" go test -race -shuffle=on -run Chaos -count=1 ./internal/exec/ ./internal/core/
 
-echo "== bench smoke (every benchmark once)"
-go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+echo "== bench smoke (every benchmark once + counter gate)"
+make bench-smoke > /dev/null
 
 echo "ALL CHECKS PASSED"
