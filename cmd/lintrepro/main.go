@@ -1,0 +1,236 @@
+// Command lintrepro is the repository's invariant multichecker: it runs
+// the internal/analyzers suite (iterclose, govcharge, errtaxonomy,
+// ctxfirst) over Go packages and exits non-zero on findings.
+//
+// Two modes:
+//
+//	lintrepro [-only a,b] [packages...]   # standalone; defaults to ./...
+//	go vet -vettool=$(which lintrepro) ./...
+//
+// The vettool mode implements the go vet unit-checker protocol: go vet
+// invokes the tool once per package with a JSON config file (*.cfg) naming
+// the sources and the export data of every dependency, and once with
+// -V=full to fingerprint the tool for caching. Findings print as
+// file:line:col: analyzer: message on stderr, matching go vet's own
+// format, so editors and CI parse both modes identically.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool's identity and flag surface before first use.
+	// The version line must carry a buildID the go command can cache on; a
+	// content hash of the executable serves, matching x/tools' unitchecker.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		fmt.Printf("lintrepro version devel buildID=%s\n", selfID())
+		return 0
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		fmt.Println("[]") // no tool-specific flags in vettool mode
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0])
+	}
+
+	fs := flag.NewFlagSet("lintrepro", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintrepro:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintrepro:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analyzers.CheckPackage(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintrepro:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, relativize(d))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lintrepro: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selfID hashes the running executable so go vet's action cache
+// invalidates when the tool is rebuilt.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func selectAnalyzers(only string) ([]*analyzers.Analyzer, error) {
+	suite := analyzers.All()
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analyzers.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var picked []*analyzers.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: iterclose, govcharge, errtaxonomy, ctxfirst)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// relativize shortens absolute paths under the working directory, matching
+// go vet's output style.
+func relativize(d analyzers.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}
+
+// vetConfig mirrors the JSON the go command hands a -vettool per package
+// (cmd/go's vet action). Only the fields the suite needs are decoded.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one package under the go vet protocol.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintrepro:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lintrepro: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist even though this suite exports none:
+	// go vet feeds it to dependent packages' runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "lintrepro:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The production-invariant suite skips test scaffolding.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "lintrepro:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg, err := analyzers.TypeCheckFiles(cfg.ImportPath, fset, files, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "lintrepro:", err)
+		return 2
+	}
+	diags, err := analyzers.CheckPackage(pkg, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintrepro:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

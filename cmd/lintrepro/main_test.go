@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+// The smoke tests exercise run() in-process: the standalone entry point is
+// a pure function of its arguments plus the working directory, which for a
+// test binary is this package's source directory — inside the module, so
+// import-path patterns resolve.
+
+func TestVersionProbe(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Fatalf("-V=full exited %d, want 0", got)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("-list exited %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if got := run([]string{"-only", "bogus"}); got != 2 {
+		t.Fatalf("-only bogus exited %d, want 2", got)
+	}
+}
+
+// TestCleanTree is the gate the CI check depends on: the production tree
+// must lint clean.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	if got := run([]string{"repro/internal/...", "repro/cmd/..."}); got != 0 {
+		t.Fatalf("lintrepro over the tree exited %d, want 0 (tree has findings)", got)
+	}
+}
+
+// TestSeededBadFixtures pins the other half of the gate: each seeded-bad
+// fixture must make the checker exit non-zero, so a regression that stops
+// an analyzer from firing is caught.
+func TestSeededBadFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads fixture packages through go list")
+	}
+	fixtures := []string{"iterclose", "govcharge", "errtaxonomy", "ctxfirst", "directive"}
+	for _, fx := range fixtures {
+		pattern := "repro/internal/analyzers/testdata/src/" + fx
+		if got := run([]string{pattern}); got != 1 {
+			t.Errorf("lintrepro %s exited %d, want 1 (seeded findings not reported)", fx, got)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the context-first API convention the engine adopted in
+// PR 1:
+//
+//  1. An exported function or method that takes a context.Context takes it
+//     as its first parameter — the Go convention every caller of
+//     QueryContext/RunContext/StreamContext relies on.
+//
+//  2. context.Background() and context.TODO() are forbidden outside
+//     package main (and test files, which the suite skips entirely):
+//     library code that conjures its own root context detaches the work
+//     from the caller's cancellation and deadline. The engine's documented
+//     no-cancellation convenience wrappers (Run, Query, Check, Stream)
+//     carry a justified //lint:ignore ctxfirst.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported APIs take context.Context first; context.Background/TODO stay out of library code",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Name.IsExported() {
+				checkCtxPosition(pass, fd)
+			}
+			if fd.Body != nil && pass.Pkg.Name() != "main" {
+				checkRootContexts(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxPosition flags an exported signature whose context.Context
+// parameter is not the first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Pos(), "exported %s takes context.Context as parameter %d: it must be the first parameter", fd.Name.Name, pos+1)
+		}
+		pos += n
+	}
+}
+
+func isContextType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkRootContexts flags context.Background() / context.TODO() calls.
+func checkRootContexts(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(pass, call) {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(), "%s in library code detaches work from the caller's cancellation: accept a context.Context instead", calleeText(call))
+		}
+		return true
+	})
+}
+
+func calleeText(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+	}
+	return "context root constructor"
+}

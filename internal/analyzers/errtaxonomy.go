@@ -1,0 +1,227 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrTaxonomy enforces the engine's error-classification contract in two
+// rules:
+//
+//  1. Boundary rule — in a package that defines a typed error family
+//     (named struct types with an `Err error` field and an Unwrap method:
+//     ParseError, SafetyError, PlanError, ExecError), an exported function
+//     or method must not return a bare errors.New(...) or a fmt.Errorf
+//     without %w directly: untyped errors escaping the facade strip callers
+//     of errors.As classification. Construct a family member (or wrap with
+//     %w so the chain stays intact).
+//
+//  2. Wrapping rule — everywhere, a fmt.Errorf that formats an error-typed
+//     argument must use %w for it, not %v/%s: anything else flattens the
+//     chain and breaks errors.Is/As through the wrapper.
+//
+// The boundary rule is syntactic over return statements: it catches the
+// blatant leak, while the runtime classifier (core.classifyExec/runGuarded)
+// remains the backstop for errors that arrive through variables.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "typed-error-family packages must not leak bare errors.New/fmt.Errorf from exported functions; error wrapping must use %w",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) error {
+	boundary := definesErrorFamily(pass.Pkg)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if boundary && exportedBoundary(pass, fd) {
+				checkBoundaryReturns(pass, fd)
+			}
+			checkWrapVerbs(pass, fd)
+		}
+	}
+	return nil
+}
+
+// definesErrorFamily reports whether the package declares at least two
+// typed error wrappers: named struct types with an `Err error` field whose
+// pointer implements error. One wrapper is a convenience; two or more is a
+// taxonomy the exported surface has committed to.
+func definesErrorFamily(pkg *types.Package) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	family := 0
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || !types.Implements(types.NewPointer(tn.Type()), errIface) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "Err" {
+				if types.Identical(f.Type(), types.Universe.Lookup("error").Type()) {
+					family++
+				}
+				break
+			}
+		}
+	}
+	return family >= 2
+}
+
+// exportedBoundary reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported type.
+func exportedBoundary(pass *Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	recv := receiverObject(pass, fd)
+	if recv == nil {
+		return true
+	}
+	named, ok := derefNamed(recv.Type())
+	return !ok || named.Obj().Exported()
+}
+
+// checkBoundaryReturns flags `return ..., errors.New(...)` and
+// `return ..., fmt.Errorf(<no %w>)` in the body of an exported function.
+// Returns inside closures belong to the closure, not the boundary.
+func checkBoundaryReturns(pass *Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				switch calleeName(pass, call) {
+				case "errors.New":
+					pass.Reportf(call.Pos(), "bare errors.New escapes exported %s: return a typed error-family value (ParseError/SafetyError/PlanError/ExecError/ResourceError) instead", fd.Name.Name)
+				case "fmt.Errorf":
+					if format, ok := formatLiteral(pass, call); ok && !formatHasWrapVerb(format) {
+						pass.Reportf(call.Pos(), "bare fmt.Errorf escapes exported %s: return a typed error-family value, or wrap an underlying cause with %%w", fd.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkWrapVerbs flags fmt.Errorf calls that format an error-typed
+// argument with a verb other than %w.
+func checkWrapVerbs(pass *Pass, fd *ast.FuncDecl) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(pass, call) != "fmt.Errorf" {
+			return true
+		}
+		format, ok := formatLiteral(pass, call)
+		if !ok {
+			return true
+		}
+		verbs := formatVerbs(format)
+		args := call.Args[1:]
+		if len(verbs) != len(args) {
+			return true // malformed call; go vet's printf check owns it
+		}
+		for i, v := range verbs {
+			if v == 'w' {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[args[i]]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if types.Implements(tv.Type, errIface) || types.Implements(types.NewPointer(tv.Type), errIface) {
+				pass.Reportf(args[i].Pos(), "error formatted with %%%c loses the chain for errors.Is/As: wrap it with %%w", v)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName resolves a call to its package-qualified callee ("errors.New")
+// via the type checker, so aliased imports are still recognized.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// formatLiteral extracts a constant format string from the call's first
+// argument.
+func formatLiteral(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func formatHasWrapVerb(format string) bool {
+	for _, v := range formatVerbs(format) {
+		if v == 'w' {
+			return true
+		}
+	}
+	return false
+}
+
+// formatVerbs returns the verb letter for each formatting directive, in
+// argument order. '*' width/precision arguments are returned as '*' slots
+// so indexes line up with the call's variadic arguments.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

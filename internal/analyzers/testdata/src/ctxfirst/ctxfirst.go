@@ -1,0 +1,33 @@
+// Package ctxfirst is a seeded-bad fixture for the ctxfirst analyzer:
+// exported signatures with a misplaced context.Context and library code
+// that conjures its own root context, plus the sanctioned convenience-
+// wrapper suppression.
+package ctxfirst
+
+import "context"
+
+type Engine struct{}
+
+// RunContext follows the convention: context first. No finding.
+func (e *Engine) RunContext(ctx context.Context, q string) error { return ctx.Err() }
+
+// Execute buries the context mid-signature.
+func (e *Engine) Execute(q string, ctx context.Context) error { // want `exported Execute takes context.Context as parameter 2`
+	return ctx.Err()
+}
+
+// Run detaches from the caller's cancellation.
+func (e *Engine) Run(q string) error {
+	return e.RunContext(context.Background(), q) // want `context.Background in library code detaches work`
+}
+
+// Check is the documented no-cancellation convenience wrapper: suppressed.
+func (e *Engine) Check(q string) error {
+	//lint:ignore ctxfirst Check is the documented no-cancellation convenience wrapper over RunContext
+	return e.RunContext(context.Background(), q)
+}
+
+// helper shows the rule reaches unexported code for root contexts.
+func helper() error {
+	return context.TODO().Err() // want `context.TODO in library code detaches work`
+}

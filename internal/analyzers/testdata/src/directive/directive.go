@@ -1,0 +1,26 @@
+// Package directive is a fixture for the suppression mechanics themselves:
+// a //lint:ignore with no justification must not silence the finding it
+// sits on, and must be reported as a finding in its own right.
+package directive
+
+type Tuple []int
+
+type Iterator interface {
+	Open()
+	Next() (Tuple, bool)
+	Close()
+}
+
+type source struct{}
+
+func (s *source) Open()               {}
+func (s *source) Next() (Tuple, bool) { return nil, false }
+func (s *source) Close()              {}
+
+func newSource() Iterator { return &source{} }
+
+func leaks() {
+	//lint:ignore iterclose
+	it := newSource()
+	it.Open()
+}

@@ -1,0 +1,69 @@
+// Package errtaxonomy is a seeded-bad fixture for the errtaxonomy
+// analyzer: two Err-wrapping structs make it a typed-error-family package,
+// so bare errors must not escape exported functions, and %v/%s wrapping of
+// errors is flagged everywhere.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ParseError struct {
+	Msg string
+	Err error
+}
+
+func (e *ParseError) Error() string { return e.Msg }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+type ExecError struct {
+	Op  string
+	Err error
+}
+
+func (e *ExecError) Error() string { return e.Op }
+func (e *ExecError) Unwrap() error { return e.Err }
+
+var errSentinel = errors.New("sentinel")
+
+// Parse leaks untyped errors through the exported boundary: two findings.
+func Parse(input string) error {
+	if input == "" {
+		return errors.New("empty input") // want `bare errors.New escapes exported Parse`
+	}
+	if len(input) > 10 {
+		return fmt.Errorf("input %q too long", input) // want `bare fmt.Errorf escapes exported Parse`
+	}
+	return nil
+}
+
+// Wrapped keeps the chain intact: typed family value or %w. No findings.
+func Wrapped(input string) error {
+	if input == "" {
+		return &ParseError{Msg: "empty", Err: errSentinel}
+	}
+	return fmt.Errorf("parse %q: %w", input, errSentinel)
+}
+
+// internalHelper is unexported: bare errors are its own business.
+func internalHelper() error {
+	return errors.New("internal detail")
+}
+
+// Flattened breaks errors.Is/As twice over: an untyped error escapes the
+// boundary AND the cause is formatted with %v.
+func Flattened(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want `bare fmt.Errorf escapes exported Flattened` want `error formatted with %v loses the chain`
+}
+
+// flattenInternal shows the wrapping rule applies in unexported code too.
+func flattenInternal(err error) {
+	_ = fmt.Errorf("oops: %s", err) // want `error formatted with %s loses the chain`
+}
+
+// Sanctioned flattens on purpose, with the justification on record.
+func Sanctioned(err error) error {
+	//lint:ignore errtaxonomy this message intentionally flattens the cause for the public audit log
+	return fmt.Errorf("audit: %v", err)
+}

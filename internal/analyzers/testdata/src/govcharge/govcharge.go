@@ -1,0 +1,51 @@
+// Package govcharge is a seeded-bad fixture for the govcharge analyzer:
+// the local Governor type arms the pass, and the functions below mix
+// governed and ungoverned materialization points plus a justified
+// caller-charges suppression.
+package govcharge
+
+type Tuple []int
+
+type Governor struct{ budget int }
+
+func (g *Governor) charge(n int) bool { g.budget -= n; return g.budget >= 0 }
+
+type Context struct{ gov *Governor }
+
+func (c *Context) chargeTuple(op string, t Tuple) bool { return c.gov.charge(len(t)) }
+
+// governedAppend charges before retaining: no finding.
+func governedAppend(c *Context, out []Tuple, t Tuple) []Tuple {
+	if !c.chargeTuple("append", t) {
+		return out
+	}
+	return append(out, t)
+}
+
+// ungovernedAppend grows a tuple buffer with no charge in sight.
+func ungovernedAppend(out []Tuple, t Tuple) []Tuple {
+	return append(out, t) // want `append to a tuple buffer in ungovernedAppend is not governed`
+}
+
+// ungovernedInsert retains keys in a membership set with no charge.
+func ungovernedInsert(set map[string]struct{}, k string) {
+	set[k] = struct{}{} // want `insert into a build/dedup table in ungovernedInsert is not governed`
+}
+
+// governedInsert charges in the same function: no finding.
+func governedInsert(c *Context, set map[string]Tuple, k string, t Tuple) {
+	if c.chargeTuple("insert", t) {
+		set[k] = t
+	}
+}
+
+// plainStrings buffers non-tuple data: exempt by design.
+func plainStrings(out []string, s string) []string {
+	return append(out, s)
+}
+
+// callerCharged is the documented caller-pays pattern: suppressed.
+func callerCharged(out []Tuple, t Tuple) []Tuple {
+	//lint:ignore govcharge the caller charges the governor per retained tuple before calling this helper
+	return append(out, t)
+}
