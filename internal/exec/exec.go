@@ -193,6 +193,11 @@ func (c *Context) chargeTuple(op string, t relation.Tuple) bool {
 	return c.chargeN(op, 1, tupleBytes(t))
 }
 
+// ChargeTuple is chargeTuple for materialization points outside this
+// package: the engine's streaming dedup set buffers one entry per distinct
+// output tuple and must account for it like any other operator state.
+func (c *Context) ChargeTuple(op string, t relation.Tuple) bool { return c.chargeTuple(op, t) }
+
 // chargeBatch accounts a slice of already-buffered tuples in one governor
 // transaction (used by blocking builds that ingest whole partitions).
 func (c *Context) chargeBatch(op string, ts []relation.Tuple) bool {
