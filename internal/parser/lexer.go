@@ -241,7 +241,7 @@ func lex(input string) ([]token, error) {
 			}
 			text, err := strconv.Unquote(input[i : j+1])
 			if err != nil {
-				return nil, fmt.Errorf("parser: bad string literal at offset %d: %v", i, err)
+				return nil, fmt.Errorf("parser: bad string literal at offset %d: %w", i, err)
 			}
 			emit(tokString, text, i)
 			i = j + 1

@@ -340,7 +340,7 @@ func (p *parser) parseTerm() (calculus.Term, error) {
 		p.next()
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return calculus.Term{}, fmt.Errorf("parser: bad integer %q: %v", t.text, err)
+			return calculus.Term{}, fmt.Errorf("parser: bad integer %q: %w", t.text, err)
 		}
 		return calculus.CInt(n), nil
 	default:

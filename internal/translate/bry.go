@@ -233,7 +233,7 @@ func (b *Bry) conjunction(conjs []calculus.Formula, want []string) (frame, error
 		}
 		s, serr := b.contextSeed(missing)
 		if serr != nil {
-			return frame{}, fmt.Errorf("translate: %v; additionally %v", err, serr)
+			return frame{}, fmt.Errorf("translate: %w; additionally %w", err, serr)
 		}
 		seed = &s
 		producers, filters, err = ranges.SplitProducerFilter(conjs, produced.Sorted())
