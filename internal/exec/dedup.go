@@ -26,6 +26,7 @@ func (s *tupleSet) add(t relation.Tuple) bool {
 			return false
 		}
 	}
+	//lint:ignore govcharge callers charge the governor per retained tuple at their materialization point
 	s.buckets[h] = append(s.buckets[h], t)
 	return true
 }

@@ -252,6 +252,7 @@ func (m *Memo) acquire(gen int64, fp uint64, key string, execID uint64) (*memoEn
 		producer: execID,
 		updated:  make(chan struct{}),
 	}
+	//lint:ignore govcharge acquire inserts an empty spool container; tuples are charged as the producer appends them
 	m.entries[fp] = e
 	return e, roleProduce
 }
@@ -271,6 +272,7 @@ func (m *Memo) appendSpool(e *memoEntry, t relation.Tuple) bool {
 		m.abandonLocked(e, true)
 		return false
 	}
+	//lint:ignore govcharge the producer charges memo-spool via chargeTuple before calling appendSpool
 	e.tuples = append(e.tuples, t)
 	m.tuples++
 	m.wakeLocked(e)
@@ -408,6 +410,7 @@ func (m *Memo) store(gen int64, fp uint64, key string, tuples []relation.Tuple) 
 	}
 	e := &memoEntry{fp: fp, key: key, gen: gen, state: spoolComplete, tuples: tuples, updated: make(chan struct{})}
 	e.elem = m.lru.PushFront(e)
+	//lint:ignore govcharge store warm-primes already-materialized results; the run that built them paid the charge
 	m.entries[fp] = e
 	m.tuples += len(tuples)
 	for m.tuples > m.budget {

@@ -127,6 +127,7 @@ func (it *parallelJoinIter) Open() {
 	}
 	it.out = make([]relation.Tuple, 0, total)
 	for _, o := range outs {
+		//lint:ignore govcharge per-partition outputs were charged at emit time in runPartition; the merge only re-slices them
 		it.out = append(it.out, o...)
 	}
 	it.pos = 0

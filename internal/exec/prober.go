@@ -48,6 +48,7 @@ func (p *indexProber) probe(ctx *Context, t relation.Tuple, keyCols []int) []rel
 		ok, n := p.pred.Eval(c)
 		ctx.Stats.Comparisons += int64(n)
 		if ok {
+			//lint:ignore govcharge transient filter aliasing fetched candidates, bounded by the index bucket and released per probe
 			out = append(out, c)
 		}
 	}
