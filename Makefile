@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench bench-smoke bench-baseline repro
+.PHONY: check fmt vet build test lint race chaos bench bench-smoke bench-baseline repro
 
-## check: the tier-1 gate — format, vet, build, tests, race tests
+## check: the tier-1 gate — format, vet, lint, build, tests, race tests
 check:
 	./scripts/check.sh
 
@@ -18,9 +18,15 @@ build:
 test:
 	$(GO) test ./...
 
+## lint: the repo's own invariant checkers (internal/analyzers via
+## cmd/lintrepro) — iterator lifecycle, governor accounting, error
+## taxonomy, context discipline. Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/lintrepro ./...
+
 ## race: race-detector pass over the concurrent packages
 race:
-	$(GO) test -race ./internal/exec/ ./internal/core/
+	$(GO) test -race ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/
 
 ## chaos: deep seeded fault-injection sweep under -race (CHAOS_SEEDS
 ## overrides the seed count; check.sh runs a shorter sweep of 24)

@@ -1,15 +1,33 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 gate, runnable locally and in CI.
 #
-#   ./scripts/check.sh         # format, vet, build, full tests, race tests,
-#                              # one-shot benchmark smoke
+#   ./scripts/check.sh         # toolchain pin, format, vet, lint, build,
+#                              # full tests, race tests, chaos sweep,
+#                              # one-shot benchmark smoke + counter gate
 #
 # The race pass covers the packages with real concurrency: the partitioned
-# executor (internal/exec) and the engine API that drives it with
-# contexts and timeouts (internal/core).
+# executor (internal/exec), the engine API that drives it with contexts and
+# timeouts (internal/core), the optimizer whose plan cache is shared across
+# goroutines (internal/planopt), and constraint checking over live engines
+# (internal/integrity).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Results must be comparable across machines and sessions: the pinned
+# toolchain in go.mod is the one the gate was blessed with.
+echo "== toolchain pin"
+want=$(awk '/^toolchain /{print $2}' go.mod)
+have=$(go env GOVERSION)
+if [ -z "$want" ]; then
+	echo "go.mod is missing a toolchain pin (expected: toolchain $have)" >&2
+	exit 1
+fi
+if [ "$want" != "$have" ]; then
+	echo "toolchain mismatch: go.mod pins $want but go env GOVERSION reports $have" >&2
+	exit 1
+fi
+echo "pinned $want"
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
@@ -22,6 +40,9 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== make lint (repo invariant analyzers)"
+make lint
+
 echo "== go build"
 go build ./...
 
@@ -31,13 +52,22 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race (exec, core, shuffled)"
-go test -race -shuffle=on ./internal/exec/ ./internal/core/
+echo "== go test -race (exec, core, planopt, integrity, shuffled)"
+go test -race -shuffle=on ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/
 
 echo "== chaos sweep (seeded fault injection under -race)"
 CHAOS_SEEDS="${CHAOS_SEEDS:-24}" go test -race -shuffle=on -run Chaos -count=1 ./internal/exec/ ./internal/core/
 
 echo "== bench smoke (every benchmark once + counter gate)"
-make bench-smoke > /dev/null
+smoke_log=$(mktemp)
+if ! make bench-smoke > "$smoke_log" 2>&1; then
+	cat "$smoke_log" >&2
+	rm -f "$smoke_log"
+	exit 1
+fi
+# Surface the benchcmp -gate verdict in the check summary instead of
+# swallowing it: changed counters, regressions, and the comparison tally.
+grep -E 'rows compared|REGRESSION|GATE FAILED|result: | -> |only in ' "$smoke_log" || true
+rm -f "$smoke_log"
 
 echo "ALL CHECKS PASSED"
