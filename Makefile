@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test lint race chaos bench bench-smoke bench-baseline repro
+.PHONY: check fmt vet build test lint race chaos bench bench-smoke bench-baseline repro smoke-serve
 
 ## check: the tier-1 gate — format, vet, lint, build, tests, race tests
 check:
@@ -26,7 +26,7 @@ lint:
 
 ## race: race-detector pass over the concurrent packages
 race:
-	$(GO) test -race ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/
+	$(GO) test -race ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/ ./internal/service/
 
 ## chaos: deep seeded fault-injection sweep under -race (CHAOS_SEEDS
 ## overrides the seed count; check.sh runs a shorter sweep of 24)
@@ -55,3 +55,9 @@ bench-baseline:
 ## repro: regenerate every paper figure and experiment table
 repro:
 	$(GO) run ./cmd/benchrepro
+
+## smoke-serve: boot queryd on a random port, run one query per tenant and
+## fetch /stats through queryctl's remote mode, then drain it with SIGINT.
+## An end-to-end liveness probe for the service tier; not part of check.sh.
+smoke-serve:
+	./scripts/smoke_serve.sh

@@ -173,18 +173,22 @@ func printTable(header string, rows []row) {
 
 // jsonRow is the line format of -json: one object per table row, keyed by
 // table header + row label so two runs can be matched counter by counter.
+// Counter keys are exactly the core.Snapshot wire names, so a bench row and
+// a /stats snapshot speak the same vocabulary.
 type jsonRow struct {
-	Table          string `json:"table"`
-	Label          string `json:"label"`
-	Reads          int64  `json:"reads"`
-	Comparisons    int64  `json:"comparisons"`
-	Intermediates  int64  `json:"intermediates"`
-	Materialized   int64  `json:"materializations"`
-	CacheHits      int64  `json:"cache_hits"`
-	CacheMisses    int64  `json:"cache_misses"`
-	TuplesReplayed int64  `json:"cache_tuples_replayed"`
-	TuplesSpooled  int64  `json:"cache_tuples_spooled"`
-	Result         string `json:"result"`
+	Table             string `json:"table"`
+	Label             string `json:"label"`
+	Reads             int64  `json:"base_tuples_read"`
+	Comparisons       int64  `json:"comparisons"`
+	Intermediates     int64  `json:"intermediate_tuples"`
+	Materialized      int64  `json:"materializations"`
+	CacheHits         int64  `json:"cache_hits"`
+	CacheMisses       int64  `json:"cache_misses"`
+	TuplesReplayed    int64  `json:"cache_tuples_replayed"`
+	TuplesSpooled     int64  `json:"cache_tuples_spooled"`
+	DuplicatesAvoided int64  `json:"cache_duplicates_avoided"`
+	SpoolsAbandoned   int64  `json:"cache_spools_abandoned"`
+	Result            string `json:"result"`
 }
 
 func writeJSONRow(header string, r row) {
@@ -192,17 +196,19 @@ func writeJSONRow(header string, r row) {
 		return
 	}
 	line, err := json.Marshal(jsonRow{
-		Table:          header,
-		Label:          r.label,
-		Reads:          r.stats.BaseTuplesRead,
-		Comparisons:    r.stats.Comparisons,
-		Intermediates:  r.stats.IntermediateTuples,
-		Materialized:   r.stats.Materializations,
-		CacheHits:      r.stats.CacheHits,
-		CacheMisses:    r.stats.CacheMisses,
-		TuplesReplayed: r.stats.CacheTuplesReplayed,
-		TuplesSpooled:  r.stats.CacheTuplesSpooled,
-		Result:         r.extra,
+		Table:             header,
+		Label:             r.label,
+		Reads:             r.stats.BaseTuplesRead,
+		Comparisons:       r.stats.Comparisons,
+		Intermediates:     r.stats.IntermediateTuples,
+		Materialized:      r.stats.Materializations,
+		CacheHits:         r.stats.CacheHits,
+		CacheMisses:       r.stats.CacheMisses,
+		TuplesReplayed:    r.stats.CacheTuplesReplayed,
+		TuplesSpooled:     r.stats.CacheTuplesSpooled,
+		DuplicatesAvoided: r.stats.CacheDuplicatesAvoided,
+		SpoolsAbandoned:   r.stats.CacheSpoolsAbandoned,
+		Result:            r.extra,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,8 @@
 //	queryctl -dataset university -n 100                 # REPL
 //	queryctl -dataset ptu -q '{ x | P(x) and T(x) }'    # one-shot
 //	queryctl -parallel 4 -timeout 5s                    # tuned engine
+//	queryctl -remote http://localhost:8991 -apikey K -q '...'  # against queryd
+//	queryctl -remote http://localhost:8991 -stats       # daemon report
 //
 // REPL commands:
 //
@@ -56,7 +58,14 @@ func main() {
 	parallel := flag.Int("parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query execution bound (0 = none)")
 	oneShot := flag.String("q", "", "run a single query and exit")
+	remote := flag.String("remote", "", "queryd base URL (e.g. http://localhost:8991): act as a client instead of evaluating locally")
+	apiKey := flag.String("apikey", "", "tenant API key for -remote requests")
+	stats := flag.Bool("stats", false, "with -remote: print the daemon's /stats report and exit")
 	flag.Parse()
+
+	if *remote != "" {
+		os.Exit(remoteMain(*remote, *apiKey, *oneShot, *stats))
+	}
 
 	cat, err := buildDataset(*ds, *n)
 	if err != nil {

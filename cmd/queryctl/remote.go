@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Remote mode: instead of evaluating locally, queryctl becomes a client of
+// a running queryd. -q posts one query, -stats dumps the daemon's report,
+// and with neither it drops into a minimal REPL that posts each line.
+
+// remoteQuery posts one query and renders the response.
+func remoteQuery(base, apiKey, query string) error {
+	body, _ := json.Marshal(map[string]string{"query": query})
+	req, err := http.NewRequest("POST", strings.TrimRight(base, "/")+"/query", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-API-Key", apiKey)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error struct {
+				Kind    string `json:"kind"`
+				Message string `json:"message"`
+				Limit   string `json:"limit"`
+				Used    int64  `json:"used"`
+				Budget  int64  `json:"budget"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Kind != "" {
+			msg := fmt.Sprintf("%d %s: %s", resp.StatusCode, eb.Error.Kind, eb.Error.Message)
+			if eb.Error.Kind == "resource" {
+				msg += fmt.Sprintf("\n  (the %s budget admitted %d of %d — ask the operator for a bigger tenant)",
+					eb.Error.Limit, eb.Error.Budget, eb.Error.Used)
+			}
+			return fmt.Errorf("%s", msg)
+		}
+		return fmt.Errorf("%d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var qr struct {
+		Open      bool       `json:"open"`
+		Columns   []string   `json:"columns"`
+		Rows      [][]string `json:"rows"`
+		Truth     *bool      `json:"truth"`
+		Canonical string     `json:"canonical"`
+		Timing    struct {
+			Flight   string `json:"flight"`
+			CacheHit bool   `json:"cache_hit"`
+			Batch    int    `json:"batch"`
+			PlanUS   int64  `json:"plan_us"`
+			ExecUS   int64  `json:"exec_us"`
+			TotalUS  int64  `json:"total_us"`
+		} `json:"timing"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		return err
+	}
+	if qr.Open {
+		if len(qr.Columns) > 0 {
+			fmt.Printf("(%s)\n", strings.Join(qr.Columns, ", "))
+		}
+		for _, row := range qr.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(qr.Rows))
+	} else if qr.Truth != nil {
+		fmt.Println(*qr.Truth)
+	}
+	fmt.Printf("canonical: %s\nservice: flight=%s cache_hit=%v batch=%d plan=%dµs exec=%dµs total=%dµs\n",
+		qr.Canonical, qr.Timing.Flight, qr.Timing.CacheHit, qr.Timing.Batch,
+		qr.Timing.PlanUS, qr.Timing.ExecUS, qr.Timing.TotalUS)
+	return nil
+}
+
+// remoteStats fetches /stats and renders the service counters and the
+// per-tenant snapshots.
+func remoteStats(base string) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var report struct {
+		Service map[string]any            `json:"service"`
+		Tenants map[string]map[string]any `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		return err
+	}
+	fmt.Println("service:")
+	printSorted("  ", report.Service)
+	names := make([]string, 0, len(report.Tenants))
+	for name := range report.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("tenant %s:\n", name)
+		printSorted("  ", report.Tenants[name])
+	}
+	return nil
+}
+
+func printSorted(indent string, m map[string]any) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s%s = %v\n", indent, k, m[k])
+	}
+}
+
+// remoteMain is the -remote entry point; it returns the process exit code.
+func remoteMain(base, apiKey, oneShot string, stats bool) int {
+	if stats {
+		if err := remoteStats(base); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if oneShot != "" {
+		if err := remoteQuery(base, apiKey, oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("connected to %s — \\stats shows the daemon report, \\quit exits\n", base)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("query> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return 0
+		case line == `\stats`:
+			if err := remoteStats(base); err != nil {
+				fmt.Println(err)
+			}
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown remote command %q (\\stats, \\quit)\n", line)
+		default:
+			if err := remoteQuery(base, apiKey, line); err != nil {
+				fmt.Println(err)
+			}
+		}
+		fmt.Print("query> ")
+	}
+	return 0
+}

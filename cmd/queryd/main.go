@@ -1,0 +1,178 @@
+// Command queryd is the multi-tenant query daemon: it loads a generated
+// dataset, builds one engine per declared tenant over the shared catalog,
+// and serves the service API over HTTP.
+//
+//	POST /query   X-API-Key header, {"query": "{ x | student(x) }"}
+//	GET  /stats   service counters, per-tenant engine snapshots, recent requests
+//	GET  /healthz liveness
+//
+// Usage:
+//
+//	queryd -dataset university -n 200 \
+//	       -tenants 'alice:key-a:5000,bob:key-b:500:1048576'
+//
+// Each -tenants entry is name:apikey[:tuple-limit[:memory-budget-bytes]];
+// a tenant's budgets are its admission control — a query that exceeds them
+// is rejected with 429 and a typed resource payload. Omitted budgets mean
+// unbounded.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight and queued requests are
+// answered, new submissions get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:8991", "listen address (host:port; port 0 picks a free one)")
+	ds := flag.String("dataset", "university", "dataset: university, ptu, rstg")
+	n := flag.Int("n", 100, "dataset scale")
+	tenantsFlag := flag.String("tenants", "demo:demo-key", "comma-separated name:apikey[:tuple-limit[:memory-budget]] entries")
+	parallel := flag.Int("parallel", 1, "partition fan-out of every tenant engine (1 = serial)")
+	cache := flag.Bool("cache", true, "enable each tenant's memoizing subplan cache")
+	batchSize := flag.Int("batch-size", service.DefaultBatchSize, "flush a batch at this many requests")
+	batchWait := flag.Duration("batch-wait", service.DefaultBatchMaxWait, "flush a non-empty batch after this wait")
+	recent := flag.Int("recent", service.DefaultRecent, "per-request records kept for /stats")
+	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	flag.Parse()
+
+	cat, err := buildDataset(*ds, *n)
+	if err != nil {
+		return err
+	}
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		return err
+	}
+
+	opts := []core.Option{core.WithParallelism(*parallel)}
+	if *cache {
+		opts = append(opts, core.WithPlanCache(0))
+	}
+	srv, err := service.NewServer(db, service.Config{
+		Tenants:       tenants,
+		BatchSize:     *batchSize,
+		BatchMaxWait:  *batchWait,
+		Recent:        *recent,
+		EngineOptions: opts,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	fmt.Printf("queryd: dataset %q (scale %d), %d tenant(s), listening on %s\n",
+		*ds, *n, len(tenants), ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("queryd: %s — draining\n", sig)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("queryd: drained")
+	return nil
+}
+
+// parseTenants parses the -tenants flag: comma-separated
+// name:apikey[:tuple-limit[:memory-budget]] entries.
+func parseTenants(s string) ([]service.TenantConfig, error) {
+	var out []service.TenantConfig
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name:apikey[:tuple-limit[:memory-budget]])", entry)
+		}
+		tc := service.TenantConfig{Name: parts[0], APIKey: parts[1]}
+		if len(parts) >= 3 && parts[2] != "" {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad tuple limit in -tenants entry %q", entry)
+			}
+			tc.TupleLimit = v
+		}
+		if len(parts) == 4 && parts[3] != "" {
+			v, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad memory budget in -tenants entry %q", entry)
+			}
+			tc.MemoryBudget = v
+		}
+		out = append(out, tc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("queryd: -tenants declared no tenants")
+	}
+	return out, nil
+}
+
+func buildDataset(name string, n int) (*storage.Catalog, error) {
+	switch name {
+	case "university":
+		return dataset.University(dataset.DefaultUniversity(n)), nil
+	case "ptu":
+		return dataset.PTU(dataset.PTUParams{N: n, TProb: 0.5, UProb: 0.3, ExtraShare: 0.2, Branches: 3, Seed: 1}), nil
+	case "rstg":
+		return dataset.RSTG(dataset.DefaultRSTG(n)), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (university, ptu, rstg)", name)
+	}
+}

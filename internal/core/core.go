@@ -23,7 +23,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/algebra"
@@ -132,12 +132,14 @@ type Engine struct {
 	memBudget  int64
 	// faults is the fault-injection plan (WithFaultPlan); nil in production.
 	faults *faultinject.Plan
-	// Cumulative robustness counters (Robustness accessor). Atomics: one
-	// engine may execute concurrently from several goroutines.
-	panicsRecovered   atomic.Int64
-	limitsTripped     atomic.Int64
-	degradedEvictions atomic.Int64
-	spoolsAbandoned   atomic.Int64
+	// Cumulative observability state behind Snapshot(): every isolation
+	// boundary folds its run's exec.Stats into cum exactly once (noteRun),
+	// and runs counts the executions among those folds. Mutex-guarded — the
+	// fold happens per run, not per tuple, and one engine may execute
+	// concurrently from several goroutines.
+	snapMu sync.Mutex
+	cum    exec.Stats
+	runs   int64
 }
 
 // NewEngine builds an engine with the default (Bry) strategy, then applies
@@ -214,7 +216,7 @@ func (e *Engine) runGuarded(st *exec.Stats, stage, plan string, fn func() error)
 // PrepareQuery is Prepare for an already-parsed query.
 func (e *Engine) PrepareQuery(q parser.Query) (*Prepared, error) {
 	var st exec.Stats
-	defer e.noteRobustness(&st)
+	defer e.noteRun(&st, false)
 	var p *Prepared
 	err := e.runGuarded(&st, "prepare", q.String(), func() (err error) {
 		p, err = e.prepareQuery(q)
@@ -317,10 +319,10 @@ func (e *Engine) execContext(goCtx context.Context) (*exec.Context, context.Canc
 }
 
 // Run executes a prepared query without a cancellation bound (beyond an
-// engine-level WithTimeout).
+// engine-level WithTimeout). It is a convenience shim over RunContext
+// (convenienceShims in shims.go).
 func (e *Engine) Run(p *Prepared) (*Result, error) {
-	//lint:ignore ctxfirst Run is the documented no-cancellation convenience wrapper over RunContext
-	return e.RunContext(context.Background(), p)
+	return e.RunContext(noCancel(), p)
 }
 
 // RunContext executes a prepared query under the given context: once it is
@@ -331,7 +333,7 @@ func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error)
 	res := &Result{Open: p.Source.IsOpen(), Canonical: p.Canonical.String()}
 	if p.strategy == StrategyLoop {
 		var st exec.Stats
-		defer e.noteRobustness(&st)
+		defer e.noteRun(&st, true)
 		err := e.runGuarded(&st, "run", res.Canonical, func() error {
 			if err := goCtx.Err(); err != nil {
 				return err
@@ -361,7 +363,7 @@ func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error)
 
 	ctx, cancel := e.execContext(goCtx)
 	defer cancel()
-	defer func() { e.noteRobustness(ctx.Stats) }()
+	defer func() { e.noteRun(ctx.Stats, true) }()
 	err := e.runGuarded(ctx.Stats, "run", res.Canonical, func() error {
 		if p.Plan != nil {
 			rows, err := exec.Run(ctx, p.Plan)
@@ -391,8 +393,7 @@ func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error)
 // for unrequested tuples is never done). It returns the stats of the
 // partial execution.
 func (e *Engine) Stream(p *Prepared, visit func(relation.Tuple) bool) (exec.Stats, error) {
-	//lint:ignore ctxfirst Stream is the documented no-cancellation convenience wrapper over StreamContext
-	return e.StreamContext(context.Background(), p, visit)
+	return e.StreamContext(noCancel(), p, visit)
 }
 
 // StreamContext is Stream under a context: cancellation aborts the
@@ -417,7 +418,7 @@ func (e *Engine) StreamContext(goCtx context.Context, p *Prepared, visit func(re
 	}
 	ctx, cancel := e.execContext(goCtx)
 	defer cancel()
-	defer func() { e.noteRobustness(ctx.Stats) }()
+	defer func() { e.noteRun(ctx.Stats, true) }()
 	err := e.runGuarded(ctx.Stats, "stream", p.Canonical.String(), func() error {
 		it, err := exec.Build(ctx, p.Plan)
 		if err != nil {
@@ -453,10 +454,10 @@ func (e *Engine) StreamContext(goCtx context.Context, p *Prepared, visit func(re
 	return *ctx.Stats, err
 }
 
-// Query prepares and runs a query in one step.
+// Query prepares and runs a query in one step. It is a convenience shim
+// over QueryContext (convenienceShims in shims.go).
 func (e *Engine) Query(input string) (*Result, error) {
-	//lint:ignore ctxfirst Query is the documented no-cancellation convenience wrapper over QueryContext
-	return e.QueryContext(context.Background(), input)
+	return e.QueryContext(noCancel(), input)
 }
 
 // QueryContext prepares and runs a query in one step under a context.
@@ -472,8 +473,7 @@ func (e *Engine) QueryContext(goCtx context.Context, input string) (*Result, err
 // reports whether the database satisfies it. This is the paper's motivating
 // application (handling general integrity constraints).
 func (e *Engine) Check(constraint string) (bool, error) {
-	//lint:ignore ctxfirst Check is the documented no-cancellation convenience wrapper over CheckContext
-	return e.CheckContext(context.Background(), constraint)
+	return e.CheckContext(noCancel(), constraint)
 }
 
 // CheckContext is Check under a context.

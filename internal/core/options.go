@@ -183,29 +183,27 @@ func (e *Engine) Timeout() time.Duration { return e.timeout }
 func (e *Engine) PlanCacheEnabled() bool { return e.memo != nil }
 
 // PlanCacheBudget returns the cache's tuple budget (0 when disabled).
+//
+// Deprecated: read Engine.Snapshot().CacheBudget instead.
 func (e *Engine) PlanCacheBudget() int {
-	if e.memo == nil {
-		return 0
-	}
-	return e.memo.Budget()
+	return e.Snapshot().CacheBudget
 }
 
 // PlanCacheInfo returns the cache's current entry and buffered-tuple counts
 // (both 0 when disabled).
+//
+// Deprecated: read Engine.Snapshot().CacheEntries/CacheTuples instead.
 func (e *Engine) PlanCacheInfo() (entries, tuples int) {
-	if e.memo == nil {
-		return 0, 0
-	}
-	return e.memo.Entries(), e.memo.Tuples()
+	s := e.Snapshot()
+	return s.CacheEntries, s.CacheTuples
 }
 
 // PlanCacheAbandoned returns how many cache spools were abandoned before
 // publication over the current memo's lifetime (0 when disabled).
+//
+// Deprecated: read Engine.Snapshot().MemoSpoolsAbandoned instead.
 func (e *Engine) PlanCacheAbandoned() int64 {
-	if e.memo == nil {
-		return 0
-	}
-	return e.memo.SpoolsAbandoned()
+	return e.Snapshot().MemoSpoolsAbandoned
 }
 
 // TupleLimit returns the engine-level tuple budget (0 = unbounded).
@@ -233,28 +231,29 @@ type RobustnessCounters struct {
 // Robustness returns the cumulative robustness counters. They keep counting
 // across failed runs — precisely the runs whose per-call Stats the caller
 // never sees.
+//
+// Deprecated: Robustness is a thin view over Snapshot; new code should read
+// the same counters from Engine.Snapshot().
 func (e *Engine) Robustness() RobustnessCounters {
+	s := e.Snapshot()
 	return RobustnessCounters{
-		PanicsRecovered:   e.panicsRecovered.Load(),
-		LimitsTripped:     e.limitsTripped.Load(),
-		DegradedEvictions: e.degradedEvictions.Load(),
-		SpoolsAbandoned:   e.spoolsAbandoned.Load(),
+		PanicsRecovered:   s.PanicsRecovered,
+		LimitsTripped:     s.LimitsTripped,
+		DegradedEvictions: s.DegradedEvictions,
+		SpoolsAbandoned:   s.CacheSpoolsAbandoned,
 	}
 }
 
-// noteRobustness folds one run's robustness counters into the engine's
-// cumulative ones (atomics: executions may run concurrently).
-func (e *Engine) noteRobustness(st *exec.Stats) {
-	if st.PanicsRecovered > 0 {
-		e.panicsRecovered.Add(st.PanicsRecovered)
+// noteRun folds one boundary's counters into the engine's cumulative
+// Snapshot state, exactly once per boundary (the callers defer it).
+// executed marks real executions — RunContext/StreamContext entries, which
+// Snapshot counts in Runs — as opposed to prepare-only boundaries, whose
+// counters fold without counting as a run.
+func (e *Engine) noteRun(st *exec.Stats, executed bool) {
+	e.snapMu.Lock()
+	e.cum.Add(*st)
+	if executed {
+		e.runs++
 	}
-	if st.LimitsTripped > 0 {
-		e.limitsTripped.Add(st.LimitsTripped)
-	}
-	if st.DegradedEvictions > 0 {
-		e.degradedEvictions.Add(st.DegradedEvictions)
-	}
-	if st.CacheSpoolsAbandoned > 0 {
-		e.spoolsAbandoned.Add(st.CacheSpoolsAbandoned)
-	}
+	e.snapMu.Unlock()
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestConvenienceShims makes the shim table load-bearing: every entry's
+// wrapper must exist on *Engine with exactly its twin's signature minus the
+// leading context.Context. A wrapper added without a twin, or a signature
+// that drifts on one side only, fails here instead of at a call site.
+func TestConvenienceShims(t *testing.T) {
+	et := reflect.TypeOf(&Engine{})
+	ctxType := reflect.TypeOf((*context.Context)(nil)).Elem()
+	if len(convenienceShims) != 4 {
+		t.Fatalf("the documented context-less surface is Run/Query/Check/Stream; table has %d rows", len(convenienceShims))
+	}
+	for _, shim := range convenienceShims {
+		w, ok := et.MethodByName(shim.Wrapper)
+		if !ok {
+			t.Errorf("wrapper %s missing on *Engine", shim.Wrapper)
+			continue
+		}
+		tw, ok := et.MethodByName(shim.Twin)
+		if !ok {
+			t.Errorf("twin %s missing on *Engine", shim.Twin)
+			continue
+		}
+		// Method types include the receiver as In(0).
+		if tw.Type.NumIn() != w.Type.NumIn()+1 {
+			t.Errorf("%s/%s: twin must take exactly one extra parameter, got %d vs %d",
+				shim.Wrapper, shim.Twin, tw.Type.NumIn(), w.Type.NumIn())
+			continue
+		}
+		if tw.Type.In(1) != ctxType {
+			t.Errorf("%s: first parameter is %v, want context.Context", shim.Twin, tw.Type.In(1))
+		}
+		for i := 1; i < w.Type.NumIn(); i++ {
+			if w.Type.In(i) != tw.Type.In(i+1) {
+				t.Errorf("%s param %d (%v) != %s param %d (%v)",
+					shim.Wrapper, i, w.Type.In(i), shim.Twin, i+1, tw.Type.In(i+1))
+			}
+		}
+		if w.Type.NumOut() != tw.Type.NumOut() {
+			t.Errorf("%s/%s: result counts differ", shim.Wrapper, shim.Twin)
+			continue
+		}
+		for i := 0; i < w.Type.NumOut(); i++ {
+			if w.Type.Out(i) != tw.Type.Out(i) {
+				t.Errorf("%s result %d (%v) != %s result %d (%v)",
+					shim.Wrapper, i, w.Type.Out(i), shim.Twin, i, tw.Type.Out(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher collects requests from a channel and dispatches them in batches,
+// so a burst of requests pays for its planner and flight-table work per
+// distinct query, not per request. A batch flushes when it reaches size
+// requests or when its oldest request has waited maxWait, whichever comes
+// first; each flushed batch runs on its own goroutine so one slow batch
+// never delays the next flush. close drains: buffered requests are flushed
+// and every dispatched batch finishes before close returns.
+type batcher struct {
+	in      chan *request
+	size    int
+	maxWait time.Duration
+	run     func([]*request)
+
+	quit     chan struct{} // closed by close(): stop collecting, drain
+	done     chan struct{} // closed by the collector after the drain
+	dispatch sync.WaitGroup
+}
+
+func newBatcher(size, depth int, maxWait time.Duration, run func([]*request)) *batcher {
+	b := &batcher{
+		in:      make(chan *request, depth),
+		size:    size,
+		maxWait: maxWait,
+		run:     run,
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// loop is the collector goroutine: the only reader of b.in and the only
+// owner of the pending batch and its flush timer.
+func (b *batcher) loop() {
+	defer close(b.done)
+	var (
+		batch   []*request
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		out := batch
+		batch = nil
+		b.dispatch.Add(1)
+		go func() {
+			defer b.dispatch.Done()
+			b.run(out)
+		}()
+	}
+	for {
+		select {
+		case r := <-b.in:
+			batch = append(batch, r)
+			if len(batch) == 1 {
+				timer = time.NewTimer(b.maxWait)
+				timeout = timer.C
+			}
+			if len(batch) >= b.size {
+				flush()
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			flush()
+		case <-b.quit:
+			// Drain: everything already buffered was accepted before the
+			// server flipped to closing, so it must still be answered.
+			for {
+				select {
+				case r := <-b.in:
+					batch = append(batch, r)
+				default:
+					flush()
+					b.dispatch.Wait()
+					return
+				}
+			}
+		}
+	}
+}
+
+// close stops the collector, flushes what was buffered, and waits until
+// every dispatched batch has finished. The caller must have stopped
+// submissions first (Server.submit checks closing under the lock); a
+// submission racing close would otherwise strand a request in the buffer.
+func (b *batcher) close() {
+	close(b.quit)
+	<-b.done
+}

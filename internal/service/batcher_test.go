@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// collectBatches returns a run func that records every flushed batch.
+func collectBatches() (func([]*request), func() [][]*request) {
+	var mu sync.Mutex
+	var batches [][]*request
+	run := func(b []*request) {
+		mu.Lock()
+		defer mu.Unlock()
+		batches = append(batches, b)
+	}
+	get := func() [][]*request {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([][]*request, len(batches))
+		copy(out, batches)
+		return out
+	}
+	return run, get
+}
+
+// TestBatcherFlushesAtSize: the size threshold flushes immediately, well
+// before the max-wait timer.
+func TestBatcherFlushesAtSize(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	run, got := collectBatches()
+	b := newBatcher(3, 16, time.Minute, run)
+	for i := 0; i < 6; i++ {
+		b.in <- &request{}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if bs := got(); len(bs) == 2 && len(bs[0]) == 3 && len(bs[1]) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("want two batches of 3 long before the minute timer, got %d", len(got()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.close()
+}
+
+// TestBatcherFlushesAtMaxWait: a lone request below the size threshold is
+// flushed once its max-wait elapses.
+func TestBatcherFlushesAtMaxWait(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	run, got := collectBatches()
+	b := newBatcher(100, 16, 10*time.Millisecond, run)
+	b.in <- &request{}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if bs := got(); len(bs) == 1 && len(bs[0]) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("max-wait flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.close()
+}
+
+// TestBatcherCloseDrains: close flushes whatever is buffered — even with a
+// size threshold and max-wait that would never trigger — and waits for the
+// dispatched run to finish before returning.
+func TestBatcherCloseDrains(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var mu sync.Mutex
+	var seen int
+	var running bool
+	b := newBatcher(100, 16, time.Hour, func(batch []*request) {
+		mu.Lock()
+		running = true
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond) // close must outwait this
+		mu.Lock()
+		seen += len(batch)
+		running = false
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		b.in <- &request{}
+	}
+	b.close()
+	mu.Lock()
+	defer mu.Unlock()
+	if running {
+		t.Fatal("close returned while a dispatched batch was still running")
+	}
+	if seen != 5 {
+		t.Fatalf("drain lost requests: processed %d of 5", seen)
+	}
+}

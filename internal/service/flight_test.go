@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+func testKey() flightKey { return flightKey{tenant: "t", fp: 42, gen: 1} }
+
+// TestFlightCollapsesConcurrentCalls: N concurrent do calls under one key
+// produce exactly once; everyone shares the producer's result and error.
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := newFlightTable()
+	var produced atomic.Int64
+	release := make(chan struct{})
+	want := &core.Result{Open: true}
+
+	const n = 16
+	var wg sync.WaitGroup
+	roles := make([]string, n)
+	results := make([]*core.Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err, out := f.do(context.Background(), testKey(), func() (*core.Result, error) {
+				<-release // hold the flight open until all waiters attach
+				produced.Add(1)
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+			roles[i], results[i] = out.Role, res
+		}(i)
+	}
+	// Give the waiters time to attach to the incumbent flight, then let
+	// the producer publish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := produced.Load(); got != 1 {
+		t.Fatalf("produce ran %d times, want 1", got)
+	}
+	elects := 0
+	for i := range roles {
+		if roles[i] == flightElect {
+			elects++
+		}
+		if results[i] != want {
+			t.Errorf("call %d did not share the producer's result", i)
+		}
+	}
+	if elects != 1 {
+		t.Fatalf("want exactly 1 elect, got %d", elects)
+	}
+}
+
+// TestFlightSharesDeterministicFailure: a produce failure without caller
+// cancellation is shared, not retried — every waiter would reproduce it.
+func TestFlightSharesDeterministicFailure(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := newFlightTable()
+	boom := errors.New("deterministic failure")
+	var produced atomic.Int64
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, _ := f.do(context.Background(), testKey(), func() (*core.Result, error) {
+				<-release
+				produced.Add(1)
+				return nil, boom
+			})
+			errs[i] = err
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if produced.Load() != 1 {
+		t.Fatalf("failure was retried: produce ran %d times", produced.Load())
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("call %d: want the shared failure, got %v", i, err)
+		}
+	}
+}
+
+// TestFlightReelectsAfterProducerDeath: a producer killed by its own
+// context abandons the entry; a waiter is re-elected and its production
+// serves the group. This is the memo's producer-death protocol, one level
+// up.
+func TestFlightReelectsAfterProducerDeath(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := newFlightTable()
+	want := &core.Result{Open: true}
+
+	prodCtx, kill := context.WithCancel(context.Background())
+	firstIn := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// First producer: starts, then dies of its own cancellation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, out := f.do(prodCtx, testKey(), func() (*core.Result, error) {
+			close(firstIn)
+			<-prodCtx.Done()
+			return nil, prodCtx.Err()
+		})
+		if out.Role != flightElect || !errors.Is(err, context.Canceled) {
+			t.Errorf("first producer: role=%q err=%v", out.Role, err)
+		}
+	}()
+
+	// Waiter: attaches to the doomed flight, then must be re-elected.
+	<-firstIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err, out := f.do(context.Background(), testKey(), func() (*core.Result, error) {
+			return want, nil
+		})
+		if err != nil || res != want {
+			t.Errorf("re-elected waiter: res=%v err=%v", res, err)
+		}
+		if out.Role != flightElect || out.Waits < 1 {
+			t.Errorf("waiter should have waited then been elected: %+v", out)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the waiter attach
+	kill()
+	wg.Wait()
+
+	if len(f.inflight) != 0 {
+		t.Fatalf("flight table leaked %d entries", len(f.inflight))
+	}
+}
+
+// TestFlightWaiterCancellation: a waiter whose own context dies gets its
+// context error and no role; the flight itself is unaffected.
+func TestFlightWaiterCancellation(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := newFlightTable()
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := f.do(context.Background(), testKey(), func() (*core.Result, error) {
+			close(started)
+			<-release
+			return &core.Result{}, nil
+		})
+		if err != nil {
+			t.Errorf("producer: %v", err)
+		}
+	}()
+
+	<-started
+	waitCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err, out := f.do(waitCtx, testKey(), func() (*core.Result, error) {
+			t.Error("cancelled waiter must never produce")
+			return nil, nil
+		})
+		if !errors.Is(err, context.Canceled) || out.Role != "" {
+			t.Errorf("cancelled waiter: err=%v role=%q", err, out.Role)
+		}
+	}()
+	cancel()
+	<-done
+	close(release)
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// queryResponse is the POST /query success body: the answer plus the same
+// per-request record /stats keeps, so a client can reconcile its own calls
+// against the service totals.
+type queryResponse struct {
+	Tenant    string     `json:"tenant"`
+	Open      bool       `json:"open"`
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Truth     *bool      `json:"truth,omitempty"`
+	Canonical string     `json:"canonical"`
+	Timing    Record     `json:"timing"`
+}
+
+// errorBody is the envelope of every non-2xx response.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+// errorDetail classifies a failure for clients: Kind is the stable
+// programmatic discriminator, and resource rejections carry the governor's
+// typed fields so a client can see which budget tripped and by how much.
+type errorDetail struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Governor fields, set only for kind "resource" (HTTP 429).
+	Limit    string `json:"limit,omitempty"`
+	Operator string `json:"operator,omitempty"`
+	Used     int64  `json:"used,omitempty"`
+	Budget   int64  `json:"budget,omitempty"`
+	// Stage is set for plan/exec failures that record one.
+	Stage string `json:"stage,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /query   X-API-Key header + {"query": "..."} body
+//	GET  /stats   StatsReport: service counters, per-tenant Snapshots, recent records
+//	GET  /healthz liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var body queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{errorDetail{Kind: "request", Message: "body must be {\"query\": \"...\"}"}})
+		return
+	}
+	out, err := s.Execute(r.Context(), r.Header.Get("X-API-Key"), body.Query)
+	if err != nil {
+		status := statusOf(err)
+		writeJSON(w, status, errorBody{detailOf(err)})
+		return
+	}
+	resp := queryResponse{
+		Tenant:    out.Record.Tenant,
+		Open:      out.Result.Open,
+		Canonical: out.Result.Canonical,
+		Timing:    out.Record,
+	}
+	if out.Result.Open {
+		resp.Columns = columnsOf(out.Result.Rows)
+		resp.Rows = rowsOf(out.Result.Rows)
+	} else {
+		truth := out.Result.Truth
+		resp.Truth = &truth
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// columnsOf extracts the schema's attribute names.
+func columnsOf(rel *relation.Relation) []string {
+	if rel == nil {
+		return nil
+	}
+	sch := rel.Schema()
+	cols := make([]string, len(sch))
+	for i, a := range sch {
+		cols[i] = a.Name
+	}
+	return cols
+}
+
+// rowsOf renders the answer relation as strings (the relation's own value
+// rendering, so marks and nulls keep their textual forms).
+func rowsOf(rel *relation.Relation) [][]string {
+	if rel == nil {
+		return [][]string{}
+	}
+	rows := make([][]string, 0, rel.Len())
+	for _, t := range rel.Tuples() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = v.String()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// statusOf maps the service's error taxonomy to HTTP statuses. Client
+// mistakes are 4xx (429 specifically for governor budget trips, so a
+// client can back off), cancellations map to the nginx-convention 499,
+// and only genuine execution failures are 5xx.
+func statusOf(err error) int {
+	var (
+		parseErr    *core.ParseError
+		safetyErr   *core.SafetyError
+		planErr     *core.PlanError
+		resourceErr *core.ResourceError
+	)
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusUnauthorized
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &resourceErr):
+		return http.StatusTooManyRequests
+	case errors.As(err, &parseErr), errors.As(err, &safetyErr), errors.As(err, &planErr):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// detailOf builds the typed error payload for err.
+func detailOf(err error) errorDetail {
+	d := errorDetail{Message: err.Error()}
+	var (
+		parseErr    *core.ParseError
+		safetyErr   *core.SafetyError
+		planErr     *core.PlanError
+		resourceErr *core.ResourceError
+		execErr     *core.ExecError
+	)
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		d.Kind = "auth"
+	case errors.Is(err, ErrShuttingDown):
+		d.Kind = "shutdown"
+	case errors.As(err, &resourceErr):
+		d.Kind = "resource"
+		d.Limit = resourceErr.Limit
+		d.Operator = resourceErr.Operator
+		d.Used = resourceErr.Used
+		d.Budget = resourceErr.Budget
+	case errors.As(err, &parseErr):
+		d.Kind = "parse"
+	case errors.As(err, &safetyErr):
+		d.Kind = "safety"
+	case errors.As(err, &planErr):
+		d.Kind = "plan"
+		d.Stage = planErr.Stage
+	case errors.Is(err, context.DeadlineExceeded):
+		d.Kind = "timeout"
+	case errors.Is(err, context.Canceled):
+		d.Kind = "cancelled"
+	case errors.As(err, &execErr):
+		d.Kind = "exec"
+		d.Stage = execErr.Stage
+	default:
+		d.Kind = "internal"
+	}
+	return d
+}

@@ -1,0 +1,132 @@
+package service
+
+import "sync"
+
+// Record is the flat per-request timing record the /stats endpoint serves:
+// one line per request with everything a latency breakdown needs — where
+// the time went (queue, plan, exec), what the flight table did with the
+// request, and what came back. Fields are microseconds because the E-series
+// experiments report microsecond-scale effects.
+type Record struct {
+	Tenant      string `json:"tenant"`
+	Fingerprint string `json:"fingerprint"`
+	// Flight is "elect" (this request ran the evaluation), "share" (it rode
+	// another request's evaluation), or "" (it failed before reaching the
+	// flight table, or its own context cancelled the wait).
+	Flight string `json:"flight,omitempty"`
+	// FlightWaits counts in-flight entries the request blocked on
+	// (re-elections push it past 1).
+	FlightWaits int `json:"flight_waits,omitempty"`
+	// CacheHit reports whether the evaluation was answered at least partly
+	// from the engine's plan-cache memo.
+	CacheHit bool `json:"cache_hit"`
+	// Batch is the size of the batch the request rode in.
+	Batch       int   `json:"batch"`
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	PlanUS      int64 `json:"plan_us"`
+	ExecUS      int64 `json:"exec_us"`
+	TotalUS     int64 `json:"total_us"`
+	// Rows is the answer cardinality (0 for closed queries and failures).
+	Rows int `json:"rows"`
+	// Status is the HTTP status the outcome maps to (200, 400, 429, ...).
+	Status int    `json:"status"`
+	Err    string `json:"error,omitempty"`
+}
+
+// ServiceCounters are the service-level aggregates, one step above the
+// per-tenant core.Snapshots: they count requests, not engine work.
+type ServiceCounters struct {
+	// Requests counts every request that reached the pipeline (auth
+	// failures are counted separately and never enter it).
+	Requests int64 `json:"requests"`
+	// Elections counts requests that ran an evaluation; SharedResults
+	// counts requests answered by another request's evaluation. For any
+	// window, Elections equals the engine runs of that window — the
+	// reconciliation the service tests pin.
+	Elections     int64 `json:"elections"`
+	SharedResults int64 `json:"shared_results"`
+	// Rejected counts 429 admission rejections (governor budget trips).
+	Rejected int64 `json:"rejected"`
+	// Errors counts requests that failed any other way (4xx/5xx except 429).
+	Errors int64 `json:"errors"`
+	// AuthFailures counts requests with an unknown API key.
+	AuthFailures int64 `json:"auth_failures"`
+	// Batches/BatchedRequests/MaxBatch describe the batcher's grouping:
+	// BatchedRequests/Batches is the amortization factor.
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+	MaxBatch        int64 `json:"max_batch"`
+}
+
+// metrics folds finished requests into the service counters and a bounded
+// ring of recent records.
+type metrics struct {
+	mu     sync.Mutex
+	totals ServiceCounters
+	ring   []Record
+	next   int
+	filled bool
+}
+
+func newMetrics(recent int) *metrics {
+	return &metrics{ring: make([]Record, recent)}
+}
+
+// note folds one finished request.
+func (m *metrics) note(rec Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.totals.Requests++
+	switch rec.Flight {
+	case flightElect:
+		m.totals.Elections++
+	case flightShare:
+		m.totals.SharedResults++
+	}
+	switch {
+	case rec.Status == 429:
+		m.totals.Rejected++
+	case rec.Status >= 400:
+		m.totals.Errors++
+	}
+	if len(m.ring) > 0 {
+		m.ring[m.next] = rec
+		m.next++
+		if m.next == len(m.ring) {
+			m.next = 0
+			m.filled = true
+		}
+	}
+}
+
+// noteBatch folds one flushed batch.
+func (m *metrics) noteBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.totals.Batches++
+	m.totals.BatchedRequests += int64(size)
+	if int64(size) > m.totals.MaxBatch {
+		m.totals.MaxBatch = int64(size)
+	}
+}
+
+// noteAuthFailure folds one unknown-key rejection.
+func (m *metrics) noteAuthFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.totals.AuthFailures++
+}
+
+// snapshot returns the counters and the recent records, oldest first.
+func (m *metrics) snapshot() (ServiceCounters, []Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var recent []Record
+	if m.filled {
+		recent = append(recent, m.ring[m.next:]...)
+		recent = append(recent, m.ring[:m.next]...)
+	} else {
+		recent = append(recent, m.ring[:m.next]...)
+	}
+	return m.totals, recent
+}

@@ -1,0 +1,320 @@
+// Package service is the multi-tenant query service tier: it fronts many
+// per-tenant core.Engines over one shared DB behind a stdlib net/http API,
+// so the engine's paper-grade counters become measurable under real
+// concurrent traffic.
+//
+// The request path stacks four mechanisms:
+//
+//  1. Admission — an API key resolves to a tenant whose engine carries
+//     governor budgets (WithTupleLimit/WithMemoryBudget); a budget trip
+//     surfaces as a typed *core.ResourceError the HTTP layer maps to 429.
+//  2. Batching — requests flow through a channel-based batcher with a
+//     max-wait flush; a batch groups identical (tenant, query) texts so a
+//     burst pays the planner once per distinct query.
+//  3. Request-level single-flight — a flight table keyed by (tenant,
+//     canonical fingerprint, catalog generation) elects one producer per
+//     concurrent identical query and shares its result with every waiter,
+//     the memo's election protocol lifted from subplans to requests.
+//  4. Observability — every request leaves a flat timing record (queue,
+//     plan, exec, flight role, rows, status), and /stats serves those
+//     records next to each tenant engine's unified core.Snapshot.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Service-level sentinel errors, surfaced by Execute and mapped to HTTP
+// statuses by the handler (401 and 503 respectively).
+var (
+	// ErrUnknownTenant reports an API key no tenant owns.
+	ErrUnknownTenant = errors.New("service: unknown API key")
+	// ErrShuttingDown reports a request submitted after Shutdown began.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultBatchSize    = 16
+	DefaultBatchMaxWait = 2 * time.Millisecond
+	DefaultQueueDepth   = 256
+	DefaultRecent       = 256
+)
+
+// Config configures a Server.
+type Config struct {
+	// Tenants declares the tenant registry; at least one is required.
+	Tenants []TenantConfig
+	// BatchSize flushes a batch when it holds this many requests
+	// (DefaultBatchSize when 0).
+	BatchSize int
+	// BatchMaxWait flushes a non-empty batch after its oldest request has
+	// waited this long (DefaultBatchMaxWait when 0).
+	BatchMaxWait time.Duration
+	// QueueDepth is the submission channel's buffer (DefaultQueueDepth
+	// when 0): the burst the server absorbs without blocking submitters.
+	QueueDepth int
+	// Recent bounds the ring of per-request records /stats serves
+	// (DefaultRecent when 0; negative keeps no records).
+	Recent int
+	// EngineOptions are base options applied to every tenant engine before
+	// the tenant's budgets and extras — e.g. core.WithParallelism,
+	// core.WithPlanCache.
+	EngineOptions []core.Option
+}
+
+// request is one query travelling through the pipeline.
+type request struct {
+	ctx      context.Context
+	tenant   *tenant
+	query    string
+	enqueued time.Time
+	resp     chan *Outcome // buffered: the pipeline never blocks on delivery
+}
+
+// Outcome is the service-level result of one request: the engine result
+// (nil on failure), the classified error (nil on success), and the flat
+// record the metrics layer kept.
+type Outcome struct {
+	Result *core.Result
+	Err    error
+	Record Record
+}
+
+// Server is the multi-tenant query service.
+type Server struct {
+	db      *core.DB
+	reg     *registry
+	flights *flightTable
+	batch   *batcher
+	metrics *metrics
+
+	// closeMu orders submissions against Shutdown: submit holds the read
+	// side across the closing check and the channel send, so once Shutdown
+	// holds the write side, no request can slip into the batcher unseen by
+	// the drain.
+	closeMu sync.RWMutex
+	closing bool
+}
+
+// NewServer builds the service over db: one engine per tenant, the flight
+// table, the batcher, and the metrics layer.
+func NewServer(db *core.DB, cfg Config) (*Server, error) {
+	reg, err := newRegistry(db, cfg.EngineOptions, cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.BatchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	maxWait := cfg.BatchMaxWait
+	if maxWait <= 0 {
+		maxWait = DefaultBatchMaxWait
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	recent := cfg.Recent
+	if recent == 0 {
+		recent = DefaultRecent
+	}
+	if recent < 0 {
+		recent = 0
+	}
+	s := &Server{
+		db:      db,
+		reg:     reg,
+		flights: newFlightTable(),
+		metrics: newMetrics(recent),
+	}
+	s.batch = newBatcher(size, depth, maxWait, s.processBatch)
+	return s, nil
+}
+
+// Execute runs one query for the tenant owning apiKey, riding the batcher
+// and the flight table. It returns the outcome (which carries the per-
+// request record) and the classified error; submission-level failures
+// (unknown key, shutdown, caller cancellation while queued) return a nil
+// outcome.
+func (s *Server) Execute(ctx context.Context, apiKey, query string) (*Outcome, error) {
+	ten, ok := s.reg.lookup(apiKey)
+	if !ok {
+		s.metrics.noteAuthFailure()
+		return nil, ErrUnknownTenant
+	}
+	r := &request{ctx: ctx, tenant: ten, query: query, enqueued: time.Now(), resp: make(chan *Outcome, 1)}
+	if err := s.submit(r); err != nil {
+		return nil, err
+	}
+	select {
+	case out := <-r.resp:
+		return out, out.Err
+	case <-ctx.Done():
+		// The pipeline will still answer into the buffered channel; nothing
+		// blocks on this caller again.
+		return nil, ctx.Err()
+	}
+}
+
+// submit hands a request to the batcher unless the server is closing.
+func (s *Server) submit(r *request) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing {
+		return ErrShuttingDown
+	}
+	s.batch.in <- r
+	return nil
+}
+
+// Shutdown drains the service: new submissions are rejected with
+// ErrShuttingDown, everything already accepted is answered, and the batcher
+// stops. It returns ctx's error if the drain outlives the deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeMu.Lock()
+	already := s.closing
+	s.closing = true
+	s.closeMu.Unlock()
+	if !already {
+		go s.batch.close()
+	}
+	select {
+	case <-s.batch.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatsReport is the /stats payload: service-level counters, one unified
+// core.Snapshot per tenant, and the recent per-request records.
+type StatsReport struct {
+	Service ServiceCounters          `json:"service"`
+	Tenants map[string]core.Snapshot `json:"tenants"`
+	Recent  []Record                 `json:"recent"`
+}
+
+// Stats assembles the current report.
+func (s *Server) Stats() StatsReport {
+	tenants := make(map[string]core.Snapshot, len(s.reg.names))
+	for _, name := range s.reg.names {
+		tenants[name] = s.reg.byName[name].eng.Snapshot()
+	}
+	svc, recent := s.metrics.snapshot()
+	return StatsReport{Service: svc, Tenants: tenants, Recent: recent}
+}
+
+// processBatch handles one flushed batch: group identical (tenant, query)
+// texts, then evaluate every group concurrently. The batch goroutine waits
+// for its groups, so the batcher's drain covers every response.
+func (s *Server) processBatch(batch []*request) {
+	s.metrics.noteBatch(len(batch))
+	type groupKey struct{ tenant, query string }
+	groups := make(map[groupKey][]*request)
+	for _, r := range batch {
+		k := groupKey{r.tenant.cfg.Name, r.query}
+		groups[k] = append(groups[k], r)
+	}
+	var wg sync.WaitGroup
+	for _, reqs := range groups {
+		wg.Add(1)
+		go func(reqs []*request) {
+			defer wg.Done()
+			s.processGroup(reqs, len(batch))
+		}(reqs)
+	}
+	wg.Wait()
+}
+
+// processGroup evaluates one batch group — identical requests of one
+// tenant. The group prepares once, then resolves through the flight table
+// as a single unit: its leader is the candidate producer, and every other
+// member shares whatever the leader's flight resolves to. If the leader
+// dies of its own cancellation, leadership passes to the next member —
+// the batch-local mirror of the flight table's re-election.
+func (s *Server) processGroup(reqs []*request, batchSize int) {
+	ten := reqs[0].tenant
+	dispatched := time.Now()
+	base := Record{Tenant: ten.cfg.Name, Batch: batchSize}
+	p, err := ten.eng.Prepare(reqs[0].query)
+	base.PlanUS = time.Since(dispatched).Microseconds()
+	if err != nil {
+		for _, r := range reqs {
+			s.finish(r, dispatched, nil, err, base)
+		}
+		return
+	}
+	fp := fingerprint(ten.cfg.Name, p.Canonical.String())
+	base.Fingerprint = fmt.Sprintf("%016x", fp)
+	key := flightKey{tenant: ten.cfg.Name, fp: fp, gen: s.db.Catalog().Generation()}
+	for len(reqs) > 0 {
+		leader := reqs[0]
+		execStart := time.Now()
+		res, err, out := s.flights.do(leader.ctx, key, func() (*core.Result, error) {
+			return ten.eng.RunContext(leader.ctx, p)
+		})
+		execDur := time.Since(execStart)
+		rec := base
+		rec.Flight = out.Role
+		rec.FlightWaits = out.Waits
+		rec.ExecUS = execDur.Microseconds()
+		if err != nil && leader.ctx.Err() != nil {
+			// The leader's own context killed its flight (as producer the
+			// entry was abandoned; as waiter the wait was cut short). Answer
+			// the leader and hand leadership to the next member.
+			s.finish(leader, dispatched, nil, err, rec)
+			reqs = reqs[1:]
+			continue
+		}
+		for i, r := range reqs {
+			mrec := rec
+			if i > 0 {
+				// Only the leader carries the election; the rest of the
+				// group rode its flight by construction.
+				mrec.Flight = flightShare
+				mrec.FlightWaits = 0
+			}
+			s.finish(r, dispatched, res, err, mrec)
+		}
+		return
+	}
+}
+
+// finish completes one request: fills the per-request timing, folds the
+// record into the metrics, and delivers the outcome.
+func (s *Server) finish(r *request, dispatched time.Time, res *core.Result, err error, rec Record) {
+	rec.QueueWaitUS = dispatched.Sub(r.enqueued).Microseconds()
+	rec.TotalUS = time.Since(r.enqueued).Microseconds()
+	rec.Status = statusOf(err)
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if res != nil {
+		rec.CacheHit = res.Stats.CacheHits > 0 || res.Stats.CacheTuplesReplayed > 0
+		if res.Open && res.Rows != nil {
+			rec.Rows = res.Rows.Len()
+		}
+	}
+	s.metrics.note(rec)
+	r.resp <- &Outcome{Result: res, Err: err, Record: rec}
+}
+
+// fingerprint hashes (tenant, canonical query) into the flight key. The
+// canonical form — not the raw text — is the identity, so whitespace or
+// bound-variable renamings collapse into one flight.
+func fingerprint(tenant, canonical string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(canonical))
+	return h.Sum64()
+}

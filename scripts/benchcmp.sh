@@ -58,8 +58,9 @@ function rowkey(line) {
 	return strfield(line, "table") " / " strfield(line, "label");
 }
 BEGIN {
-	ncounters = split("reads comparisons intermediates materializations " \
-	                  "cache_hits cache_misses cache_tuples_replayed cache_tuples_spooled",
+	ncounters = split("base_tuples_read comparisons intermediate_tuples materializations " \
+	                  "cache_hits cache_misses cache_tuples_replayed cache_tuples_spooled " \
+	                  "cache_duplicates_avoided cache_spools_abandoned",
 	                  counters, " ");
 	while ((getline line < oldfile) > 0) {
 		if (line ~ /^[ \t]*$/) continue;

@@ -8,8 +8,9 @@
 # The race pass covers the packages with real concurrency: the partitioned
 # executor (internal/exec), the engine API that drives it with contexts and
 # timeouts (internal/core), the optimizer whose plan cache is shared across
-# goroutines (internal/planopt), and constraint checking over live engines
-# (internal/integrity).
+# goroutines (internal/planopt), constraint checking over live engines
+# (internal/integrity), and the multi-tenant service tier with its batcher
+# and request-level single-flight (internal/service).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,8 +53,8 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race (exec, core, planopt, integrity, shuffled)"
-go test -race -shuffle=on ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/
+echo "== go test -race (exec, core, planopt, integrity, service, shuffled)"
+go test -race -shuffle=on ./internal/exec/ ./internal/core/ ./internal/planopt/ ./internal/integrity/ ./internal/service/
 
 echo "== chaos sweep (seeded fault injection under -race)"
 CHAOS_SEEDS="${CHAOS_SEEDS:-24}" go test -race -shuffle=on -run Chaos -count=1 ./internal/exec/ ./internal/core/

@@ -1,0 +1,93 @@
+#!/bin/sh
+# smoke_serve.sh — end-to-end liveness probe for the service tier.
+#
+# Boots queryd on a random port over the university dataset with two
+# tenants (one generously budgeted, one tiny), runs one query per tenant
+# and fetches /stats through queryctl's remote mode, then sends SIGINT and
+# checks the daemon drains cleanly. Everything goes through the repo's own
+# binaries — no curl or jq dependency.
+#
+# Run via `make smoke-serve`. Deliberately not part of check.sh: it binds a
+# socket and waits on a real process, which is a flakiness class the tier-1
+# gate does not admit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+portfile="$workdir/addr"
+logfile="$workdir/queryd.log"
+
+cleanup() {
+	if [ -n "${daemon_pid:-}" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -INT "$daemon_pid" 2>/dev/null || true
+		wait "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$workdir/queryd" ./cmd/queryd
+go build -o "$workdir/queryctl" ./cmd/queryctl
+
+echo "== boot queryd"
+"$workdir/queryd" -addr localhost:0 -dataset university -n 50 \
+	-tenants 'rich:rich-key,poor:poor-key:3' \
+	-portfile "$portfile" > "$logfile" 2>&1 &
+daemon_pid=$!
+
+# Wait for the port file (the daemon writes it once the listener is up).
+i=0
+while [ ! -s "$portfile" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "queryd never came up:" >&2
+		cat "$logfile" >&2
+		exit 1
+	fi
+	if ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "queryd exited during startup:" >&2
+		cat "$logfile" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+base="http://$(cat "$portfile")"
+echo "queryd at $base"
+
+echo "== query as the rich tenant (expect rows)"
+"$workdir/queryctl" -remote "$base" -apikey rich-key \
+	-q '{ x | student(x) and not exists y: attends(x, y) }'
+
+echo "== query as the poor tenant (expect a 429 resource rejection)"
+if "$workdir/queryctl" -remote "$base" -apikey poor-key \
+	-q '{ x | student(x) and not exists y: attends(x, y) }' 2> "$workdir/poor.err"; then
+	echo "poor tenant was admitted past a 3-tuple budget — admission is broken" >&2
+	exit 1
+fi
+grep -q "429 resource" "$workdir/poor.err" || {
+	echo "poor tenant failed without the typed 429:" >&2
+	cat "$workdir/poor.err" >&2
+	exit 1
+}
+echo "rejected as expected: $(head -1 "$workdir/poor.err")"
+
+echo "== /stats"
+"$workdir/queryctl" -remote "$base" -stats
+
+echo "== drain (SIGINT)"
+kill -INT "$daemon_pid"
+wait "$daemon_pid" || {
+	echo "queryd exited non-zero on drain:" >&2
+	cat "$logfile" >&2
+	exit 1
+}
+daemon_pid=""
+grep -q "drained" "$logfile" || {
+	echo "queryd never reported a clean drain:" >&2
+	cat "$logfile" >&2
+	exit 1
+}
+
+echo "SMOKE-SERVE PASSED"
