@@ -39,18 +39,18 @@ bench:
 
 ## bench-smoke: run every benchmark exactly once — catches bit-rotted
 ## benchmark code without paying for real measurements — then regenerate
-## the deterministic E13/E15 counters and gate them against the committed
+## the deterministic E13/E15/E16 counters and gate them against the committed
 ## baseline: any counter more than 10% worse than bench/baseline.jsonl
 ## fails the target (and with it ./scripts/check.sh).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchrepro -only e13,e15 -json bench/current.jsonl > /dev/null
+	$(GO) run ./cmd/benchrepro -only e13,e15,e16 -json bench/current.jsonl > /dev/null
 	./scripts/benchcmp.sh -gate 10 bench/baseline.jsonl bench/current.jsonl
 
 ## bench-baseline: re-bless the counters the bench-smoke gate compares
 ## against (commit the result deliberately, with the change that moved them)
 bench-baseline:
-	$(GO) run ./cmd/benchrepro -only e13,e15 -json bench/baseline.jsonl > /dev/null
+	$(GO) run ./cmd/benchrepro -only e13,e15,e16 -json bench/baseline.jsonl > /dev/null
 
 ## repro: regenerate every paper figure and experiment table
 repro:

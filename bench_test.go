@@ -943,3 +943,125 @@ func BenchmarkE8EmptinessTest(b *testing.B) {
 		})
 	}
 }
+
+// --- E16: columnar batch execution (DESIGN.md §9) -----------------------------
+
+// drainBatch builds and exhausts the plan's block iterator directly,
+// mirroring drainPlan on the batch executor so the pair isolates the
+// per-tuple iteration overhead the blocks amortize.
+func drainBatch(b *testing.B, cat *storage.Catalog, plan algebra.Plan, parallelism, batch int) {
+	var total exec.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext(cat)
+		ctx.Parallelism = parallelism
+		ctx.BatchSize = batch
+		it, err := exec.BuildBatch(ctx, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it.Open()
+		rows := 0
+		for bt, ok := it.NextBatch(); ok; bt, ok = it.NextBatch() {
+			rows += len(bt.Tuples)
+		}
+		it.Close()
+		if rows == 0 {
+			b.Fatal("benchmark plan produced no rows")
+		}
+		total.Add(*ctx.Stats)
+	}
+	b.StopTimer()
+	reportStats(b, total)
+	b.ReportMetric(float64(total.BatchesEmitted)/float64(b.N), "batches/op")
+}
+
+// runConcurrentBatchMemo is runConcurrentMemo's single-flight half with a
+// configurable partition fan-out, pairing a serial elected producer against
+// one whose partition workers fill the shared spool in parallel.
+func runConcurrentBatchMemo(b *testing.B, cat *storage.Catalog, plan algebra.Plan, c, parallelism int) {
+	var total exec.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo := exec.NewMemo(0)
+		ctxs := make([]*exec.Context, c)
+		var wg sync.WaitGroup
+		errs := make([]error, c)
+		for g := 0; g < c; g++ {
+			g := g
+			ctxs[g] = exec.NewContext(cat)
+			ctxs[g].Memo = memo
+			ctxs[g].Parallelism = parallelism
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, errs[g] = exec.Run(ctxs[g], plan)
+			}()
+		}
+		wg.Wait()
+		for g := 0; g < c; g++ {
+			if errs[g] != nil {
+				b.Fatal(errs[g])
+			}
+			total.Add(*ctxs[g].Stats)
+		}
+	}
+	b.StopTimer()
+	reportStats(b, total)
+	b.ReportMetric(float64(total.BatchesEmitted)/float64(b.N), "batches/op")
+}
+
+// BenchmarkE16BatchExecution is the acceptance pair for the columnar batch
+// executor. The E12 join workloads are drained tuple-at-a-time and in
+// blocks of 64 and 1024, serial and partitioned: the gate is block 1024 at
+// ≥2× over tuple-at-a-time on at least one serial workload, with the
+// parallel pairs no worse. The single-flight pair compares a serial
+// elected producer against parallel partitioned producers filling the
+// shared spool under four concurrent cold consumers.
+func BenchmarkE16BatchExecution(b *testing.B) {
+	p := dataset.DefaultUniversity(50000)
+	p.Lectures = 40
+	p.AttendProb = 0.03
+	cat := dataset.University(p)
+	member, _ := cat.Relation("member")
+	skill, _ := cat.Relation("skill")
+	att, _ := cat.Relation("attends")
+	lec, _ := cat.Relation("cs_lecture")
+	plans := []struct {
+		name string
+		plan algebra.Plan
+	}{
+		{"join/member-skill", &algebra.Join{
+			Left:  algebra.NewScan("member", member.Schema()),
+			Right: algebra.NewScan("skill", skill.Schema()),
+			On:    []algebra.ColPair{{Left: 0, Right: 0}},
+		}},
+		{"semijoin/attends-cs", &algebra.SemiJoin{
+			Left:  algebra.NewScan("attends", att.Schema()),
+			Right: algebra.NewScan("cs_lecture", lec.Schema()),
+			On:    []algebra.ColPair{{Left: 1, Right: 0}},
+		}},
+	}
+	for _, pl := range plans {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/parallel=%d/tuple", pl.name, par), func(b *testing.B) {
+				drainPlan(b, cat, pl.plan, par)
+			})
+			for _, bs := range []int{64, 1024} {
+				b.Run(fmt.Sprintf("%s/parallel=%d/block=%d", pl.name, par, bs), func(b *testing.B) {
+					drainBatch(b, cat, pl.plan, par, bs)
+				})
+			}
+		}
+	}
+
+	// Single-flight producer pair: the shared subtree IS the partitioned
+	// join, so the fan-out affects exactly the elected producer's spool
+	// fill — consumers stream published blocks either way.
+	shared := algebra.NewShared(plans[0].plan)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("single-flight/c=4/producer-parallel=%d", par), func(b *testing.B) {
+			runConcurrentBatchMemo(b, cat, shared, 4, par)
+		})
+	}
+}

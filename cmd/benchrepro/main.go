@@ -7,7 +7,7 @@
 // Usage:
 //
 //	benchrepro             # everything
-//	benchrepro -only fig4      # one artifact: fig1..fig4, e1..e15
+//	benchrepro -only fig4      # one artifact: fig1..fig4, e1..e16
 //	benchrepro -only e13,e15   # a comma-separated subset
 //	benchrepro -parallel 4 # run the query artifacts on the partitioned executor
 //	benchrepro -json out.jsonl  # also write every table row as a JSON line
@@ -46,7 +46,7 @@ var parallelism = 1
 var jsonOut *os.File
 
 func main() {
-	only := flag.String("only", "", "restrict to a comma-separated list of artifacts: fig1..fig4, e1..e15")
+	only := flag.String("only", "", "restrict to a comma-separated list of artifacts: fig1..fig4, e1..e16")
 	flag.IntVar(&parallelism, "parallel", 1, "partition fan-out of the hash-join family (1 = serial)")
 	jsonPath := flag.String("json", "", "also append every table row as a JSON line to this file")
 	flag.Parse()
@@ -83,6 +83,7 @@ func main() {
 		{"e13", e13, "E13 — memoizing subplan cache on wide disjunctions (union strategy)"},
 		{"e14", e14, "E14 — resource governor: overhead parity, budget trips, degradation"},
 		{"e15", e15, "E15 — single-flight shared-spool evaluation under concurrent queries"},
+		{"e16", e16, "E16 — columnar batch execution: block-size parity and parallel spool producers"},
 	}
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -188,7 +189,11 @@ type jsonRow struct {
 	TuplesSpooled     int64  `json:"cache_tuples_spooled"`
 	DuplicatesAvoided int64  `json:"cache_duplicates_avoided"`
 	SpoolsAbandoned   int64  `json:"cache_spools_abandoned"`
-	Result            string `json:"result"`
+	// BatchesEmitted is deterministic for a fixed configuration (see
+	// exec.Stats); AvgBatchFill is a derived gauge the gate ignores.
+	BatchesEmitted int64   `json:"batches_emitted"`
+	AvgBatchFill   float64 `json:"avg_batch_fill"`
+	Result         string  `json:"result"`
 }
 
 func writeJSONRow(header string, r row) {
@@ -208,6 +213,8 @@ func writeJSONRow(header string, r row) {
 		TuplesSpooled:     r.stats.CacheTuplesSpooled,
 		DuplicatesAvoided: r.stats.CacheDuplicatesAvoided,
 		SpoolsAbandoned:   r.stats.CacheSpoolsAbandoned,
+		BatchesEmitted:    r.stats.BatchesEmitted,
+		AvgBatchFill:      fillOf(r.stats),
 		Result:            r.extra,
 	})
 	if err != nil {
@@ -822,4 +829,108 @@ func e15() {
 			func(int) *core.Engine { return one }),
 	}
 	printTable("single-flight shared spools, E13 workload, 6 concurrent cold queries", rows)
+}
+
+// fillOf derives the average block fill of one stats record (0 when the
+// tuple-at-a-time executor ran).
+func fillOf(st exec.Stats) float64 {
+	if st.BatchesEmitted == 0 {
+		return 0
+	}
+	return float64(st.BatchTuples) / float64(st.BatchesEmitted)
+}
+
+// e16 pins the columnar batch executor on deterministic counters (wall
+// clock lives in go test -bench E16). First half: the E12 workload runs
+// serially under block capacities off/1/64/1024 — every logical counter is
+// identical across the four rows, only batches_emitted and the fill gauge
+// move, which is the batch executor's correctness contract. Second half:
+// the E15 single-flight workload runs with the elected producer's
+// partition workers filling the shared spool in parallel; the logical
+// counters (after the e15-style hit/duplicate fold) match the serial-
+// producer run, and batches_emitted stays deterministic because only
+// producing operators count blocks (replay and single-flight consumption
+// do not).
+func e16() {
+	p := dataset.DefaultUniversity(3000)
+	p.Lectures = 60
+	p.AttendProb = 0.1
+	cat := dataset.University(p)
+	db := core.NewDB()
+	for _, name := range cat.Names() {
+		r, _ := cat.Relation(name)
+		db.Catalog().Add(r)
+	}
+	q := `{ x, z | member(x, z) and not skill(x, "db") and exists y: cs_lecture(y) and attends(x, y) }`
+	var rows []row
+	for _, bs := range []int{-1, 1, 64, 1024} {
+		label := fmt.Sprintf("batch=%d", bs)
+		if bs < 0 {
+			label = "batch=off (tuple-at-a-time)"
+		}
+		eng := core.NewEngine(db, core.WithBatchSize(bs))
+		res, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{label: label, stats: res.Stats,
+			extra: fmt.Sprintf("%d rows, batches=%d fill=%.1f",
+				res.Rows.Len(), res.Stats.BatchesEmitted, fillOf(res.Stats))})
+	}
+	printTable("batch-size counter parity, E12 workload, 3000 students", rows)
+	fmt.Println()
+
+	// Parallel partitioned producers under single-flight sharing: 6
+	// concurrent cold queries of the E13 workload against one shared memo,
+	// with the join family partitioned 4 ways. The elected producer streams
+	// its partition outputs into the shared spool as workers finish.
+	pcat := dataset.PTU(dataset.PTUParams{N: 4000, TProb: 0.5, UProb: 0.1, ExtraShare: 0.05, Branches: 5, Seed: 13})
+	pdb := core.NewDB()
+	for _, name := range pcat.Names() {
+		r, _ := pcat.Relation(name)
+		pdb.Catalog().Add(r)
+	}
+	pq := `{ x | P(x) and T(x) and (U(x) or T2(x) or T3(x) or T4(x)) }`
+	const n = 6
+	runConcurrent := func(label string, par int) row {
+		eng := core.NewEngine(pdb,
+			core.WithDisjunctiveFilters(translate.StrategyUnion),
+			core.WithPlanCache(0),
+			core.WithParallelism(par),
+		)
+		results := make([]*core.Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				results[i], errs[i] = eng.Query(pq)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		var agg exec.Stats
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				log.Fatalf("%s run %d: %v", label, i, errs[i])
+			}
+			agg.Add(results[i].Stats)
+		}
+		// Streaming vs replaying is scheduling-dependent; fold as in e15.
+		shared := agg.CacheHits + agg.CacheDuplicatesAvoided
+		agg.CacheHits = shared
+		agg.CacheDuplicatesAvoided = 0
+		return row{label: label, stats: agg,
+			extra: fmt.Sprintf("%d rows each, shared=%d batches=%d fill=%.1f",
+				results[0].Rows.Len(), shared, agg.BatchesEmitted, fillOf(agg))}
+	}
+	printTable("parallel partitioned producers, E13 workload, 6 concurrent cold queries",
+		[]row{
+			runConcurrent("serial producer (parallel=1)", 1),
+			runConcurrent("parallel producers (parallel=4)", 4),
+		})
 }

@@ -18,8 +18,9 @@ import (
 //     map (nested group tables).
 //
 // The dominance requirement is approximated per enclosing function: some
-// call to the charge family (Governor.charge/chargeOp, Context.chargeTuple/
-// chargeBatch/chargeN/ChargeTuple) must appear in the same top-level
+// call to the charge family (Governor.charge/chargeOp/ChargeTuples/
+// ChargeBytesN, Context.chargeTuple/chargeBatch/chargeN/ChargeTuple) must
+// appear in the same top-level
 // function as the materialization — closures included, since emit-style
 // helpers capture the worker context. Buffers charged by their caller (the
 // shared tupleSet, the memo spool's append half) carry a justified
@@ -44,6 +45,9 @@ var chargeFamily = map[string]bool{
 	"chargeN":     true,
 	"ChargeTuple": true,
 	"ChargeBatch": true,
+	// Bulk (block-granular) governor entry points of the batch executor.
+	"ChargeTuples": true,
+	"ChargeBytesN": true,
 }
 
 func runGovCharge(pass *Pass) error {

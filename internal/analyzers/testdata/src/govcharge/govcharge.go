@@ -14,6 +14,14 @@ type Context struct{ gov *Governor }
 
 func (c *Context) chargeTuple(op string, t Tuple) bool { return c.gov.charge(len(t)) }
 
+// Bulk (block-granular) entry points mirroring the batch executor's.
+func (g *Governor) ChargeTuples(op string, n int64) bool { g.budget -= int(n); return g.budget >= 0 }
+
+func (g *Governor) ChargeBytesN(op string, n, bytes int64) bool {
+	g.budget -= int(n)
+	return g.budget >= 0
+}
+
 // governedAppend charges before retaining: no finding.
 func governedAppend(c *Context, out []Tuple, t Tuple) []Tuple {
 	if !c.chargeTuple("append", t) {
@@ -42,6 +50,29 @@ func governedInsert(c *Context, set map[string]Tuple, k string, t Tuple) {
 // plainStrings buffers non-tuple data: exempt by design.
 func plainStrings(out []string, s string) []string {
 	return append(out, s)
+}
+
+// governedBlockAppend bulk-charges a whole block before retaining it: the
+// batch executor's amortized pattern, recognized as governed.
+func governedBlockAppend(g *Governor, out []Tuple, block []Tuple) []Tuple {
+	if !g.ChargeTuples("block-append", int64(len(block))) {
+		return out
+	}
+	return append(out, block...)
+}
+
+// governedBlockBytes uses the byte-accounting bulk entry point: no finding.
+func governedBlockBytes(g *Governor, out []Tuple, block []Tuple) []Tuple {
+	if !g.ChargeBytesN("block-append", int64(len(block)), 64*int64(len(block))) {
+		return out
+	}
+	return append(out, block...)
+}
+
+// ungovernedBlockAppend grows a spool by whole blocks with no charge: the
+// batch-executor bug class this analyzer must keep catching.
+func ungovernedBlockAppend(out []Tuple, block []Tuple) []Tuple {
+	return append(out, block...) // want `append to a tuple buffer in ungovernedBlockAppend is not governed`
 }
 
 // callerCharged is the documented caller-pays pattern: suppressed.

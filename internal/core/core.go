@@ -120,7 +120,11 @@ type Engine struct {
 	topts       translate.Options
 	useIndexes  bool
 	parallelism int
-	timeout     time.Duration
+	// batchSize is the block capacity of the batch executor: 0 selects the
+	// default (exec.DefaultBatchSize), negative the tuple-at-a-time
+	// executor, positive an explicit capacity (WithBatchSize).
+	batchSize int
+	timeout   time.Duration
 	// memo is the plan-cache result memo (WithPlanCache); nil disables
 	// caching. It persists across Query/Check/Run calls, so repeated
 	// queries — the integrity-check workload — replay warm entries.
@@ -292,6 +296,7 @@ func (e *Engine) execContext(goCtx context.Context) (*exec.Context, context.Canc
 	ctx := exec.NewContext(e.db.cat)
 	ctx.UseIndexes = e.useIndexes
 	ctx.Parallelism = e.parallelism
+	ctx.BatchSize = e.batchSize
 	ctx.Memo = e.memo
 	tl, mb := e.tupleLimit, e.memBudget
 	if l, ok := queryLimits(goCtx); ok {
@@ -498,6 +503,7 @@ func (e *Engine) ExplainCost(input string) (string, error) {
 	}
 	m := cost.New(e.db.cat)
 	m.SetParallelism(e.Parallelism())
+	m.SetBatchSize(e.resolvedBatchSize())
 	out := "canonical: " + p.Canonical.String() + "\n"
 	if p.Plan != nil {
 		annotated, err := m.Explain(p.Plan)

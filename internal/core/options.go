@@ -51,6 +51,21 @@ func WithParallelism(p int) Option {
 	}
 }
 
+// WithBatchSize sets the block capacity of the batch (block-at-a-time)
+// executor used by Run/Query/Check executions. Zero — the default — selects
+// the default capacity (exec.DefaultBatchSize); any negative value selects
+// the classic tuple-at-a-time executor; a positive value selects that exact
+// capacity. Streaming executions and boolean (emptiness) probes always run
+// tuple-at-a-time regardless, since early termination dominates there.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = -1
+		}
+		e.batchSize = n
+	}
+}
+
 // WithPlanCache enables the memoizing subplan cache: PrepareQuery wraps
 // repeated subtrees (and plan roots) in Shared references, and executions
 // resolve them against an engine-held result memo bounded to budget buffered
@@ -174,6 +189,30 @@ func (e *Engine) Parallelism() int {
 		return 1
 	}
 	return e.parallelism
+}
+
+// BatchSize returns the configured block capacity of the batch executor:
+// 0 = default (exec.DefaultBatchSize), -1 = tuple-at-a-time, otherwise the
+// explicit capacity.
+func (e *Engine) BatchSize() int {
+	if e.batchSize < 0 {
+		return -1
+	}
+	return e.batchSize
+}
+
+// resolvedBatchSize is the effective block capacity as the executor will
+// see it: the default resolves to exec.DefaultBatchSize, tuple-at-a-time
+// to 1 (per-tuple bookkeeping, for the cost model's amortization).
+func (e *Engine) resolvedBatchSize() int {
+	switch {
+	case e.batchSize < 0:
+		return 1
+	case e.batchSize == 0:
+		return exec.DefaultBatchSize
+	default:
+		return e.batchSize
+	}
 }
 
 // Timeout returns the engine-level execution bound (0 = none).

@@ -13,7 +13,9 @@ package core
 // SnapshotVersion is the schema version stamped into every Snapshot. Bump
 // it whenever a field is added, renamed, or changes meaning, so persisted
 // snapshots (load-test records, committed baselines) stay interpretable.
-const SnapshotVersion = 1
+// Version 2 added the batch-executor surface: batches_emitted (counter) and
+// avg_batch_fill (gauge).
+const SnapshotVersion = 2
 
 // Snapshot is a point-in-time view of one Engine: the cumulative execution
 // counters folded from every run since construction, the cumulative
@@ -41,6 +43,14 @@ type Snapshot struct {
 	Materializations   int64 `json:"materializations"`
 	OutputTuples       int64 `json:"output_tuples"`
 	PartitionsExecuted int64 `json:"partitions_executed"`
+	// BatchesEmitted counts blocks emitted by producing batch operators (0
+	// on tuple-at-a-time runs). Memo replay and single-flight consumption
+	// are excluded, keeping the counter deterministic under concurrency.
+	BatchesEmitted int64 `json:"batches_emitted"`
+	// AvgBatchFill is the cumulative average tuples per emitted block — a
+	// derived gauge (0 when no blocks were emitted); Diff keeps the
+	// receiver's value.
+	AvgBatchFill float64 `json:"avg_batch_fill"`
 
 	// Plan-cache counters.
 	CacheHits              int64 `json:"cache_hits"`
@@ -88,6 +98,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Materializations:   cum.Materializations,
 		OutputTuples:       cum.OutputTuples,
 		PartitionsExecuted: cum.PartitionsExecuted,
+		BatchesEmitted:     cum.BatchesEmitted,
 
 		CacheHits:              cum.CacheHits,
 		CacheMisses:            cum.CacheMisses,
@@ -100,6 +111,9 @@ func (e *Engine) Snapshot() Snapshot {
 		PanicsRecovered:   cum.PanicsRecovered,
 		LimitsTripped:     cum.LimitsTripped,
 		DegradedEvictions: cum.DegradedEvictions,
+	}
+	if cum.BatchesEmitted > 0 {
+		s.AvgBatchFill = float64(cum.BatchTuples) / float64(cum.BatchesEmitted)
 	}
 	if e.memo != nil {
 		s.CacheEnabled = true
@@ -125,6 +139,8 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	d.Materializations -= prev.Materializations
 	d.OutputTuples -= prev.OutputTuples
 	d.PartitionsExecuted -= prev.PartitionsExecuted
+	// AvgBatchFill is a gauge: Diff keeps the receiver's value.
+	d.BatchesEmitted -= prev.BatchesEmitted
 	d.CacheHits -= prev.CacheHits
 	d.CacheMisses -= prev.CacheMisses
 	d.CacheTuplesReplayed -= prev.CacheTuplesReplayed

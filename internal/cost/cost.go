@@ -47,6 +47,10 @@ type Model struct {
 	// family's build+probe work divides across partitions, at the price of
 	// a sequential scatter pass over both inputs.
 	parallelism float64
+	// batch mirrors the executor's block capacity (SetBatchSize): per-tuple
+	// iteration bookkeeping divides by it, so block execution discounts the
+	// probe schema's bookkeeping share ~1000× at the default capacity.
+	batch float64
 }
 
 // Heuristic selectivities for predicates whose exact value the model does
@@ -60,11 +64,18 @@ const (
 	// partitionShare is the per-tuple cost of the parallel executor's
 	// scatter pass relative to a build/probe step: a bare hash and append.
 	partitionShare = 0.25
+	// blockOverhead is the iteration bookkeeping a probe step carries —
+	// cancellation poll, fault hook, governor charge — relative to the step
+	// itself. The tuple executor pays it per tuple; the batch executor pays
+	// it once per block, so the modelled term is blockOverhead/batch per
+	// tuple: ~2.4e-4 at the default block capacity, visible in EXPLAIN but
+	// far too small to reorder translation strategies (E11).
+	blockOverhead = 0.25
 )
 
-// New builds a model over the catalog (serial executor).
+// New builds a model over the catalog (serial tuple-at-a-time executor).
 func New(cat *storage.Catalog) *Model {
-	return &Model{cat: cat, distinct: make(map[string][]float64), parallelism: 1}
+	return &Model{cat: cat, distinct: make(map[string][]float64), parallelism: 1, batch: 1}
 }
 
 // SetParallelism tells the model the executor's partition fan-out, so the
@@ -74,6 +85,16 @@ func (m *Model) SetParallelism(p int) {
 		p = 1
 	}
 	m.parallelism = float64(p)
+}
+
+// SetBatchSize tells the model the executor's block capacity, amortizing
+// the probe schema's per-tuple bookkeeping term across it. Values below 2
+// (including the tuple-at-a-time executor's) keep the per-tuple charge.
+func (m *Model) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.batch = float64(n)
 }
 
 // Estimate walks the plan bottom-up. Each call prices the plan standalone:
@@ -288,11 +309,14 @@ func (m *Model) pair(l, r algebra.Plan, seen map[uint64]bool) (Estimate, Estimat
 // sequential scatter pass over both inputs.
 func (m *Model) probeCost(l, r Estimate, probeShare float64) float64 {
 	build, probe := r.Rows, l.Rows*probeShare
+	// Iteration bookkeeping: per tuple under the tuple executor (batch=1),
+	// per block — i.e. divided by the block capacity — under the batch one.
+	keeping := (build + probe) * blockOverhead / m.batch
 	if m.parallelism > 1 {
 		scatter := (l.Rows + r.Rows) * partitionShare
-		return l.Cost + r.Cost + scatter + (build+probe)/m.parallelism
+		return l.Cost + r.Cost + scatter + (build+probe)/m.parallelism + keeping
 	}
-	return l.Cost + r.Cost + build + probe
+	return l.Cost + r.Cost + build + probe + keeping
 }
 
 // joinRows estimates equi-join output with the standard V(distinct)

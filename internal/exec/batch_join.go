@@ -1,0 +1,427 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// This file implements the batch executor for the hash-join family
+// (⋈, ⋉, ⊼, ⟕, ⟕⊥): a serial block-at-a-time join whose build side uses the
+// same hash-chained table as the partition workers (64-bit HashCols keys,
+// EqualOn verification — no per-probe string key allocations, unlike the
+// serial tuple path's hashTable), and a streaming version of the
+// partition-parallel executor whose workers publish per-partition outputs
+// through per-partition done channels, so downstream operators — in
+// particular a memo producer filling a shared spool — consume partition 0's
+// blocks while later partitions are still running. Stats parity with the
+// tuple executor is deliberate and test-enforced: one HashInsert and one
+// IntermediateTuple per build tuple, one Comparison per probe, residual
+// comparisons per examined pair.
+
+// chainedTable is the serial batch build table: tuples chained per 64-bit
+// key hash through a flat next-index slice (head holds 1-based indexes; 0 is
+// "no entry"), exactly the runPartition layout. It implements prober, so the
+// batch join runs unchanged over a persistent catalog index instead.
+type chainedTable struct {
+	cols    []int
+	tuples  []relation.Tuple
+	head    map[uint64]int32
+	next    []int32
+	scratch []relation.Tuple
+}
+
+// buildChainedTable drains the right input block-at-a-time, charging the
+// governor once per block ("join-build", matching the tuple path's op name)
+// and the stats per build tuple.
+func buildChainedTable(ctx *Context, in BatchIterator, keyCols []int) *chainedTable {
+	h := &chainedTable{cols: keyCols}
+	var hashes []uint64
+	in.Open()
+	for {
+		b, ok := in.NextBatch()
+		if !ok || !ctx.chargeBatch("join-build", b.Tuples) {
+			break
+		}
+		for _, t := range b.Tuples {
+			h.tuples = append(h.tuples, t)
+			hashes = append(hashes, t.HashCols(keyCols))
+		}
+		ctx.Stats.HashInserts += int64(len(b.Tuples))
+		ctx.Stats.IntermediateTuples += int64(len(b.Tuples))
+	}
+	h.head = make(map[uint64]int32, len(h.tuples))
+	h.next = make([]int32, len(h.tuples))
+	for i, hh := range hashes {
+		h.next[i] = h.head[hh]
+		h.head[hh] = int32(i + 1)
+	}
+	return h
+}
+
+// probe returns the build tuples whose key columns equal the left tuple's,
+// charging one comparison for the lookup. The chain links newest-first;
+// scratch reverses it back to build order so emission order matches both
+// the serial tuple executor and the partition workers. The returned slice
+// is scratch: valid until the next probe.
+func (h *chainedTable) probe(ctx *Context, t relation.Tuple, keyCols []int) []relation.Tuple {
+	ctx.Stats.Comparisons++
+	hh := t.HashCols(keyCols)
+	h.scratch = h.scratch[:0]
+	for j := h.head[hh]; j != 0; j = h.next[j-1] {
+		if t.EqualOn(keyCols, h.tuples[j-1], h.cols) {
+			//lint:ignore govcharge transient probe scratch aliasing build tuples already charged at build time, reset per probe
+			h.scratch = append(h.scratch, h.tuples[j-1])
+		}
+	}
+	for i, j := 0, len(h.scratch)-1; i < j; i, j = i+1, j-1 {
+		h.scratch[i], h.scratch[j] = h.scratch[j], h.scratch[i]
+	}
+	return h.scratch
+}
+
+// batchProberSpec defers the probing-side realization to Open, mirroring
+// proberSpec: either a persistent catalog index or a chained table built
+// from the batch right input.
+type batchProberSpec struct {
+	ctx  *Context
+	cols []int
+	// exactly one of the two is set
+	index     *indexProber
+	rightIter BatchIterator
+}
+
+func (s *batchProberSpec) open() prober {
+	if s.index != nil {
+		return s.index
+	}
+	return buildChainedTable(s.ctx, s.rightIter, s.cols)
+}
+
+func (s *batchProberSpec) close() {
+	if s.rightIter != nil {
+		s.rightIter.Close()
+	}
+}
+
+// batchJoinIter executes every serial join-family member block-at-a-time:
+// pull a left block, probe each tuple, densify the outputs into full
+// blocks. One iterator covers all five kinds — the per-kind emission logic
+// mirrors runPartition tuple for tuple.
+type batchJoinIter struct {
+	ctx  *Context
+	spec joinSpec
+	left BatchIterator
+	ps   *batchProberSpec
+	lk   []int
+	bs   int
+
+	table   prober
+	pending []relation.Tuple // current left block
+	ppos    int
+	cur     relation.Tuple   // left tuple whose matches are mid-flush (⋈, ⟕)
+	matches []relation.Tuple // its remaining probe matches
+	mpos    int
+	nulls   relation.Tuple // ⟕ padding
+	out     []relation.Tuple
+	batch   Batch
+}
+
+func (it *batchJoinIter) Open() {
+	it.table = it.ps.open()
+	it.left.Open()
+	if it.spec.kind == kindOuterJoin {
+		it.nulls = make(relation.Tuple, it.spec.rightArity)
+		for i := range it.nulls {
+			it.nulls[i] = relation.Null()
+		}
+	}
+	it.out = make([]relation.Tuple, 0, it.bs)
+}
+
+func (it *batchJoinIter) NextBatch() (*Batch, bool) {
+	// Weighted by the block about to be assembled, so a join emitting full
+	// blocks polls the context at the same per-tuple rate the serial
+	// executor does.
+	if it.ctx.interruptedN(it.bs) {
+		return nil, false
+	}
+	it.out = it.out[:0]
+	for len(it.out) < it.bs {
+		// Flush pending matches of the current left tuple first. matches
+		// aliases the prober's scratch, which is only overwritten by the
+		// next probe — after the flush completes.
+		if it.mpos < len(it.matches) {
+			r := it.matches[it.mpos]
+			it.mpos++
+			joined := it.cur.Concat(r)
+			if it.spec.residual != nil {
+				ok, c := it.spec.residual.Eval(joined)
+				it.ctx.Stats.Comparisons += int64(c)
+				if !ok {
+					continue
+				}
+			}
+			it.emit(joined)
+			continue
+		}
+		if it.ppos >= len(it.pending) {
+			b, ok := it.left.NextBatch()
+			if !ok {
+				break
+			}
+			it.pending, it.ppos = b.Tuples, 0
+		}
+		t := it.pending[it.ppos]
+		it.ppos++
+		switch it.spec.kind {
+		case kindJoin:
+			it.cur = t
+			it.matches = it.table.probe(it.ctx, t, it.lk)
+			it.mpos = 0
+		case kindSemiJoin:
+			if len(it.table.probe(it.ctx, t, it.lk)) > 0 {
+				it.emit(t)
+			}
+		case kindComplementJoin:
+			if len(it.table.probe(it.ctx, t, it.lk)) == 0 {
+				it.emit(t)
+			}
+		case kindOuterJoin:
+			it.cur = t
+			it.matches = it.table.probe(it.ctx, t, it.lk)
+			it.mpos = 0
+			if len(it.matches) == 0 {
+				it.emit(t.Concat(it.nulls))
+			}
+		case kindConstrainedOuterJoin:
+			// The 'const' gate reads flag columns the tuple already carries:
+			// no probe, no comparison charged (mirrors cojIter).
+			if !it.spec.coj.ConstraintHolds(t) {
+				it.emit(t.Append(relation.Null()))
+				continue
+			}
+			if len(it.table.probe(it.ctx, t, it.lk)) > 0 {
+				it.emit(t.Append(relation.Mark()))
+			} else {
+				it.emit(t.Append(relation.Null()))
+			}
+		}
+	}
+	if len(it.out) == 0 {
+		return nil, false
+	}
+	it.ctx.noteBatch(len(it.out))
+	it.batch.Tuples = it.out
+	return &it.batch, true
+}
+
+// emit appends one output tuple to the streaming block. The serial tuple
+// executor charges join outputs only at the root ("output"), so emit does
+// not charge either — governor parity between the two paths.
+func (it *batchJoinIter) emit(t relation.Tuple) {
+	//lint:ignore govcharge fixed-capacity streaming block bounded by the batch size, reused every NextBatch — not a materialization
+	it.out = append(it.out, t)
+}
+
+func (it *batchJoinIter) Close() { it.left.Close(); it.ps.close() }
+
+// buildJoinLikeBatch mirrors buildJoinLike's strategy choice for the batch
+// executor: persistent index, partition-parallel, else serial chained table.
+func buildJoinLikeBatch(ctx *Context, spec joinSpec) (BatchIterator, error) {
+	lk, rk := splitPairs(spec.on)
+	if ctx.UseIndexes {
+		if ip := indexProberFor(ctx, spec.right, rk); ip != nil {
+			l, err := BuildBatch(ctx, spec.left)
+			if err != nil {
+				return nil, err
+			}
+			return &batchJoinIter{ctx: ctx, spec: spec, left: l, ps: &batchProberSpec{ctx: ctx, cols: rk, index: ip}, lk: lk, bs: ctx.blockSize()}, nil
+		}
+	}
+	if ctx.parallelism() > 1 {
+		l, r, err := buildBatchPair(ctx, spec.left, spec.right)
+		if err != nil {
+			return nil, err
+		}
+		return &batchParallelJoinIter{ctx: ctx, spec: spec, left: l, right: r, lk: lk, rk: rk, bs: ctx.blockSize()}, nil
+	}
+	l, err := BuildBatch(ctx, spec.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := BuildBatch(ctx, spec.right)
+	if err != nil {
+		return nil, err
+	}
+	return &batchJoinIter{ctx: ctx, spec: spec, left: l, ps: &batchProberSpec{ctx: ctx, cols: rk, rightIter: r}, lk: lk, bs: ctx.blockSize()}, nil
+}
+
+// batchParallelJoinIter is the streaming partition-parallel join. Open
+// drains and scatters both inputs (single-threaded, like parallelJoinIter)
+// and starts one runPartition worker per partition — but unlike the tuple
+// executor it does NOT wait for them: NextBatch streams partition outputs
+// in partition-index order, blocking only on the per-partition done channel
+// of the partition it is currently slicing. A downstream memo producer
+// therefore appends partition 0's blocks to the shared spool while
+// partitions 1..p-1 are still computing — the elected producer's workers
+// fill the spool in parallel — and the partition-index order keeps the
+// spool prefix deterministic, which re-election after a producer death
+// relies on.
+type batchParallelJoinIter struct {
+	ctx         *Context
+	spec        joinSpec
+	left, right BatchIterator
+	lk, rk      []int
+	bs          int
+
+	p        int
+	outs     [][]relation.Tuple
+	done     []chan struct{}
+	workers  []*Context
+	panics   []*PanicError
+	absorbed []bool
+	wg       sync.WaitGroup
+	started  bool
+	panicked bool
+	part     int
+	pos      int
+	batch    Batch
+}
+
+func (it *batchParallelJoinIter) Open() {
+	p := it.ctx.parallelism()
+	it.p = p
+
+	// Phase 1 — partition (parent goroutine), block-at-a-time.
+	rparts := batchDrainPartitions(it.ctx, it.right, it.rk, p)
+	lparts := batchDrainPartitions(it.ctx, it.left, it.lk, p)
+
+	// Phase 2 — per-partition build+probe on worker goroutines with private
+	// stats shards. Each worker signals its own done channel; nobody waits
+	// for the full fan-in before streaming.
+	it.outs = make([][]relation.Tuple, p)
+	it.done = make([]chan struct{}, p)
+	it.workers = make([]*Context, p)
+	it.panics = make([]*PanicError, p)
+	it.absorbed = make([]bool, p)
+	for i := 0; i < p; i++ {
+		w := it.ctx.fork()
+		it.workers[i] = w
+		it.done[i] = make(chan struct{})
+		it.wg.Add(1)
+		go func(i int, w *Context) {
+			defer it.wg.Done()
+			// Deferred LIFO: the recover below runs first, so panics[i] is
+			// published before done[i] closes and the streaming goroutine
+			// never reads a half-set slot.
+			defer close(it.done[i])
+			defer func() {
+				if r := recover(); r != nil {
+					it.panics[i] = CapturePanic(r, "partition-worker")
+				}
+			}()
+			it.outs[i] = runPartition(w, it.spec, lparts[i], rparts[i], it.lk, it.rk)
+		}(i, w)
+	}
+	it.started = true
+	it.part, it.pos = 0, 0
+}
+
+func (it *batchParallelJoinIter) NextBatch() (*Batch, bool) {
+	if it.ctx.interruptedN(it.bs) {
+		return nil, false
+	}
+	for it.part < it.p {
+		if !it.absorbed[it.part] {
+			// Workers always terminate: they run over fully drained
+			// partitions and poll Interrupted, so this wait is bounded.
+			<-it.done[it.part]
+			it.ctx.absorb(it.workers[it.part])
+			it.absorbed[it.part] = true
+			if pe := it.panics[it.part]; pe != nil {
+				// Re-surface on the consuming goroutine after the remaining
+				// shards are absorbed, so no worker's stats are lost and the
+				// isolation boundary converts it to a typed error.
+				it.finish()
+				it.panicked = true
+				panic(pe)
+			}
+		}
+		o := it.outs[it.part]
+		if it.pos < len(o) {
+			end := it.pos + it.bs
+			if end > len(o) {
+				end = len(o)
+			}
+			ts := o[it.pos:end:end]
+			it.pos = end
+			it.ctx.noteBatch(len(ts))
+			it.batch.Tuples = ts
+			return &it.batch, true
+		}
+		it.part++
+		it.pos = 0
+	}
+	return nil, false
+}
+
+// finish waits for every worker and absorbs the shards not yet absorbed by
+// the streaming loop. Idempotent.
+func (it *batchParallelJoinIter) finish() {
+	it.wg.Wait()
+	for i := 0; i < it.p; i++ {
+		if !it.absorbed[i] {
+			it.ctx.absorb(it.workers[i])
+			it.absorbed[i] = true
+		}
+	}
+}
+
+func (it *batchParallelJoinIter) Close() {
+	it.left.Close()
+	it.right.Close()
+	if !it.started {
+		return
+	}
+	it.finish()
+	if it.panicked {
+		return // already re-surfaced from NextBatch; Close runs during unwind
+	}
+	// An early close (emptiness probe, cancelled run) may leave a captured
+	// worker panic unsurfaced: re-panic here so it still reaches the
+	// isolation boundary instead of being silently dropped. Run checks
+	// CancelErr before its deferred Close, so this is the last exit.
+	for _, pe := range it.panics {
+		if pe != nil {
+			it.panicked = true
+			panic(pe)
+		}
+	}
+}
+
+// batchDrainPartitions opens and drains a batch iterator, hashing each
+// tuple's key columns and scattering into p partitions, with the governor
+// charged once per block ("partition", matching the tuple path's op name).
+func batchDrainPartitions(ctx *Context, in BatchIterator, keyCols []int, p int) [][]keyed {
+	parts := make([][]keyed, p)
+	if hint := hintOfBatch(in); hint > 0 {
+		per := hint/p + hint/(4*p) + 8 // uniform share plus skew slack
+		for i := range parts {
+			parts[i] = make([]keyed, 0, per)
+		}
+	}
+	in.Open()
+	for {
+		b, ok := in.NextBatch()
+		if !ok || !ctx.chargeBatch("partition", b.Tuples) {
+			break
+		}
+		for _, t := range b.Tuples {
+			h := t.HashCols(keyCols)
+			i := int(h % uint64(p))
+			parts[i] = append(parts[i], keyed{t: t, h: h})
+		}
+	}
+	return parts
+}

@@ -69,6 +69,14 @@ type Context struct {
 	// engine uses GovernedCheckInterval) so abort latency stays
 	// tuple-bounded.
 	CheckInterval int
+	// BatchSize selects Run's executor. 0 (the default) drives the
+	// block-at-a-time executor at DefaultBatchSize; a positive value picks
+	// the block capacity; a negative value selects the classic
+	// tuple-at-a-time pipeline (batch-off parity runs, tuple-granular
+	// cancellation latency). EvalBool's emptiness probes and the engine's
+	// streaming path always run tuple-at-a-time: their point is early
+	// termination, which block accumulation would defeat.
+	BatchSize int
 
 	// goCtx is the cancellation source; nil means uncancellable.
 	goCtx context.Context
@@ -110,14 +118,22 @@ func (c *Context) AttachContext(ctx context.Context) { c.goCtx = ctx }
 // context cancellation (polled every checkInterval calls), a governor
 // budget trip, or an injected fault. Iterator hot loops call it once per
 // tuple; the sticky check is a single comparison.
-func (c *Context) Interrupted() bool {
+func (c *Context) Interrupted() bool { return c.interruptedN(1) }
+
+// interruptedN is Interrupted with a tick weight: a batch operator that is
+// about to process (or just processed) n tuples advances the poll counter
+// by n, so the CheckInterval cancellation-latency contract stays denominated
+// in tuples — not in calls — under block execution. A weight-n check before
+// emitting a block guarantees fewer than checkInterval tuples flow between
+// two real context polls, the same bound the per-tuple path provides.
+func (c *Context) interruptedN(n int) bool {
 	if c.cancelErr != nil {
 		return true
 	}
 	if c.goCtx == nil {
 		return false
 	}
-	c.ticks++
+	c.ticks += n
 	if c.ticks < c.checkInterval() {
 		return false
 	}
@@ -212,7 +228,7 @@ func (c *Context) chargeBatch(op string, ts []relation.Tuple) bool {
 }
 
 func (c *Context) chargeN(op string, n, bytes int64) bool {
-	evicted, err := c.Gov.charge(op, n, bytes)
+	evicted, err := c.Gov.ChargeBytesN(op, n, bytes)
 	c.Stats.DegradedEvictions += evicted
 	if err != nil {
 		// Charge once per context: sibling workers each record their own
@@ -252,6 +268,7 @@ func (c *Context) fork() *Context {
 		Gov:           c.Gov,
 		Faults:        c.Faults,
 		CheckInterval: c.CheckInterval,
+		BatchSize:     c.BatchSize,
 		execID:        c.execID,
 	}
 }
@@ -455,6 +472,9 @@ func buildPair(ctx *Context, l, r algebra.Plan) (Iterator, Iterator, error) {
 // (context.Canceled or context.DeadlineExceeded) instead of a partial
 // result.
 func Run(ctx *Context, p algebra.Plan) (*relation.Relation, error) {
+	if ctx.batchEnabled() {
+		return runBatched(ctx, p)
+	}
 	it, err := Build(ctx, p)
 	if err != nil {
 		return nil, err

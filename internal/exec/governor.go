@@ -124,6 +124,24 @@ func (g *Governor) charge(op string, n, b int64) (evicted int64, err error) {
 	return evicted, g.trip(&ResourceError{Limit: "memory", Operator: op, Used: by, Budget: g.memBudget})
 }
 
+// ChargeTuples bulk-charges n tuples materialized by op with no byte
+// estimate, in one atomic transaction. It is the batch executor's amortized
+// entry point — one call per block instead of one per tuple — and keeps the
+// pinned-first *ResourceError semantics: the first violation on any worker
+// is the one every later charge reports. A bulk charge can overshoot the
+// budget by at most one block before tripping, which the budget's
+// order-of-magnitude contract tolerates.
+func (g *Governor) ChargeTuples(op string, n int64) (evicted int64, err error) {
+	return g.charge(op, n, 0)
+}
+
+// ChargeBytesN bulk-charges n tuples totalling bytes estimated bytes, with
+// the same semantics as ChargeTuples (memo shedding is attempted before a
+// memory trip, exactly as for single-tuple charges).
+func (g *Governor) ChargeBytesN(op string, n, bytes int64) (evicted int64, err error) {
+	return g.charge(op, n, bytes)
+}
+
 // trip pins the first violation; concurrent trippers all report the winner
 // so every worker of one query fails with the same typed error.
 func (g *Governor) trip(e *ResourceError) *ResourceError {

@@ -279,6 +279,57 @@ func (m *Memo) appendSpool(e *memoEntry, t relation.Tuple) bool {
 	return true
 }
 
+// appendSpoolBlock is appendSpool for a block of tuples the producer just
+// yielded. On budget overflow it appends the prefix that still fits before
+// abandoning the entry as overflow — exact CacheTuplesSpooled parity with
+// the one-at-a-time path, which fills the entry to the budget boundary and
+// abandons on the first tuple past it. Returns how many tuples were
+// appended and whether the spool is still publishable.
+func (m *Memo) appendSpoolBlock(e *memoEntry, ts []relation.Tuple) (appended int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.state != spoolBuilding {
+		return 0, false
+	}
+	if room := m.budget - len(e.tuples); len(ts) > room {
+		if room < 0 {
+			room = 0
+		}
+		//lint:ignore govcharge the producer charges memo-spool via chargeBatch before calling appendSpoolBlock
+		e.tuples = append(e.tuples, ts[:room]...)
+		m.tuples += room
+		m.abandonLocked(e, true)
+		return room, false
+	}
+	//lint:ignore govcharge the producer charges memo-spool via chargeBatch before calling appendSpoolBlock
+	e.tuples = append(e.tuples, ts...)
+	m.tuples += len(ts)
+	m.wakeLocked(e)
+	return len(ts), true
+}
+
+// presizeSpool reserves spool capacity for an expected result size. The
+// caller converts its per-tuple hint into a whole-block reservation
+// (planopt.BlocksFor rounds up; a hint of 0 reserves nothing) and this
+// clamps it to the memo budget — an entry can never publish more than the
+// budget, so reserving past it only wastes memory.
+func (m *Memo) presizeSpool(e *memoEntry, capHint int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.state != spoolBuilding || capHint <= 0 {
+		return
+	}
+	if capHint > m.budget {
+		capHint = m.budget
+	}
+	if cap(e.tuples) >= capHint {
+		return
+	}
+	grown := make([]relation.Tuple, len(e.tuples), capHint)
+	copy(grown, e.tuples)
+	e.tuples = grown
+}
+
 // complete publishes a fully drained spool: the entry becomes immutable,
 // joins the LRU front, and least-recently-used complete entries are evicted
 // until the budget holds again. In-flight spools are never evicted.
@@ -360,6 +411,56 @@ func (m *Memo) consumeWait(e *memoEntry, pos int, done <-chan struct{}) (t relat
 		// change. The waiter count is adjusted under the mutex, so a wake
 		// between unlock and the select is never lost (the channel we hold
 		// is the one the producer will close).
+		e.waiters++
+		ch := e.updated
+		m.mu.Unlock()
+		blocked = true
+		select {
+		case <-ch:
+		case <-done:
+			m.mu.Lock()
+			e.waiters--
+			m.mu.Unlock()
+			return nil, consumeCancelled, blocked
+		}
+		m.mu.Lock()
+		e.waiters--
+	}
+}
+
+// consumeWaitBlock is consumeWait for the batch executor: it returns up to
+// max tuples starting at pos in one call, blocking only while the producer
+// has not appended tuple pos yet. The returned slice is a view of the spool
+// taken under the mutex; the spool prefix below the published length is
+// immutable (producers only append, and appends past a reallocation leave
+// the old backing array intact), so reading it after unlock is safe — the
+// mutex acquisition orders this read after the producer's writes.
+func (m *Memo) consumeWaitBlock(e *memoEntry, pos, max int, done <-chan struct{}) (ts []relation.Tuple, st consumeStatus, blocked bool) {
+	m.mu.Lock()
+	for {
+		if pos < len(e.tuples) {
+			end := pos + max
+			if end > len(e.tuples) {
+				end = len(e.tuples)
+			}
+			ts = e.tuples[pos:end:end]
+			m.mu.Unlock()
+			return ts, consumeTuple, blocked
+		}
+		switch e.state {
+		case spoolComplete:
+			m.mu.Unlock()
+			return nil, consumeEOF, blocked
+		case spoolAbandoned:
+			overflow := e.overflow
+			m.mu.Unlock()
+			if overflow {
+				return nil, consumeOverflow, blocked
+			}
+			return nil, consumeAbandoned, blocked
+		}
+		// Caught up with the producer: wait for the next append or state
+		// change (see consumeWait for the lost-wake argument).
 		e.waiters++
 		ch := e.updated
 		m.mu.Unlock()

@@ -52,6 +52,15 @@ type Stats struct {
 	// publication (cancellation, governor trip, budget overflow, producer
 	// death). Their CacheTuplesSpooled charges bought nothing.
 	CacheSpoolsAbandoned int64
+	// BatchesEmitted counts blocks emitted by producing batch operators
+	// (scan, select, project, union, joins, adapters, memo produce/private).
+	// Memo replay and single-flight consumption re-deliver blocks another
+	// evaluation produced and are NOT counted, which keeps the counter
+	// deterministic under concurrency. 0 on a tuple-at-a-time run.
+	BatchesEmitted int64
+	// BatchTuples counts the tuples carried by those blocks;
+	// BatchTuples/BatchesEmitted is the average block fill.
+	BatchTuples int64
 	// PanicsRecovered counts panics converted to errors at isolation
 	// boundaries (partition workers, engine entry points).
 	PanicsRecovered int64
@@ -79,6 +88,8 @@ func (s *Stats) Add(o Stats) {
 	s.CacheSingleFlightWaits += o.CacheSingleFlightWaits
 	s.CacheDuplicatesAvoided += o.CacheDuplicatesAvoided
 	s.CacheSpoolsAbandoned += o.CacheSpoolsAbandoned
+	s.BatchesEmitted += o.BatchesEmitted
+	s.BatchTuples += o.BatchTuples
 	s.PanicsRecovered += o.PanicsRecovered
 	s.LimitsTripped += o.LimitsTripped
 	s.DegradedEvictions += o.DegradedEvictions
@@ -102,6 +113,12 @@ func (s *Stats) String() string {
 	if s.CacheDuplicatesAvoided+s.CacheSingleFlightWaits+s.CacheSpoolsAbandoned > 0 {
 		base += fmt.Sprintf(" cdup=%d cwait=%d caband=%d",
 			s.CacheDuplicatesAvoided, s.CacheSingleFlightWaits, s.CacheSpoolsAbandoned)
+	}
+	// Batch counters appear only when the block executor ran, keeping
+	// tuple-at-a-time output stable.
+	if s.BatchesEmitted > 0 {
+		base += fmt.Sprintf(" batches=%d fill=%.1f",
+			s.BatchesEmitted, float64(s.BatchTuples)/float64(s.BatchesEmitted))
 	}
 	// Robustness counters appear only on runs that hit a boundary, keeping
 	// clean-run output stable.
