@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test lint race chaos bench bench-smoke bench-baseline repro smoke-serve
+.PHONY: check fmt vet build test lint race chaos bench bench-smoke bench-baseline repro smoke-serve loadtest-smoke
 
 ## check: the tier-1 gate — format, vet, lint, build, tests, race tests
 check:
@@ -61,3 +61,10 @@ repro:
 ## An end-to-end liveness probe for the service tier; not part of check.sh.
 smoke-serve:
 	./scripts/smoke_serve.sh
+
+## loadtest-smoke: boot an easy-to-overload queryd (two slots, no cache,
+## tight sojourn target, one injected fault) and storm it with queryload;
+## asserts sheds happened, counters reconcile, the fault did not kill the
+## daemon, and SIGINT drains cleanly. Part of check.sh.
+loadtest-smoke:
+	./scripts/loadtest_smoke.sh

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/service"
 	"repro/internal/storage"
 	"repro/internal/translate"
 )
@@ -61,10 +62,18 @@ func main() {
 	remote := flag.String("remote", "", "queryd base URL (e.g. http://localhost:8991): act as a client instead of evaluating locally")
 	apiKey := flag.String("apikey", "", "tenant API key for -remote requests")
 	stats := flag.Bool("stats", false, "with -remote: print the daemon's /stats report and exit")
+	retries := flag.Int("retries", service.DefaultMaxRetries, "with -remote: retry budget for overload rejections (503 shed/breaker, transport errors); -1 disables")
+	deadline := flag.Duration("deadline", 0, "with -remote: per-request deadline budget sent as "+service.DeadlineHeader+" (0 = server default)")
 	flag.Parse()
 
 	if *remote != "" {
-		os.Exit(remoteMain(*remote, *apiKey, *oneShot, *stats))
+		client := &service.Client{
+			Base:       strings.TrimRight(*remote, "/"),
+			APIKey:     *apiKey,
+			MaxRetries: *retries,
+			Deadline:   *deadline,
+		}
+		os.Exit(remoteMain(client, *oneShot, *stats))
 	}
 
 	cat, err := buildDataset(*ds, *n)

@@ -2,75 +2,29 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/service"
 )
 
 // Remote mode: instead of evaluating locally, queryctl becomes a client of
-// a running queryd. -q posts one query, -stats dumps the daemon's report,
-// and with neither it drops into a minimal REPL that posts each line.
+// a running queryd through service.Client, which carries the retry
+// discipline — jittered exponential backoff on overload 503s, honoring the
+// server's Retry-After, never retrying past a deadline. -q posts one query,
+// -stats dumps the daemon's report, and with neither it drops into a
+// minimal REPL that posts each line.
 
 // remoteQuery posts one query and renders the response.
-func remoteQuery(base, apiKey, query string) error {
-	body, _ := json.Marshal(map[string]string{"query": query})
-	req, err := http.NewRequest("POST", strings.TrimRight(base, "/")+"/query", bytes.NewReader(body))
+func remoteQuery(ctx context.Context, client *service.Client, query string) error {
+	qr, err := client.Query(ctx, query)
 	if err != nil {
-		return err
-	}
-	req.Header.Set("X-API-Key", apiKey)
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error struct {
-				Kind    string `json:"kind"`
-				Message string `json:"message"`
-				Limit   string `json:"limit"`
-				Used    int64  `json:"used"`
-				Budget  int64  `json:"budget"`
-			} `json:"error"`
-		}
-		if json.Unmarshal(raw, &eb) == nil && eb.Error.Kind != "" {
-			msg := fmt.Sprintf("%d %s: %s", resp.StatusCode, eb.Error.Kind, eb.Error.Message)
-			if eb.Error.Kind == "resource" {
-				msg += fmt.Sprintf("\n  (the %s budget admitted %d of %d — ask the operator for a bigger tenant)",
-					eb.Error.Limit, eb.Error.Budget, eb.Error.Used)
-			}
-			return fmt.Errorf("%s", msg)
-		}
-		return fmt.Errorf("%d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
-	}
-	var qr struct {
-		Open      bool       `json:"open"`
-		Columns   []string   `json:"columns"`
-		Rows      [][]string `json:"rows"`
-		Truth     *bool      `json:"truth"`
-		Canonical string     `json:"canonical"`
-		Timing    struct {
-			Flight   string `json:"flight"`
-			CacheHit bool   `json:"cache_hit"`
-			Batch    int    `json:"batch"`
-			PlanUS   int64  `json:"plan_us"`
-			ExecUS   int64  `json:"exec_us"`
-			TotalUS  int64  `json:"total_us"`
-		} `json:"timing"`
-	}
-	if err := json.Unmarshal(raw, &qr); err != nil {
-		return err
+		return renderRemoteError(err, client)
 	}
 	if qr.Open {
 		if len(qr.Columns) > 0 {
@@ -89,23 +43,48 @@ func remoteQuery(base, apiKey, query string) error {
 	return nil
 }
 
-// remoteStats fetches /stats and renders the service counters and the
-// per-tenant snapshots.
-func remoteStats(base string) error {
-	resp, err := http.Get(strings.TrimRight(base, "/") + "/stats")
+// renderRemoteError turns a client failure into operator-friendly text,
+// adding the taxonomy-specific hints for budget and overload rejections.
+func renderRemoteError(err error, client *service.Client) error {
+	var re *service.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	msg := fmt.Sprintf("%d %s: %s", re.Status, re.Detail.Kind, re.Detail.Message)
+	switch re.Detail.Kind {
+	case "resource":
+		msg += fmt.Sprintf("\n  (the %s budget admitted %d of %d — ask the operator for a bigger tenant)",
+			re.Detail.Limit, re.Detail.Budget, re.Detail.Used)
+	case "shed", "breaker":
+		msg += fmt.Sprintf("\n  (the service is overloaded; %d retries were already spent — back off and try again)",
+			client.RetryCount())
+	case "degraded":
+		msg += "\n  (the tenant is in degraded cache-only mode; only recently-cached queries are admitted)"
+	case "timeout":
+		msg += fmt.Sprintf("\n  (the request's %dms deadline budget ran out — raise -deadline or simplify the query)",
+			re.Detail.DeadlineMS)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// remoteStats fetches /stats and renders the service counters, the breaker
+// states and the per-tenant snapshots.
+func remoteStats(ctx context.Context, client *service.Client) error {
+	report, err := client.Stats(ctx)
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var report struct {
-		Service map[string]any            `json:"service"`
-		Tenants map[string]map[string]any `json:"tenants"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
-		return err
+		return renderRemoteError(err, client)
 	}
 	fmt.Println("service:")
-	printSorted("  ", report.Service)
+	printSorted("  ", structToMap(report.Service))
+	bnames := make([]string, 0, len(report.Breakers))
+	for name := range report.Breakers {
+		bnames = append(bnames, name)
+	}
+	sort.Strings(bnames)
+	for _, name := range bnames {
+		fmt.Printf("breaker %s:\n", name)
+		printSorted("  ", structToMap(report.Breakers[name]))
+	}
 	names := make([]string, 0, len(report.Tenants))
 	for name := range report.Tenants {
 		names = append(names, name)
@@ -113,9 +92,23 @@ func remoteStats(base string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Printf("tenant %s:\n", name)
-		printSorted("  ", report.Tenants[name])
+		printSorted("  ", structToMap(report.Tenants[name]))
 	}
 	return nil
+}
+
+// structToMap renders any JSON-taggable struct as a flat key→value map, so
+// the report prints in sorted-key lines without hand-listing every field.
+func structToMap(v any) map[string]any {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return map[string]any{"error": err.Error()}
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return map[string]any{"error": err.Error()}
+	}
+	return m
 }
 
 func printSorted(indent string, m map[string]any) {
@@ -130,22 +123,23 @@ func printSorted(indent string, m map[string]any) {
 }
 
 // remoteMain is the -remote entry point; it returns the process exit code.
-func remoteMain(base, apiKey, oneShot string, stats bool) int {
+func remoteMain(client *service.Client, oneShot string, stats bool) int {
+	ctx := context.Background()
 	if stats {
-		if err := remoteStats(base); err != nil {
+		if err := remoteStats(ctx, client); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		return 0
 	}
 	if oneShot != "" {
-		if err := remoteQuery(base, apiKey, oneShot); err != nil {
+		if err := remoteQuery(ctx, client, oneShot); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		return 0
 	}
-	fmt.Printf("connected to %s — \\stats shows the daemon report, \\quit exits\n", base)
+	fmt.Printf("connected to %s — \\stats shows the daemon report, \\quit exits\n", client.Base)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("query> ")
 	for sc.Scan() {
@@ -155,13 +149,13 @@ func remoteMain(base, apiKey, oneShot string, stats bool) int {
 		case line == `\quit` || line == `\q`:
 			return 0
 		case line == `\stats`:
-			if err := remoteStats(base); err != nil {
+			if err := remoteStats(ctx, client); err != nil {
 				fmt.Println(err)
 			}
 		case strings.HasPrefix(line, `\`):
 			fmt.Printf("unknown remote command %q (\\stats, \\quit)\n", line)
 		default:
-			if err := remoteQuery(base, apiKey, line); err != nil {
+			if err := remoteQuery(ctx, client, line); err != nil {
 				fmt.Println(err)
 			}
 		}

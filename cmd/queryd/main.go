@@ -16,6 +16,18 @@
 // is rejected with 429 and a typed resource payload. Omitted budgets mean
 // unbounded.
 //
+// The daemon is overload-resilient by default (see DESIGN.md §10). Every
+// request runs under a deadline budget (-default-deadline, tightened per
+// request with the X-Deadline-Ms header) that propagates into the engine;
+// a CoDel-style controller sheds requests whose queue sojourn stays above
+// -shed-target for a full -shed-interval; consecutive engine failures open
+// a per-tenant circuit breaker (-breaker-failures, -breaker-cooldown), and
+// consecutive governor trips enter a cache-only degraded window
+// (-degrade-trips, -degrade-window). All rejections are typed 503s with
+// retry_after_ms advice. -fault injects service-level faults for chaos
+// drills (see -fault's grammar below), and cmd/queryload is the matching
+// load harness.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight and queued requests are
 // answered, new submissions get 503, then the process exits.
 package main
@@ -36,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/storage"
 )
@@ -58,6 +71,15 @@ func run() error {
 	batchWait := flag.Duration("batch-wait", service.DefaultBatchMaxWait, "flush a non-empty batch after this wait")
 	recent := flag.Int("recent", service.DefaultRecent, "per-request records kept for /stats")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	maxConcurrent := flag.Int("max-concurrent", service.DefaultMaxConcurrent, "batches executing concurrently (bounds the engine load)")
+	defaultDeadline := flag.Duration("default-deadline", service.DefaultDeadlineBudget, "server-side deadline budget for requests that set none (clients override per request with "+service.DeadlineHeader+"; 0 = unbounded)")
+	shedTarget := flag.Duration("shed-target", service.DefaultShedTarget, "CoDel queue-sojourn target; sustained sojourn above it sheds requests (negative disables shedding)")
+	shedInterval := flag.Duration("shed-interval", service.DefaultShedInterval, "CoDel control interval: how long sojourns must stay above target before the first shed")
+	breakerFailures := flag.Int("breaker-failures", service.DefaultBreakerFailures, "consecutive engine failures that open a tenant's circuit breaker (negative disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", service.DefaultBreakerCooldown, "how long an open breaker rejects before a half-open probe")
+	degradeTrips := flag.Int("degrade-trips", service.DefaultDegradeTrips, "consecutive governor trips that put a tenant in degraded cache-only mode (negative disables)")
+	degradeWindow := flag.Duration("degrade-window", service.DefaultDegradeWindow, "how long degraded cache-only mode lasts")
+	faultsFlag := flag.String("fault", "", "comma-separated point:kind[:after] service fault arms for resilience testing, e.g. 'service.flight:error:3' (each arm fires once)")
 	flag.Parse()
 
 	cat, err := buildDataset(*ds, *n)
@@ -74,17 +96,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	faults, err := parseFaults(*faultsFlag)
+	if err != nil {
+		return err
+	}
 
 	opts := []core.Option{core.WithParallelism(*parallel)}
 	if *cache {
 		opts = append(opts, core.WithPlanCache(0))
 	}
 	srv, err := service.NewServer(db, service.Config{
-		Tenants:       tenants,
-		BatchSize:     *batchSize,
-		BatchMaxWait:  *batchWait,
-		Recent:        *recent,
-		EngineOptions: opts,
+		Tenants:         tenants,
+		BatchSize:       *batchSize,
+		BatchMaxWait:    *batchWait,
+		Recent:          *recent,
+		EngineOptions:   opts,
+		MaxConcurrent:   *maxConcurrent,
+		DefaultDeadline: *defaultDeadline,
+		ShedTarget:      *shedTarget,
+		ShedInterval:    *shedInterval,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		DegradeTrips:    *degradeTrips,
+		DegradeWindow:   *degradeWindow,
+		Faults:          faults,
 	})
 	if err != nil {
 		return err
@@ -162,6 +197,61 @@ func parseTenants(s string) ([]service.TenantConfig, error) {
 		return nil, errors.New("queryd: -tenants declared no tenants")
 	}
 	return out, nil
+}
+
+// parseFaults parses the -fault flag: comma-separated point:kind[:after]
+// arms over the service-tier injection points, where kind is error, panic
+// or delay. Every arm fires exactly once (the faultinject contract), and an
+// invocation stops at the first arm that fires without advancing the rest,
+// so repeating an arm with the default after=1 — e.g.
+// 'service.flight:error,service.flight:error' — injects consecutive
+// failures: each copy fires on the first invocation it observes unfired.
+func parseFaults(s string) (*faultinject.Plan, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, pt := range faultinject.ServicePoints() {
+		valid[pt] = true
+	}
+	var arms []faultinject.Arm
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad -fault entry %q (want point:kind[:after])", entry)
+		}
+		if !valid[parts[0]] {
+			return nil, fmt.Errorf("bad -fault point %q (service points: %s)",
+				parts[0], strings.Join(faultinject.ServicePoints(), ", "))
+		}
+		arm := faultinject.Arm{Point: parts[0]}
+		switch parts[1] {
+		case "error":
+			arm.Kind = faultinject.KindError
+		case "panic":
+			arm.Kind = faultinject.KindPanic
+		case "delay":
+			arm.Kind = faultinject.KindDelay
+		default:
+			return nil, fmt.Errorf("bad -fault kind %q (error, panic, delay)", parts[1])
+		}
+		if len(parts) == 3 && parts[2] != "" {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad -fault trigger count in %q", entry)
+			}
+			arm.After = v
+		}
+		arms = append(arms, arm)
+	}
+	if len(arms) == 0 {
+		return nil, nil
+	}
+	return faultinject.New(arms...), nil
 }
 
 func buildDataset(name string, n int) (*storage.Catalog, error) {

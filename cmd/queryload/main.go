@@ -1,0 +1,423 @@
+// Command queryload is the chaos-driven load harness for queryd: it drives
+// N concurrent clients against a running daemon — open-loop (a fixed
+// arrival rate the server must absorb or shed) or closed-loop (each client
+// fires back-to-back) — and reports what the overload-resilience layer did
+// about it: latency percentiles, shed/breaker/degraded/timeout counts,
+// client retries, and goodput. After the run it fetches /stats and
+// reconciles the server's counters against what the clients observed.
+//
+// Usage:
+//
+//	queryload -base http://localhost:8991 -apikeys demo-key \
+//	          -clients 8 -rate 400 -duration 5s
+//	queryload -base ... -clients 4 -duration 3s -json run.jsonl
+//
+// Latency is measured from intended arrival time, not send time, so
+// client-side queueing under overload counts against the server — the
+// standard open-loop correction for coordinated omission.
+//
+// With -json the summary is appended as flat one-line objects in the same
+// table/label row format benchrepro emits, so scripts/benchcmp.sh can diff
+// two runs counter by counter.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// defaultQueries is the built-in university-dataset mix: a cheap lookup, a
+// negation that plans real work, and a universally quantified query — three
+// very different evaluation costs, so overload hits them unevenly.
+const defaultQueries = `{ x | student(x) };` +
+	`{ x | student(x) and not exists y: attends(x, y) };` +
+	`{ x | student(x) and forall y: cs_lecture(y) => attends(x, y) }`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// tally is the classified outcome count of one run.
+type tally struct {
+	requests  int64
+	ok        int64
+	shed      int64
+	breaker   int64
+	degraded  int64
+	timeout   int64
+	resource  int64
+	cancelled int64
+	other     int64
+}
+
+// outcome is one finished request as the harness saw it.
+type outcome struct {
+	latency time.Duration // intended arrival → terminal response
+	ok      bool
+	kind    string // taxonomy kind for failures ("" on success)
+}
+
+func run() error {
+	base := flag.String("base", "http://localhost:8991", "queryd base URL")
+	apiKeys := flag.String("apikeys", "demo-key", "comma-separated tenant API keys; clients round-robin across them")
+	clients := flag.Int("clients", 8, "closed-loop worker count; in open-loop mode the cap on in-flight requests is -max-inflight")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop over -clients workers)")
+	maxInflight := flag.Int("max-inflight", 1024, "open-loop cap on concurrently in-flight requests (the harness's own protection, not the server's)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	queriesFlag := flag.String("queries", defaultQueries, "semicolon-separated query mix; clients round-robin across it")
+	deadline := flag.Duration("deadline", 0, "per-request deadline budget sent as "+service.DeadlineHeader+" (0 = server default)")
+	retries := flag.Int("retries", service.DefaultMaxRetries, "per-request retry budget for overload rejections; -1 disables")
+	label := flag.String("label", "summary", "row label for -json output")
+	jsonPath := flag.String("json", "", "append the run summary as JSON lines to this file")
+	flag.Parse()
+
+	keys := splitList(*apiKeys, ",")
+	queries := splitList(*queriesFlag, ";")
+	if len(keys) == 0 || len(queries) == 0 || *clients < 1 {
+		return fmt.Errorf("queryload: need at least one API key, one query and one client")
+	}
+
+	// One retrying client per API key: retry counts aggregate per tenant.
+	clis := make([]*service.Client, len(keys))
+	for i, k := range keys {
+		clis[i] = &service.Client{
+			Base:       strings.TrimRight(*base, "/"),
+			APIKey:     k,
+			MaxRetries: *retries,
+			Deadline:   *deadline,
+		}
+	}
+
+	ctx := context.Background()
+	before, err := clis[0].Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("queryload: cannot reach %s: %w", *base, err)
+	}
+
+	fmt.Printf("queryload: %d client(s) against %s for %v", *clients, *base, *duration)
+	if *rate > 0 {
+		fmt.Printf(", open loop at %.0f req/s\n", *rate)
+	} else {
+		fmt.Printf(", closed loop\n")
+	}
+
+	outcomes := drive(ctx, clis, queries, *clients, *maxInflight, *rate, *duration)
+
+	after, err := clis[0].Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("queryload: /stats after run: %w", err)
+	}
+
+	var retried int64
+	for _, c := range clis {
+		retried += c.RetryCount()
+	}
+	t := classify(outcomes)
+	report(t, outcomes, retried, *duration)
+	reconcile(t, retried, before.Service, after.Service)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *label, t, outcomes, retried, *duration, before.Service, after.Service); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drive generates the load and returns every terminal outcome. Open-loop
+// mode launches each arrival independently at its intended time — in-flight
+// requests pile up when the server is slow, which is exactly what pushes
+// the server's queue into the admission controller's shedding regime; a
+// request delayed past its intended arrival pays that delay in its
+// reported latency.
+func drive(ctx context.Context, clis []*service.Client, queries []string, workers, maxInflight int, rate float64, duration time.Duration) []outcome {
+	var (
+		mu  sync.Mutex
+		out []outcome
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		out = append(out, o)
+		mu.Unlock()
+	}
+	var seq atomic.Int64
+	issue := func(intended time.Time) {
+		n := seq.Add(1) - 1
+		cli := clis[int(n)%len(clis)]
+		query := queries[int(n)%len(queries)]
+		qr, err := cli.Query(ctx, query)
+		o := outcome{latency: time.Since(intended)}
+		switch {
+		case err == nil && qr != nil:
+			o.ok = true
+		case err == nil:
+			o.kind = "internal"
+		default:
+			o.kind = errKind(err)
+		}
+		record(o)
+	}
+
+	stop := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	if rate <= 0 {
+		// Closed loop: each worker fires back-to-back until time is up.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					issue(time.Now())
+				}
+			}()
+		}
+		wg.Wait()
+		return out
+	}
+	// Open loop: each arrival launches independently at its intended time,
+	// like unsynchronized real users — outstanding requests are not capped
+	// by a worker pool (only by -max-inflight, the harness's own fuse), so
+	// a slow server accumulates in-flight work instead of silently slowing
+	// the generator down (coordinated omission).
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	inflight := make(chan struct{}, maxInflight)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var skipped int64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	next := time.Now()
+	for time.Now().Before(stop) {
+		<-tick.C
+		// Launch every arrival whose intended time has passed, so a coarse
+		// ticker still realizes the configured rate.
+		for now := time.Now(); next.Before(now) && next.Before(stop); next = next.Add(interval) {
+			select {
+			case inflight <- struct{}{}:
+			default:
+				atomic.AddInt64(&skipped, 1)
+				continue
+			}
+			wg.Add(1)
+			go func(intended time.Time) {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				issue(intended)
+			}(next)
+		}
+	}
+	wg.Wait()
+	if n := atomic.LoadInt64(&skipped); n > 0 {
+		fmt.Printf("  (open-loop fuse: %d arrival(s) dropped at %d in-flight — raise -max-inflight or lower -rate)\n", n, maxInflight)
+	}
+	return out
+}
+
+// errKind maps a client error to the server's taxonomy kind.
+func errKind(err error) string {
+	var re *service.RemoteError
+	if errors.As(err, &re) {
+		if re.Detail.Kind != "" {
+			return re.Detail.Kind
+		}
+		return fmt.Sprintf("http_%d", re.Status)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	if errors.Is(err, context.Canceled) {
+		return "cancelled"
+	}
+	return "transport"
+}
+
+// classify folds the outcomes into the tally.
+func classify(outcomes []outcome) tally {
+	var t tally
+	t.requests = int64(len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.ok:
+			t.ok++
+		case o.kind == "shed":
+			t.shed++
+		case o.kind == "breaker":
+			t.breaker++
+		case o.kind == "degraded":
+			t.degraded++
+		case o.kind == "timeout":
+			t.timeout++
+		case o.kind == "resource":
+			t.resource++
+		case o.kind == "cancelled":
+			t.cancelled++
+		default:
+			t.other++
+		}
+	}
+	return t
+}
+
+// percentile returns the p-th percentile of sorted durations (p in [0,100]).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// okLatencies returns the sorted latencies of successful requests.
+func okLatencies(outcomes []outcome) []time.Duration {
+	lat := make([]time.Duration, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.ok {
+			lat = append(lat, o.latency)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat
+}
+
+func report(t tally, outcomes []outcome, retried int64, duration time.Duration) {
+	goodput := float64(t.ok) / duration.Seconds()
+	okPct := 0.0
+	if t.requests > 0 {
+		okPct = 100 * float64(t.ok) / float64(t.requests)
+	}
+	fmt.Printf("  requests %d  ok %d (%.1f%%)  goodput %.1f/s  retries %d\n",
+		t.requests, t.ok, okPct, goodput, retried)
+	fmt.Printf("  rejected: shed %d  breaker %d  degraded %d  timeout %d  resource %d  cancelled %d  other %d\n",
+		t.shed, t.breaker, t.degraded, t.timeout, t.resource, t.cancelled, t.other)
+	lat := okLatencies(outcomes)
+	if len(lat) > 0 {
+		fmt.Printf("  latency (ok, from intended arrival): p50 %v  p95 %v  p99 %v  max %v\n",
+			percentile(lat, 50).Round(time.Microsecond), percentile(lat, 95).Round(time.Microsecond),
+			percentile(lat, 99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+	}
+}
+
+// reconcile diffs the server's counters across the run window against the
+// clients' own view. Every client attempt (first tries plus retries) that
+// reached the server is one server-side request; sheds, breaker rejections
+// and deadline blowouts must not exceed what the server recorded — the
+// clients cannot see MORE rejections than the server handed out. (They can
+// see fewer: retried-away rejections are absorbed inside the client.)
+func reconcile(t tally, retried int64, before, after service.ServiceCounters) {
+	reqs := after.Requests - before.Requests
+	sheds := after.Sheds - before.Sheds
+	breaker := after.BreakerRejected - before.BreakerRejected
+	deadlines := after.DeadlineExceeded - before.DeadlineExceeded
+	attempts := t.requests + retried
+	fmt.Printf("  server window: requests %d  sheds %d  breaker_rejected %d  deadline_exceeded %d  breaker opened/half/closed %d/%d/%d  degraded entries %d\n",
+		reqs, sheds, breaker, deadlines,
+		after.BreakerOpened-before.BreakerOpened,
+		after.BreakerHalfOpened-before.BreakerHalfOpened,
+		after.BreakerClosed-before.BreakerClosed,
+		after.DegradedModeEntries-before.DegradedModeEntries)
+	problems := 0
+	if reqs > attempts {
+		fmt.Printf("  RECONCILE WARN: server saw %d requests, clients sent at most %d attempts (foreign traffic?)\n", reqs, attempts)
+		problems++
+	}
+	if t.shed > sheds {
+		fmt.Printf("  RECONCILE FAIL: clients saw %d terminal sheds, server only recorded %d\n", t.shed, sheds)
+		problems++
+	}
+	if t.breaker > breaker {
+		fmt.Printf("  RECONCILE FAIL: clients saw %d breaker rejections, server only recorded %d\n", t.breaker, breaker)
+		problems++
+	}
+	if problems == 0 {
+		fmt.Printf("  reconciliation OK: client attempts %d within server requests %d; rejection counts consistent\n", attempts, reqs)
+	}
+}
+
+// jsonRow is the -json line shape: flat, keyed by table/label like
+// benchrepro's rows, with the resilience counters scripts/benchcmp.sh
+// tracks plus the latency gauges it ignores.
+type jsonRow struct {
+	Table             string  `json:"table"`
+	Label             string  `json:"label"`
+	Requests          int64   `json:"requests"`
+	OK                int64   `json:"ok"`
+	Sheds             int64   `json:"sheds"`
+	BreakerRejected   int64   `json:"breaker_rejected"`
+	DegradedRejected  int64   `json:"degraded_rejected"`
+	Timeouts          int64   `json:"timeouts"`
+	Resource          int64   `json:"resource"`
+	OtherErrors       int64   `json:"other_errors"`
+	Retries           int64   `json:"retries"`
+	BreakerOpened     int64   `json:"breaker_opened"`
+	BreakerHalfOpened int64   `json:"breaker_half_opened"`
+	BreakerClosed     int64   `json:"breaker_closed"`
+	GoodputRPS        float64 `json:"goodput_rps"`
+	P50US             int64   `json:"p50_us"`
+	P95US             int64   `json:"p95_us"`
+	P99US             int64   `json:"p99_us"`
+	Result            string  `json:"result"`
+}
+
+func writeJSON(path, label string, t tally, outcomes []outcome, retried int64, duration time.Duration, before, after service.ServiceCounters) error {
+	lat := okLatencies(outcomes)
+	row := jsonRow{
+		Table:             "queryload",
+		Label:             label,
+		Requests:          t.requests,
+		OK:                t.ok,
+		Sheds:             t.shed,
+		BreakerRejected:   t.breaker,
+		DegradedRejected:  t.degraded,
+		Timeouts:          t.timeout,
+		Resource:          t.resource,
+		OtherErrors:       t.other + t.cancelled,
+		Retries:           retried,
+		BreakerOpened:     after.BreakerOpened - before.BreakerOpened,
+		BreakerHalfOpened: after.BreakerHalfOpened - before.BreakerHalfOpened,
+		BreakerClosed:     after.BreakerClosed - before.BreakerClosed,
+		GoodputRPS:        float64(t.ok) / duration.Seconds(),
+		P50US:             percentile(lat, 50).Microseconds(),
+		P95US:             percentile(lat, 95).Microseconds(),
+		P99US:             percentile(lat, 99).Microseconds(),
+		Result:            fmt.Sprintf("%d/%d ok", t.ok, t.requests),
+	}
+	line, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintf(f, "%s\n", line)
+	return err
+}
+
+// splitList splits a separator-joined flag value, dropping empty entries.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

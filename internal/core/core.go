@@ -336,6 +336,11 @@ func (e *Engine) Run(p *Prepared) (*Result, error) {
 // checks the context only between top-level phases.
 func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error) {
 	res := &Result{Open: p.Source.IsOpen(), Canonical: p.Canonical.String()}
+	if cacheOnly(goCtx) {
+		if err := e.admitCacheOnly(p, res.Canonical); err != nil {
+			return nil, err
+		}
+	}
 	if p.strategy == StrategyLoop {
 		var st exec.Stats
 		defer e.noteRun(&st, true)
@@ -390,6 +395,52 @@ func (e *Engine) RunContext(goCtx context.Context, p *Prepared) (*Result, error)
 	}
 	res.Stats = *ctx.Stats
 	return res, nil
+}
+
+// admitCacheOnly is the degraded-mode (WithCacheOnly) admission gate: a run
+// passes only when every memoized root its plan needs — the Shared plan root
+// of an open query, every emptiness-probe input of a closed one — has a
+// complete, current-generation entry in the plan-cache memo, so the run
+// replays at cache cost instead of evaluating cold. The check is advisory
+// (an entry can be evicted before the run reads it, in which case the run
+// falls back to a cold evaluation), but a rejection is reliable: nothing
+// warm exists, so the caller gets a typed *DegradedError without a single
+// base-relation read.
+func (e *Engine) admitCacheOnly(p *Prepared, canonical string) error {
+	if e.memo != nil && p.strategy != StrategyLoop {
+		gen := e.db.cat.Generation()
+		switch {
+		case p.Plan != nil:
+			if sh, ok := p.Plan.(*algebra.Shared); ok && e.memo.HasComplete(gen, sh.FP, algebra.Canonical(sh.Input)) {
+				return nil
+			}
+		case p.BoolPlan != nil:
+			if warmBool(e.memo, gen, p.BoolPlan) {
+				return nil
+			}
+		}
+	}
+	return &DegradedError{
+		Plan: canonical,
+		Err:  fmt.Errorf("core: degraded mode admits only plan-cache warm hits; %q would evaluate cold", canonical),
+	}
+}
+
+// warmBool reports whether every relational input of a boolean plan is a
+// Shared subtree with a complete memo entry under gen.
+func warmBool(memo *exec.Memo, gen int64, bp algebra.BoolPlan) bool {
+	for _, in := range bp.PlanChildren() {
+		sh, ok := in.(*algebra.Shared)
+		if !ok || !memo.HasComplete(gen, sh.FP, algebra.Canonical(sh.Input)) {
+			return false
+		}
+	}
+	for _, c := range bp.BoolChildren() {
+		if !warmBool(memo, gen, c) {
+			return false
+		}
+	}
+	return true
 }
 
 // Stream executes a prepared OPEN query, delivering result tuples to

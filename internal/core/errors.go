@@ -68,6 +68,19 @@ func classifyNormalize(query string, err error) error {
 // can match it without importing internal/exec.
 type ResourceError = exec.ResourceError
 
+// DegradedError reports a query rejected by degraded (cache-only)
+// execution: the caller asked for WithCacheOnly and the plan has no warm,
+// current-generation entry in the plan-cache memo, so answering it would
+// require a cold evaluation degraded mode exists to avoid. The service
+// tier's circuit breaker maps it to a typed 503.
+type DegradedError struct {
+	Plan string // the canonical query
+	Err  error
+}
+
+func (e *DegradedError) Error() string { return e.Err.Error() }
+func (e *DegradedError) Unwrap() error { return e.Err }
+
 // ExecError reports a failure during execution: a panic recovered at an
 // isolation boundary, an injected fault, or a catalog failure surfacing at
 // run time. Stage names the entry point ("prepare", "run", "stream"); Plan
@@ -92,7 +105,8 @@ func classifyExec(stage, plan string, err error) error {
 	var se *SafetyError
 	var ple *PlanError
 	var ee *ExecError
-	if errors.As(err, &pe) || errors.As(err, &se) || errors.As(err, &ple) || errors.As(err, &ee) {
+	var de *DegradedError
+	if errors.As(err, &pe) || errors.As(err, &se) || errors.As(err, &ple) || errors.As(err, &ee) || errors.As(err, &de) {
 		return err
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -166,6 +166,25 @@ func queryLimits(ctx context.Context) (Limits, bool) {
 	return l, ok
 }
 
+type cacheOnlyKey struct{}
+
+// WithCacheOnly returns a context requesting degraded (cache-only)
+// execution for one call: the run is admitted only if its plan root has a
+// warm, current-generation entry in the engine's plan-cache memo — a warm
+// hit replays at cache cost, while a cold plan is rejected with a typed
+// *DegradedError before any base relation is read. The service tier's
+// circuit breaker uses it to keep a tenant whose governor trips repeatedly
+// partially alive instead of hard-failing every request.
+func WithCacheOnly(ctx context.Context) context.Context {
+	return context.WithValue(ctx, cacheOnlyKey{}, true)
+}
+
+// cacheOnly reports whether ctx requests degraded execution.
+func cacheOnly(ctx context.Context) bool {
+	on, _ := ctx.Value(cacheOnlyKey{}).(bool)
+	return on
+}
+
 // Configure applies options to an existing engine (e.g. a REPL switching
 // strategies). Prepared queries keep the strategy they were prepared with.
 func (e *Engine) Configure(opts ...Option) {

@@ -547,6 +547,16 @@ func (m *Memo) shed(need int64) (freed int64, evicted int) {
 	return freed, evicted
 }
 
+// HasComplete reports whether a published (complete, current-generation)
+// entry exists for fp/key without touching LRU order. The service tier's
+// degraded mode consults it before admitting a cache-only execution: a true
+// answer is advisory — the entry can still be evicted before the run reads
+// it, in which case the run simply evaluates cold — but a false answer is a
+// reliable "this plan would evaluate from scratch".
+func (m *Memo) HasComplete(gen int64, fp uint64, key string) bool {
+	return m.entryLen(gen, fp, key) >= 0
+}
+
 // entryLen returns the published result's length for fp/key under catalog
 // generation gen without touching LRU order; -1 when absent, still
 // building, or stale. Threading gen through matters: after a base-relation

@@ -73,11 +73,27 @@ const (
 	// PointMemoAppend fires on each producer append into an in-flight spool,
 	// after the tuple was charged but before it is published to consumers.
 	PointMemoAppend = "memo.append"
+	// PointServiceAdmission fires when the service tier admits a request
+	// (after auth, before it enters the batcher queue).
+	PointServiceAdmission = "service.admission"
+	// PointServiceBatcher fires once per flushed service batch, before any
+	// of its requests are dispatched.
+	PointServiceBatcher = "service.batcher"
+	// PointServiceFlight fires when a batch group reaches the request-level
+	// flight table, before producer election.
+	PointServiceFlight = "service.flight"
 )
 
 // Points returns the registered injection point names.
 func Points() []string {
 	return []string{PointIterOpen, PointIterNext, PointWorker, PointMemoPublish, PointCatalogLookup, PointMemoElect, PointMemoAppend}
+}
+
+// ServicePoints returns the service-tier injection point names. They are
+// kept out of Points() deliberately: the engine chaos sweeps derive their
+// arms from Points(), and a service-level arm would never fire there.
+func ServicePoints() []string {
+	return []string{PointServiceAdmission, PointServiceBatcher, PointServiceFlight}
 }
 
 // Arm describes one armed injection point.

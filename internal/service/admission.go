@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the service's adaptive admission controller: a CoDel-style
+// queue policy over the batcher. Every request carries its queue-entry
+// timestamp; when a batch finally acquires an execution slot, each member's
+// sojourn time (enqueue → slot) is shown to the controller. As long as
+// sojourns return below the target within one interval the queue is judged
+// "good" (a burst draining on its own) and nothing is shed. Once the
+// minimum sojourn stays above the target for a full interval — the batcher
+// is persistently backlogged, standing queue, not burst — the controller
+// enters a shedding state and sheds requests at control-law spacing
+// (interval/√n, the CoDel drop schedule), which tightens while the overload
+// persists and resets the moment a sojourn dips under the target.
+//
+// Shedding at dequeue (not at submit) is deliberate, and it is what makes
+// the policy collapse-proof: a shed request costs microseconds instead of
+// an engine evaluation, so the effective service rate rises exactly when
+// the queue needs it, and the sojourn of *admitted* requests stays bounded
+// near the target instead of growing with the backlog. A full submission
+// queue is the one place the server sheds on entry — see Server.submit.
+
+// Admission defaults (Config zero values).
+const (
+	// DefaultShedTarget is the sojourn the controller tries to keep the
+	// standing queue under.
+	DefaultShedTarget = 20 * time.Millisecond
+	// DefaultShedInterval is how long sojourns must stay above target
+	// before the first shed (one RTT-ish control interval).
+	DefaultShedInterval = 200 * time.Millisecond
+	// DefaultDeadlineBudget is the server-side deadline every request gets
+	// when the operator configures none explicitly (queryd -default-deadline
+	// overrides it; a client's X-Deadline-Ms header overrides per request).
+	DefaultDeadlineBudget = 2 * time.Second
+)
+
+// ShedError reports a request shed by the admission controller: the batcher
+// was persistently backlogged and this request's queue sojourn exceeded the
+// target. It is a fast, typed rejection — the engine never saw the request —
+// and carries the controller's advice on when to retry. The HTTP layer maps
+// it to 503 with a Retry-After header.
+type ShedError struct {
+	// Sojourn is how long the request sat in the queue before being shed.
+	Sojourn time.Duration
+	// Target is the controller's sojourn target.
+	Target time.Duration
+	// RetryAfter is the controller's backoff advice.
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *ShedError) Error() string { return e.Err.Error() }
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// shedError builds a ShedError with a rendered message.
+func shedError(sojourn, target, retryAfter time.Duration) *ShedError {
+	return &ShedError{
+		Sojourn:    sojourn,
+		Target:     target,
+		RetryAfter: retryAfter,
+		Err: fmt.Errorf("service: overloaded — request shed after %v in queue (target %v), retry in %v",
+			sojourn.Round(time.Millisecond), target, retryAfter.Round(time.Millisecond)),
+	}
+}
+
+// queueFullError builds the entry-shed variant: the submission queue itself
+// was full, so the request never entered it.
+func queueFullError(target, retryAfter time.Duration) *ShedError {
+	return &ShedError{
+		Target:     target,
+		RetryAfter: retryAfter,
+		Err: fmt.Errorf("service: overloaded — submission queue full, retry in %v",
+			retryAfter.Round(time.Millisecond)),
+	}
+}
+
+// codel is the controller state. One instance guards the server's single
+// batcher queue; onDequeue is called once per request at slot acquisition.
+type codel struct {
+	target   time.Duration
+	interval time.Duration
+
+	mu sync.Mutex
+	// firstAbove is when the current above-target episode will have lasted
+	// one full interval (zero when sojourns are below target).
+	firstAbove time.Time
+	// shedding is true while the control law is active.
+	shedding bool
+	// shedNext is the next scheduled shed while shedding.
+	shedNext time.Time
+	// shedCount spaces successive sheds at interval/√shedCount.
+	shedCount int
+}
+
+func newCodel(target, interval time.Duration) *codel {
+	return &codel{target: target, interval: interval}
+}
+
+// onDequeue judges one request as it leaves the queue: returns whether to
+// shed it and, if so, the retry-after advice. The logic is CoDel's: track
+// the time the minimum sojourn has been above target; begin shedding after
+// one full interval above; then shed on the interval/√n schedule until a
+// sojourn under target proves the standing queue is gone.
+func (c *codel) onDequeue(now time.Time, sojourn time.Duration) (bool, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sojourn < c.target {
+		// Queue is healthy here; the episode (and any shedding) ends.
+		c.firstAbove = time.Time{}
+		c.shedding = false
+		c.shedCount = 0
+		return false, 0
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.interval)
+		return false, 0
+	}
+	if !c.shedding {
+		if now.Before(c.firstAbove) {
+			return false, 0 // above target, but not yet for a full interval
+		}
+		c.shedding = true
+		c.shedCount = 1
+		c.shedNext = now.Add(c.spacing())
+		return true, c.retryAdvice(sojourn)
+	}
+	if now.Before(c.shedNext) {
+		return false, 0 // between scheduled sheds: admit
+	}
+	c.shedCount++
+	c.shedNext = now.Add(c.spacing())
+	return true, c.retryAdvice(sojourn)
+}
+
+// spacing is the control-law gap between sheds: interval/√shedCount.
+func (c *codel) spacing() time.Duration {
+	return time.Duration(float64(c.interval) / math.Sqrt(float64(c.shedCount)))
+}
+
+// retryAdvice estimates when a retry has a chance: the client should wait
+// out the current backlog excess plus one control interval.
+func (c *codel) retryAdvice(sojourn time.Duration) time.Duration {
+	advice := c.interval + (sojourn - c.target)
+	if advice < c.interval {
+		advice = c.interval
+	}
+	return advice
+}

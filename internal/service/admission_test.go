@@ -1,0 +1,92 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCodelBelowTargetNeverSheds pins the healthy-queue case: as long as
+// sojourns stay under the target nothing is shed, no matter how many
+// requests pass.
+func TestCodelBelowTargetNeverSheds(t *testing.T) {
+	c := newCodel(10*time.Millisecond, 100*time.Millisecond)
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		now = now.Add(time.Millisecond)
+		if shed, _ := c.onDequeue(now, 5*time.Millisecond); shed {
+			t.Fatalf("dequeue %d shed below target", i)
+		}
+	}
+}
+
+// TestCodelShedsAfterSustainedBacklog pins the control law: a burst above
+// target is tolerated for one full interval; after that the first request is
+// shed, subsequent sheds follow the interval/√n spacing, and one sojourn
+// under target ends the episode.
+func TestCodelShedsAfterSustainedBacklog(t *testing.T) {
+	const (
+		target   = 10 * time.Millisecond
+		interval = 100 * time.Millisecond
+	)
+	c := newCodel(target, interval)
+	t0 := time.Now()
+	over := 50 * time.Millisecond // a sojourn well above target
+
+	// The episode starts here; within the interval everything is admitted.
+	if shed, _ := c.onDequeue(t0, over); shed {
+		t.Fatal("first above-target sojourn must be admitted (burst tolerance)")
+	}
+	if shed, _ := c.onDequeue(t0.Add(interval-time.Millisecond), over); shed {
+		t.Fatal("above target but inside the interval: must be admitted")
+	}
+
+	// One full interval above target: the first shed, with retry advice that
+	// covers at least one control interval.
+	shed, advice := c.onDequeue(t0.Add(interval), over)
+	if !shed {
+		t.Fatal("a full interval above target must shed")
+	}
+	if advice < interval {
+		t.Fatalf("retry advice %v shorter than the control interval %v", advice, interval)
+	}
+
+	// Control-law spacing: the next shed is scheduled interval/√1 later;
+	// dequeues before that are admitted even though they are above target.
+	if shed, _ := c.onDequeue(t0.Add(interval+interval/2), over); shed {
+		t.Fatal("between scheduled sheds the queue must still be served")
+	}
+	if shed, _ := c.onDequeue(t0.Add(2*interval), over); !shed {
+		t.Fatal("the scheduled second shed must fire")
+	}
+
+	// A single sojourn under target proves the standing queue drained: the
+	// episode ends and a fresh burst gets a fresh full interval.
+	if shed, _ := c.onDequeue(t0.Add(2*interval+time.Millisecond), time.Millisecond); shed {
+		t.Fatal("under-target sojourn must be admitted and end the episode")
+	}
+	if shed, _ := c.onDequeue(t0.Add(3*interval), over); shed {
+		t.Fatal("after recovery a new episode must get burst tolerance again")
+	}
+}
+
+// TestShedErrorsAreTyped pins the two shed variants as members of the typed
+// error family, with the fields the HTTP layer serializes.
+func TestShedErrorsAreTyped(t *testing.T) {
+	dequeue := shedError(30*time.Millisecond, 10*time.Millisecond, 120*time.Millisecond)
+	var se *ShedError
+	if !errors.As(error(dequeue), &se) {
+		t.Fatal("shedError must match *ShedError")
+	}
+	if se.Sojourn != 30*time.Millisecond || se.Target != 10*time.Millisecond || se.RetryAfter != 120*time.Millisecond {
+		t.Fatalf("dequeue shed lost its fields: %+v", se)
+	}
+
+	entry := queueFullError(10*time.Millisecond, 200*time.Millisecond)
+	if !errors.As(error(entry), &se) {
+		t.Fatal("queueFullError must match *ShedError")
+	}
+	if se.Sojourn != 0 || se.RetryAfter != 200*time.Millisecond {
+		t.Fatalf("entry shed fields wrong (sojourn must be 0 — it never queued): %+v", se)
+	}
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the per-tenant circuit breaker. The admission controller
+// (admission.go) protects the shared queue; the breaker protects everything
+// downstream of it from a tenant whose queries keep dying inside the
+// engine. It watches evaluation outcomes — one observation per batch group,
+// i.e. per evaluation unit, so eight requests sharing one failed flight
+// count as one failure — and distinguishes two kinds of sickness:
+//
+//   - Engine failures (ExecError: faults, recovered panics; or deadline
+//     blowouts) trip the classic state machine: closed → open after
+//     FailureThreshold consecutive failures; open requests are rejected
+//     fast with a typed 503 until the cooldown elapses; the first request
+//     after the cooldown is admitted as a half-open probe, and its outcome
+//     re-closes or re-opens the breaker.
+//
+//   - Governor trips (*core.ResourceError) are not engine sickness — the
+//     tenant's own budget is the wall — so they feed a separate counter:
+//     after TripThreshold consecutive trips the breaker enters degraded
+//     mode for DegradeWindow, admitting requests under core.WithCacheOnly.
+//     Plan-memo warm hits keep succeeding at cache cost; cold plans get a
+//     typed *core.DegradedError instead of burning the budget again.
+//
+// Client mistakes (parse/safety/plan errors) and caller cancellations are
+// neutral: they prove nothing about the engine and never move the machine.
+
+// Breaker defaults (Config zero values).
+const (
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = time.Second
+	DefaultDegradeTrips    = 3
+	DefaultDegradeWindow   = 5 * time.Second
+)
+
+// BreakerOpenError reports a request rejected by an open circuit breaker:
+// the tenant's recent evaluations kept failing inside the engine, so the
+// service fails fast instead of queueing more doomed work. The HTTP layer
+// maps it to 503 with a Retry-After header.
+type BreakerOpenError struct {
+	Tenant     string
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *BreakerOpenError) Error() string { return e.Err.Error() }
+func (e *BreakerOpenError) Unwrap() error { return e.Err }
+
+func breakerOpenError(tenant string, retryAfter time.Duration) *BreakerOpenError {
+	return &BreakerOpenError{
+		Tenant:     tenant,
+		RetryAfter: retryAfter,
+		Err: fmt.Errorf("service: circuit breaker open for tenant %q, retry in %v",
+			tenant, retryAfter.Round(time.Millisecond)),
+	}
+}
+
+// breakerState is the classic three-state machine.
+type breakerState uint8
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// groupOutcome classifies one evaluation unit's result for the breaker.
+type groupOutcome uint8
+
+const (
+	outcomeOK      groupOutcome = iota
+	outcomeFailure              // engine failure or deadline blowout
+	outcomeTrip                 // governor budget trip
+	outcomeNeutral              // client mistake, cancellation, degraded rejection
+)
+
+// breakerConfig is resolved from Config in NewServer.
+type breakerConfig struct {
+	failThreshold int
+	cooldown      time.Duration
+	tripThreshold int
+	degradeWindow time.Duration
+}
+
+// breakerDecision is the admission verdict for one evaluation unit.
+type breakerDecision struct {
+	admit bool
+	// degraded asks the admitted unit to run under core.WithCacheOnly.
+	degraded bool
+	// probe marks the admitted unit as the half-open probe; its outcome
+	// must be reported back with observe(..., probe=true).
+	probe bool
+	// retryAfter is the rejection backoff advice (admit == false).
+	retryAfter time.Duration
+}
+
+// breakerTransitions reports which state transitions a call caused, so the
+// metrics layer counts every one exactly once.
+type breakerTransitions struct {
+	opened, halfOpened, closed, degraded bool
+}
+
+// breaker is one tenant's breaker. The tenant's serialized evaluation
+// groups call allow/observe; both are mutex-guarded because groups of one
+// tenant can run concurrently (different queries in one batch).
+type breaker struct {
+	cfg breakerConfig
+
+	mu            sync.Mutex
+	state         breakerState
+	consecFails   int
+	consecTrips   int
+	openedAt      time.Time
+	probing       bool
+	degradedUntil time.Time
+	opens         int64
+	halfOpens     int64
+	closes        int64
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	return &breaker{cfg: cfg}
+}
+
+// allow decides whether one evaluation unit may proceed, and in what mode.
+func (b *breaker) allow(now time.Time) (breakerDecision, breakerTransitions) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var tr breakerTransitions
+	switch b.state {
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cfg.cooldown {
+			return breakerDecision{retryAfter: b.cfg.cooldown - now.Sub(b.openedAt)}, tr
+		}
+		// Cooldown over: admit exactly one probe.
+		b.state = stateHalfOpen
+		b.halfOpens++
+		tr.halfOpened = true
+		b.probing = true
+		return breakerDecision{admit: true, probe: true, degraded: b.degradedNowLocked(now)}, tr
+	case stateHalfOpen:
+		if b.probing {
+			// A probe is in flight; everyone else keeps failing fast.
+			return breakerDecision{retryAfter: b.cfg.cooldown}, tr
+		}
+		b.probing = true
+		return breakerDecision{admit: true, probe: true, degraded: b.degradedNowLocked(now)}, tr
+	default:
+		return breakerDecision{admit: true, degraded: b.degradedNowLocked(now)}, tr
+	}
+}
+
+// degradedNowLocked reports whether degraded (cache-only) mode is active.
+func (b *breaker) degradedNowLocked(now time.Time) bool {
+	return now.Before(b.degradedUntil)
+}
+
+// observe folds one evaluation unit's outcome into the machine. probe must
+// be true iff allow handed out a probe decision for this unit.
+func (b *breaker) observe(now time.Time, out groupOutcome, probe bool) breakerTransitions {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var tr breakerTransitions
+	if probe {
+		b.probing = false
+		switch out {
+		case outcomeOK:
+			b.state = stateClosed
+			b.closes++
+			tr.closed = true
+			b.consecFails = 0
+			b.consecTrips = 0
+		case outcomeFailure:
+			b.state = stateOpen
+			b.openedAt = now
+			b.opens++
+			tr.opened = true
+		default:
+			// A neutral probe (client mistake, cancellation) proves nothing;
+			// stay half-open and let the next request probe again.
+		}
+		return tr
+	}
+	switch out {
+	case outcomeOK:
+		b.consecFails = 0
+		b.consecTrips = 0
+	case outcomeFailure:
+		b.consecFails++
+		b.consecTrips = 0
+		if b.state == stateClosed && b.consecFails >= b.cfg.failThreshold {
+			b.state = stateOpen
+			b.openedAt = now
+			b.opens++
+			tr.opened = true
+		}
+	case outcomeTrip:
+		b.consecTrips++
+		// tripThreshold <= 0 means degraded mode is disabled.
+		if b.cfg.tripThreshold > 0 && b.consecTrips >= b.cfg.tripThreshold {
+			b.degradedUntil = now.Add(b.cfg.degradeWindow)
+			b.consecTrips = 0
+			tr.degraded = true
+		}
+	}
+	return tr
+}
+
+// BreakerStatus is one tenant's breaker state as served by /stats.
+type BreakerStatus struct {
+	State    string `json:"state"`
+	Degraded bool   `json:"degraded"`
+	// ConsecutiveFailures/ConsecutiveTrips are the live counters driving
+	// the open and degraded transitions respectively.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	ConsecutiveTrips    int `json:"consecutive_trips"`
+	// Opens/HalfOpens/Closes count this tenant's lifetime transitions.
+	Opens     int64 `json:"opens"`
+	HalfOpens int64 `json:"half_opens"`
+	Closes    int64 `json:"closes"`
+}
+
+// status snapshots the breaker for /stats.
+func (b *breaker) status(now time.Time) BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{
+		State:               b.state.String(),
+		Degraded:            b.degradedNowLocked(now),
+		ConsecutiveFailures: b.consecFails,
+		ConsecutiveTrips:    b.consecTrips,
+		Opens:               b.opens,
+		HalfOpens:           b.halfOpens,
+		Closes:              b.closes,
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreakerConfig is a small, fast machine for the unit tests: three
+// consecutive failures open, two consecutive trips degrade.
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{
+		failThreshold: 3,
+		cooldown:      time.Second,
+		tripThreshold: 2,
+		degradeWindow: time.Minute,
+	}
+}
+
+// TestBreakerOpensAfterConsecutiveFailures pins the open transition: only an
+// unbroken run of failThreshold failures opens the breaker — a success (or a
+// neutral outcome) in between resets the count.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Now()
+
+	// Two failures, then a success: the machine stays closed.
+	b.observe(t0, outcomeFailure, false)
+	b.observe(t0, outcomeFailure, false)
+	b.observe(t0, outcomeOK, false)
+	if st := b.status(t0); st.State != "closed" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("success must reset the failure count: %+v", st)
+	}
+
+	// Neutral outcomes (client mistakes, cancellations) neither count nor reset.
+	b.observe(t0, outcomeFailure, false)
+	b.observe(t0, outcomeNeutral, false)
+	if st := b.status(t0); st.ConsecutiveFailures != 1 {
+		t.Fatalf("neutral outcome must not move the failure count: %+v", st)
+	}
+
+	// Two more failures complete the consecutive run of three.
+	b.observe(t0, outcomeFailure, false)
+	tr := b.observe(t0, outcomeFailure, false)
+	if !tr.opened {
+		t.Fatal("third consecutive failure must report the open transition")
+	}
+	if st := b.status(t0); st.State != "open" || st.Opens != 1 {
+		t.Fatalf("want open state with Opens=1: %+v", st)
+	}
+
+	// While open and inside the cooldown, requests are rejected with the
+	// remaining cooldown as advice.
+	dec, _ := b.allow(t0.Add(300 * time.Millisecond))
+	if dec.admit {
+		t.Fatal("open breaker inside the cooldown must reject")
+	}
+	if want := 700 * time.Millisecond; dec.retryAfter != want {
+		t.Fatalf("retryAfter = %v, want the remaining cooldown %v", dec.retryAfter, want)
+	}
+}
+
+// TestBreakerHalfOpenProbe pins the recovery protocol: after the cooldown
+// exactly one probe is admitted, concurrent requests keep failing fast, and
+// the probe's outcome re-closes (or re-opens) the machine.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Now()
+	for i := 0; i < 3; i++ {
+		b.observe(t0, outcomeFailure, false)
+	}
+
+	// Cooldown elapsed: the next allow admits a half-open probe.
+	t1 := t0.Add(time.Second)
+	dec, tr := b.allow(t1)
+	if !dec.admit || !dec.probe || !tr.halfOpened {
+		t.Fatalf("want a half-open probe after the cooldown: dec=%+v tr=%+v", dec, tr)
+	}
+	// A second request while the probe is in flight fails fast.
+	if dec2, _ := b.allow(t1); dec2.admit {
+		t.Fatal("only one probe may be in flight")
+	}
+
+	// Probe success closes the breaker and resets the counters.
+	tr = b.observe(t1, outcomeOK, true)
+	if !tr.closed {
+		t.Fatal("successful probe must report the close transition")
+	}
+	if st := b.status(t1); st.State != "closed" || st.Closes != 1 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("want closed with Closes=1: %+v", st)
+	}
+
+	// Open it again; this time the probe fails and the breaker re-opens for
+	// a fresh cooldown.
+	for i := 0; i < 3; i++ {
+		b.observe(t1, outcomeFailure, false)
+	}
+	t2 := t1.Add(time.Second)
+	if dec, _ = b.allow(t2); !dec.probe {
+		t.Fatal("want a probe after the second cooldown")
+	}
+	if tr = b.observe(t2, outcomeFailure, true); !tr.opened {
+		t.Fatal("failed probe must re-open")
+	}
+	if dec, _ = b.allow(t2.Add(time.Millisecond)); dec.admit {
+		t.Fatal("re-opened breaker must reject inside the new cooldown")
+	}
+}
+
+// TestBreakerNeutralProbeProvesNothing pins the wedge-prevention rule: a
+// probe that resolves neutrally (the prober's own mistake or cancellation)
+// leaves the machine half-open, and the next request probes again.
+func TestBreakerNeutralProbeProvesNothing(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Now()
+	for i := 0; i < 3; i++ {
+		b.observe(t0, outcomeFailure, false)
+	}
+	t1 := t0.Add(time.Second)
+	if dec, _ := b.allow(t1); !dec.probe {
+		t.Fatal("want a probe after the cooldown")
+	}
+	tr := b.observe(t1, outcomeNeutral, true)
+	if tr.closed || tr.opened {
+		t.Fatalf("neutral probe must not transition: %+v", tr)
+	}
+	if st := b.status(t1); st.State != "half-open" {
+		t.Fatalf("want half-open after a neutral probe: %+v", st)
+	}
+	// The next request gets a fresh probe (no halfOpened transition — the
+	// state did not change).
+	dec, tr := b.allow(t1)
+	if !dec.admit || !dec.probe || tr.halfOpened {
+		t.Fatalf("want a fresh probe without re-counting half-open: dec=%+v tr=%+v", dec, tr)
+	}
+	if tr = b.observe(t1, outcomeOK, true); !tr.closed {
+		t.Fatal("the fresh probe's success must close")
+	}
+}
+
+// TestBreakerDegradedModeAfterTrips pins the governor-trip branch: trips
+// feed their own consecutive counter, and crossing it enters degraded
+// (cache-only) mode for the window without opening the breaker.
+func TestBreakerDegradedModeAfterTrips(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Now()
+
+	// A trip, a success, a trip: not consecutive, no degradation.
+	b.observe(t0, outcomeTrip, false)
+	b.observe(t0, outcomeOK, false)
+	b.observe(t0, outcomeTrip, false)
+	if dec, _ := b.allow(t0); dec.degraded {
+		t.Fatal("non-consecutive trips must not degrade")
+	}
+
+	// The second consecutive trip enters degraded mode.
+	tr := b.observe(t0, outcomeTrip, false)
+	if !tr.degraded {
+		t.Fatal("second consecutive trip must report the degraded transition")
+	}
+	dec, _ := b.allow(t0)
+	if !dec.admit || !dec.degraded {
+		t.Fatalf("degraded mode must admit cache-only, not reject: %+v", dec)
+	}
+	if st := b.status(t0); !st.Degraded || st.State != "closed" {
+		t.Fatalf("degraded mode is not an open breaker: %+v", st)
+	}
+
+	// The window elapses and the tenant is whole again.
+	t1 := t0.Add(time.Minute + time.Millisecond)
+	if dec, _ := b.allow(t1); dec.degraded {
+		t.Fatal("degraded mode must end with its window")
+	}
+
+	// Trips never open the breaker, no matter how many.
+	for i := 0; i < 10; i++ {
+		b.observe(t1, outcomeTrip, false)
+	}
+	if st := b.status(t1); st.State != "closed" || st.Opens != 0 {
+		t.Fatalf("governor trips must not open the breaker: %+v", st)
+	}
+}
+
+// TestBreakerDegradedModeDisabled pins the knob: a non-positive trip
+// threshold disables degraded mode entirely.
+func TestBreakerDegradedModeDisabled(t *testing.T) {
+	cfg := testBreakerConfig()
+	cfg.tripThreshold = -1
+	b := newBreaker(cfg)
+	t0 := time.Now()
+	for i := 0; i < 5; i++ {
+		if tr := b.observe(t0, outcomeTrip, false); tr.degraded {
+			t.Fatal("disabled degraded mode must never trigger")
+		}
+	}
+	if dec, _ := b.allow(t0); dec.degraded {
+		t.Fatal("disabled degraded mode must never mark a decision degraded")
+	}
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Client defaults.
+const (
+	DefaultMaxRetries  = 3
+	DefaultBaseBackoff = 50 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+)
+
+// RemoteError is a non-2xx response from a remote query service, carrying
+// the server's typed taxonomy payload so callers branch on Detail.Kind (or
+// Status) instead of parsing messages. Transport failures are returned as
+// the underlying error, not a RemoteError.
+type RemoteError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Detail is the decoded error payload (zero-valued when the body was
+	// not a taxonomy envelope).
+	Detail ErrorDetail
+	// RetryAfter is the server's backoff advice (0 when none was given).
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *RemoteError) Error() string { return e.Err.Error() }
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// Client is a retrying client for the queryd HTTP API, shared by
+// queryctl -remote and the queryload harness. Its retry discipline follows
+// the service's overload contract:
+//
+//   - only idempotent calls retry — and both calls it issues (POST /query,
+//     a read; GET /stats) are idempotent;
+//   - only overload rejections retry: 503 shed/breaker/shutdown and
+//     transport failures. Client mistakes (4xx), blown deadlines (504, the
+//     budget is spent), cancellations and degraded rejections (retrying
+//     will not warm the plan cache) fail immediately;
+//   - waits follow jittered exponential backoff, raised to the server's
+//     Retry-After when that is longer — the server knows its backlog;
+//   - a retry is never scheduled past the caller's deadline: if the
+//     remaining budget cannot cover the wait, the last response stands.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8265".
+	Base string
+	// APIKey authenticates every request (the X-API-Key header).
+	APIKey string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts after the first try
+	// (DefaultMaxRetries when 0; negative disables retries).
+	MaxRetries int
+	// BaseBackoff/MaxBackoff shape the exponential backoff
+	// (DefaultBaseBackoff/DefaultMaxBackoff when 0).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Deadline, when positive, is sent as the X-Deadline-Ms header so the
+	// server budgets the request identically (0 uses the server default).
+	Deadline time.Duration
+
+	// retried counts retry waits actually taken, across all calls.
+	retried atomic.Int64
+}
+
+// RetryCount returns how many retries this client has performed in total —
+// the harness reconciles it against the server's shed/breaker counters.
+func (c *Client) RetryCount() int64 { return c.retried.Load() }
+
+// Query runs one query remotely, retrying overload rejections within the
+// caller's deadline. On non-2xx the returned error is a *RemoteError.
+func (c *Client) Query(ctx context.Context, query string) (*QueryResponse, error) {
+	body, err := json.Marshal(queryRequest{Query: query})
+	if err != nil {
+		return nil, &RemoteError{Status: 0, Err: fmt.Errorf("service: encode query: %w", err)}
+	}
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/query", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server's StatsReport, with the same retry discipline.
+func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
+	var out StatsReport
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do issues one API call with retries and decodes the success body into out.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= maxRetries || !retryable(lastErr) {
+			return lastErr
+		}
+		wait := c.backoff(attempt, lastErr)
+		if !deadlineCovers(ctx, wait) {
+			// The remaining budget cannot cover the wait: the request is
+			// deadline-dead, and a retry would only burn server queue space.
+			return lastErr
+		}
+		select {
+		case <-time.After(wait):
+			c.retried.Add(1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// once issues a single HTTP request and decodes the response.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return &RemoteError{Status: 0, Err: fmt.Errorf("service: build request: %w", err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	if c.Deadline > 0 {
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(c.Deadline.Milliseconds(), 10))
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err // transport failure: retryable, not a RemoteError
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		re := &RemoteError{Status: resp.StatusCode}
+		var envelope errorBody
+		if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr == nil {
+			re.Detail = envelope.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.ParseInt(ra, 10, 64); perr == nil && secs > 0 {
+				re.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if re.Detail.RetryAfterMS > 0 {
+			// The body's millisecond advice is finer than the header's
+			// whole seconds; prefer it.
+			re.RetryAfter = time.Duration(re.Detail.RetryAfterMS) * time.Millisecond
+		}
+		msg := re.Detail.Message
+		if msg == "" {
+			msg = resp.Status
+		}
+		re.Err = fmt.Errorf("service: remote %d (%s): %s", resp.StatusCode, re.Detail.Kind, msg)
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &RemoteError{Status: resp.StatusCode, Err: fmt.Errorf("service: decode response: %w", err)}
+	}
+	return nil
+}
+
+// retryable reports whether err is an overload rejection worth retrying.
+func retryable(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		// Transport failure (connection refused/reset): retryable. Context
+		// errors are not — the caller's budget or interest is gone.
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	if re.Status != http.StatusServiceUnavailable {
+		return false
+	}
+	// Degraded rejections are 503 but deterministic: the plan is cold and
+	// retrying does not warm it.
+	return re.Detail.Kind != "degraded"
+}
+
+// backoff computes the jittered exponential wait for a retry attempt,
+// raised to the server's Retry-After advice when that is longer.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	ceil := c.MaxBackoff
+	if ceil <= 0 {
+		ceil = DefaultMaxBackoff
+	}
+	wait := base << attempt
+	if wait > ceil || wait <= 0 {
+		wait = ceil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) && re.RetryAfter > wait {
+		wait = re.RetryAfter
+	}
+	// Full jitter on the upper half: wait/2 + U(0, wait/2], so concurrent
+	// rejected clients do not re-arrive in one synchronized wave.
+	half := wait / 2
+	if half > 0 {
+		wait = half + time.Duration(rand.Int63n(int64(half)))
+	}
+	return wait
+}
+
+// deadlineCovers reports whether ctx's remaining budget covers waiting for
+// wait and still leaves room to issue the retry.
+func deadlineCovers(ctx context.Context, wait time.Duration) bool {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return time.Until(dl) > wait
+}

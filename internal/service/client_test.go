@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedService returns a test server that answers each POST /query from
+// the script in order (repeating the last entry when exhausted) and counts
+// the requests it saw.
+func scriptedService(t *testing.T, script []func(w http.ResponseWriter)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n >= len(script) {
+			n = len(script) - 1
+		}
+		script[n](w)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func respondError(status int, d ErrorDetail, retryAfterHeader string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfterHeader != "" {
+			w.Header().Set("Retry-After", retryAfterHeader)
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(errorBody{d})
+	}
+}
+
+func respondOK(w http.ResponseWriter) {
+	truth := true
+	json.NewEncoder(w).Encode(QueryResponse{Tenant: "acme", Truth: &truth})
+}
+
+// TestClientRetriesOverloadRejections pins the happy retry path: two shed
+// 503s with millisecond advice, then success. The client retries exactly
+// twice, honoring the body's retry_after_ms over the header's whole seconds.
+func TestClientRetriesOverloadRejections(t *testing.T) {
+	shed := ErrorDetail{Kind: "shed", Message: "overloaded", RetryAfterMS: 5}
+	srv, calls := scriptedService(t, []func(http.ResponseWriter){
+		respondError(503, shed, "1"),
+		respondError(503, shed, "1"),
+		respondOK,
+	})
+	c := &Client{Base: srv.URL, APIKey: "k", BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	start := time.Now()
+	qr, err := c.Query(context.Background(), "q")
+	if err != nil {
+		t.Fatalf("third attempt must succeed: %v", err)
+	}
+	if qr.Truth == nil || !*qr.Truth {
+		t.Fatalf("success body lost: %+v", qr)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if c.RetryCount() != 2 {
+		t.Fatalf("client counted %d retries, want 2", c.RetryCount())
+	}
+	// The body said 5ms; the header said 1s. Honoring the finer advice keeps
+	// the total well under a second.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("client waited %v — it used the header's seconds, not the body's ms", elapsed)
+	}
+}
+
+// TestClientDoesNotRetryDeterministicFailures pins the discipline's other
+// half: non-overload statuses and degraded 503s fail on the first attempt.
+func TestClientDoesNotRetryDeterministicFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		detail ErrorDetail
+	}{
+		{"degraded-503", 503, ErrorDetail{Kind: "degraded", Message: "cold plan"}},
+		{"resource-429", 429, ErrorDetail{Kind: "resource", Message: "budget"}},
+		{"parse-400", 400, ErrorDetail{Kind: "parse", Message: "bad query"}},
+		{"timeout-504", 504, ErrorDetail{Kind: "timeout", Message: "budget spent"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, calls := scriptedService(t, []func(http.ResponseWriter){
+				respondError(tc.status, tc.detail, ""),
+				respondOK, // must never be reached
+			})
+			c := &Client{Base: srv.URL, BaseBackoff: time.Millisecond}
+			_, err := c.Query(context.Background(), "q")
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Status != tc.status || re.Detail.Kind != tc.detail.Kind {
+				t.Fatalf("want typed %d/%s, got %v", tc.status, tc.detail.Kind, err)
+			}
+			if got := calls.Load(); got != 1 {
+				t.Fatalf("deterministic failure retried: server saw %d calls", got)
+			}
+		})
+	}
+}
+
+// TestClientNeverRetriesPastDeadline pins the budget rule: when the server's
+// advice outlives the caller's remaining deadline, the client returns the
+// last response instead of scheduling a doomed retry.
+func TestClientNeverRetriesPastDeadline(t *testing.T) {
+	shed := ErrorDetail{Kind: "shed", Message: "overloaded", RetryAfterMS: 60_000}
+	srv, calls := scriptedService(t, []func(http.ResponseWriter){
+		respondError(503, shed, strconv.Itoa(60)),
+	})
+	c := &Client{Base: srv.URL, BaseBackoff: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, "q")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Detail.Kind != "shed" {
+		t.Fatalf("want the last shed response back, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("deadline-dead request retried: server saw %d calls", got)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("the client must fail fast, not wait out advice it cannot honor")
+	}
+	if c.RetryCount() != 0 {
+		t.Fatalf("no retry waits should have been taken, counted %d", c.RetryCount())
+	}
+}
+
+// TestClientRetriesDisabled pins MaxRetries < 0: one attempt, whatever the
+// response.
+func TestClientRetriesDisabled(t *testing.T) {
+	srv, calls := scriptedService(t, []func(http.ResponseWriter){
+		respondError(503, ErrorDetail{Kind: "shed", Message: "overloaded", RetryAfterMS: 1}, ""),
+		respondOK,
+	})
+	c := &Client{Base: srv.URL, MaxRetries: -1}
+	if _, err := c.Query(context.Background(), "q"); err == nil {
+		t.Fatal("single attempt must surface the 503")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("disabled retries still retried: %d calls", got)
+	}
+}
+
+// TestClientSendsDeadlineHeader pins the deadline propagation contract: a
+// configured client deadline travels as X-Deadline-Ms.
+func TestClientSendsDeadlineHeader(t *testing.T) {
+	var got atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(DeadlineHeader); h != "" {
+			ms, _ := strconv.ParseInt(h, 10, 64)
+			got.Store(ms)
+		}
+		respondOK(w)
+	}))
+	t.Cleanup(srv.Close)
+	c := &Client{Base: srv.URL, Deadline: 1500 * time.Millisecond}
+	if _, err := c.Query(context.Background(), "q"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1500 {
+		t.Fatalf("server saw deadline header %dms, want 1500", got.Load())
+	}
+}

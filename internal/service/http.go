@@ -5,20 +5,27 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relation"
 )
+
+// DeadlineHeader is the request header a client sets to override the
+// server's default deadline budget for one request, in milliseconds.
+const DeadlineHeader = "X-Deadline-Ms"
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
 	Query string `json:"query"`
 }
 
-// queryResponse is the POST /query success body: the answer plus the same
+// QueryResponse is the POST /query success body: the answer plus the same
 // per-request record /stats keeps, so a client can reconcile its own calls
-// against the service totals.
-type queryResponse struct {
+// against the service totals. It is exported for remote clients (Client,
+// queryctl, queryload).
+type QueryResponse struct {
 	Tenant    string     `json:"tenant"`
 	Open      bool       `json:"open"`
 	Columns   []string   `json:"columns,omitempty"`
@@ -30,13 +37,15 @@ type queryResponse struct {
 
 // errorBody is the envelope of every non-2xx response.
 type errorBody struct {
-	Error errorDetail `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
-// errorDetail classifies a failure for clients: Kind is the stable
+// ErrorDetail classifies a failure for clients: Kind is the stable
 // programmatic discriminator, and resource rejections carry the governor's
 // typed fields so a client can see which budget tripped and by how much.
-type errorDetail struct {
+// It is exported so remote clients (Client, queryctl, queryload) can
+// inspect the taxonomy without re-parsing messages.
+type ErrorDetail struct {
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	// Governor fields, set only for kind "resource" (HTTP 429).
@@ -46,6 +55,18 @@ type errorDetail struct {
 	Budget   int64  `json:"budget,omitempty"`
 	// Stage is set for plan/exec failures that record one.
 	Stage string `json:"stage,omitempty"`
+	// RetryAfterMS is the server's backoff advice for retryable 503s
+	// (kinds "shed" and "breaker"), mirroring the Retry-After header at
+	// millisecond grain.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// SojournMS is how long a shed request sat in the queue (kind "shed").
+	SojournMS int64 `json:"sojourn_ms,omitempty"`
+	// DeadlineMS/DeadlineRemainingMS report the deadline budget for kind
+	// "timeout" (HTTP 504): the budget the request ran under and what was
+	// left of it when the response was written (usually 0 — the budget is
+	// what ran out).
+	DeadlineMS          int64 `json:"deadline_ms,omitempty"`
+	DeadlineRemainingMS int64 `json:"deadline_remaining_ms,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
@@ -67,16 +88,46 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var body queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Query == "" {
-		writeJSON(w, http.StatusBadRequest, errorBody{errorDetail{Kind: "request", Message: "body must be {\"query\": \"...\"}"}})
+		writeJSON(w, http.StatusBadRequest, errorBody{ErrorDetail{Kind: "request", Message: "body must be {\"query\": \"...\"}"}})
 		return
 	}
-	out, err := s.Execute(r.Context(), r.Header.Get("X-API-Key"), body.Query)
+	qctx := r.Context()
+	budget := s.deadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || ms <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{ErrorDetail{Kind: "request", Message: DeadlineHeader + " must be a positive integer of milliseconds"}})
+			return
+		}
+		budget = time.Duration(ms) * time.Millisecond
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, budget)
+		defer cancel()
+	}
+	out, err := s.Execute(qctx, r.Header.Get("X-API-Key"), body.Query)
 	if err != nil {
 		status := statusOf(err)
-		writeJSON(w, status, errorBody{detailOf(err)})
+		d := detailOf(err)
+		if ra := retryAfterOf(err); ra > 0 {
+			// Retry-After is whole seconds; round up so "wait 200ms" never
+			// renders as "retry immediately".
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+			d.RetryAfterMS = ra.Milliseconds()
+		}
+		if status == http.StatusGatewayTimeout {
+			// The 504 body reports the deadline budget the request ran
+			// under and what was left of it when the response was written.
+			d.DeadlineMS = budget.Milliseconds()
+			if dl, ok := qctx.Deadline(); ok {
+				if rem := time.Until(dl).Milliseconds(); rem > 0 {
+					d.DeadlineRemainingMS = rem
+				}
+			}
+		}
+		writeJSON(w, status, errorBody{d})
 		return
 	}
-	resp := queryResponse{
+	resp := QueryResponse{
 		Tenant:    out.Record.Tenant,
 		Open:      out.Result.Open,
 		Canonical: out.Result.Canonical,
@@ -136,14 +187,20 @@ func rowsOf(rel *relation.Relation) [][]string {
 
 // statusOf maps the service's error taxonomy to HTTP statuses. Client
 // mistakes are 4xx (429 specifically for governor budget trips, so a
-// client can back off), cancellations map to the nginx-convention 499,
-// and only genuine execution failures are 5xx.
+// client can back off), overload rejections (shed, breaker, degraded,
+// shutdown) are 503, a blown deadline budget is 504, a caller hanging up
+// maps to the nginx-convention 499 — the two are deliberately distinct:
+// 504 means the server ran out of budget, 499 means the client left — and
+// only genuine execution failures are 500.
 func statusOf(err error) int {
 	var (
 		parseErr    *core.ParseError
 		safetyErr   *core.SafetyError
 		planErr     *core.PlanError
 		resourceErr *core.ResourceError
+		shedErr     *ShedError
+		openErr     *BreakerOpenError
+		degradedErr *core.DegradedError
 	)
 	switch {
 	case err == nil:
@@ -151,6 +208,8 @@ func statusOf(err error) int {
 	case errors.Is(err, ErrUnknownTenant):
 		return http.StatusUnauthorized
 	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &shedErr), errors.As(err, &openErr), errors.As(err, &degradedErr):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &resourceErr):
 		return http.StatusTooManyRequests
@@ -166,20 +225,30 @@ func statusOf(err error) int {
 }
 
 // detailOf builds the typed error payload for err.
-func detailOf(err error) errorDetail {
-	d := errorDetail{Message: err.Error()}
+func detailOf(err error) ErrorDetail {
+	d := ErrorDetail{Message: err.Error()}
 	var (
 		parseErr    *core.ParseError
 		safetyErr   *core.SafetyError
 		planErr     *core.PlanError
 		resourceErr *core.ResourceError
 		execErr     *core.ExecError
+		shedErr     *ShedError
+		openErr     *BreakerOpenError
+		degradedErr *core.DegradedError
 	)
 	switch {
 	case errors.Is(err, ErrUnknownTenant):
 		d.Kind = "auth"
 	case errors.Is(err, ErrShuttingDown):
 		d.Kind = "shutdown"
+	case errors.As(err, &shedErr):
+		d.Kind = "shed"
+		d.SojournMS = shedErr.Sojourn.Milliseconds()
+	case errors.As(err, &openErr):
+		d.Kind = "breaker"
+	case errors.As(err, &degradedErr):
+		d.Kind = "degraded"
 	case errors.As(err, &resourceErr):
 		d.Kind = "resource"
 		d.Limit = resourceErr.Limit
@@ -204,4 +273,20 @@ func detailOf(err error) errorDetail {
 		d.Kind = "internal"
 	}
 	return d
+}
+
+// retryAfterOf extracts the server's backoff advice from retryable
+// rejections (admission sheds and open breakers). Other errors return 0:
+// no Retry-After header is sent, because retrying would not help (degraded
+// rejections need the plan cache to warm, not time to pass).
+func retryAfterOf(err error) time.Duration {
+	var shedErr *ShedError
+	if errors.As(err, &shedErr) {
+		return shedErr.RetryAfter
+	}
+	var openErr *BreakerOpenError
+	if errors.As(err, &openErr) {
+		return openErr.RetryAfter
+	}
+	return 0
 }

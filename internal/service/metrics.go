@@ -1,6 +1,12 @@
 package service
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
 
 // Record is the flat per-request timing record the /stats endpoint serves:
 // one line per request with everything a latency breakdown needs — where
@@ -26,6 +32,17 @@ type Record struct {
 	PlanUS      int64 `json:"plan_us"`
 	ExecUS      int64 `json:"exec_us"`
 	TotalUS     int64 `json:"total_us"`
+	// QueueNS/ExecNS carry the queue-vs-exec attribution at nanosecond
+	// grain: for sub-millisecond requests the microsecond fields round the
+	// split away, and queue/exec attribution is exactly what the overload
+	// analysis needs.
+	QueueNS int64 `json:"queue_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+	// DeadlineMS is the request's remaining deadline budget at admission in
+	// milliseconds (0 when the request ran unbounded).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Degraded marks requests evaluated in degraded (cache-only) mode.
+	Degraded bool `json:"degraded,omitempty"`
 	// Rows is the answer cardinality (0 for closed queries and failures).
 	Rows int `json:"rows"`
 	// Status is the HTTP status the outcome maps to (200, 400, 429, ...).
@@ -56,6 +73,24 @@ type ServiceCounters struct {
 	Batches         int64 `json:"batches"`
 	BatchedRequests int64 `json:"batched_requests"`
 	MaxBatch        int64 `json:"max_batch"`
+	// Sheds counts 503 rejections by the overload admission controller
+	// (both CoDel dequeue sheds and full-queue entry sheds).
+	Sheds int64 `json:"sheds"`
+	// BreakerOpened/HalfOpened/Closed count circuit-breaker transitions
+	// across all tenants; BreakerRejected counts requests an open breaker
+	// answered with a fast typed 503.
+	BreakerOpened     int64 `json:"breaker_opened"`
+	BreakerHalfOpened int64 `json:"breaker_half_opened"`
+	BreakerClosed     int64 `json:"breaker_closed"`
+	BreakerRejected   int64 `json:"breaker_rejected"`
+	// DegradedModeEntries counts transitions into degraded (cache-only)
+	// mode; DegradedAdmitted/DegradedRejected count requests that succeeded
+	// from the warm plan cache versus cold plans turned away while degraded.
+	DegradedModeEntries int64 `json:"degraded_mode_entries"`
+	DegradedAdmitted    int64 `json:"degraded_admitted"`
+	DegradedRejected    int64 `json:"degraded_rejected"`
+	// DeadlineExceeded counts requests that blew their deadline budget (504).
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 }
 
 // metrics folds finished requests into the service counters and a bounded
@@ -72,8 +107,9 @@ func newMetrics(recent int) *metrics {
 	return &metrics{ring: make([]Record, recent)}
 }
 
-// note folds one finished request.
-func (m *metrics) note(rec Record) {
+// note folds one finished request, classifying err into the resilience
+// counters (the Record's Status alone cannot tell the 503 variants apart).
+func (m *metrics) note(rec Record, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.totals.Requests++
@@ -88,6 +124,25 @@ func (m *metrics) note(rec Record) {
 		m.totals.Rejected++
 	case rec.Status >= 400:
 		m.totals.Errors++
+	}
+	var (
+		shed     *ShedError
+		open     *BreakerOpenError
+		degraded *core.DegradedError
+	)
+	switch {
+	case err == nil:
+		if rec.Degraded {
+			m.totals.DegradedAdmitted++
+		}
+	case errors.As(err, &shed):
+		m.totals.Sheds++
+	case errors.As(err, &open):
+		m.totals.BreakerRejected++
+	case errors.As(err, &degraded):
+		m.totals.DegradedRejected++
+	case errors.Is(err, context.DeadlineExceeded):
+		m.totals.DeadlineExceeded++
 	}
 	if len(m.ring) > 0 {
 		m.ring[m.next] = rec
@@ -107,6 +162,27 @@ func (m *metrics) noteBatch(size int) {
 	m.totals.BatchedRequests += int64(size)
 	if int64(size) > m.totals.MaxBatch {
 		m.totals.MaxBatch = int64(size)
+	}
+}
+
+// noteBreaker folds circuit-breaker transitions.
+func (m *metrics) noteBreaker(tr breakerTransitions) {
+	if !tr.opened && !tr.halfOpened && !tr.closed && !tr.degraded {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tr.opened {
+		m.totals.BreakerOpened++
+	}
+	if tr.halfOpened {
+		m.totals.BreakerHalfOpened++
+	}
+	if tr.closed {
+		m.totals.BreakerClosed++
+	}
+	if tr.degraded {
+		m.totals.DegradedModeEntries++
 	}
 }
 

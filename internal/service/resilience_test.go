@@ -1,0 +1,519 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/testutil"
+)
+
+// TestOverloadShedsWithTypedRetryAfter drives the service into genuine
+// overload — one execution slot, a flood of concurrent requests, and a
+// sub-microsecond sojourn target — and checks the CoDel controller sheds
+// with typed errors whose advice and counters reconcile. Every request must
+// still get a terminal answer: shedding is a fast rejection, not a drop.
+func TestOverloadShedsWithTypedRetryAfter(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const n = 120
+	s := newTestServer(t, Config{
+		BatchSize:     4,
+		MaxConcurrent: 1,
+		// A nanosecond target/interval makes any standing queue an overload:
+		// the controller's decisions become deterministic without needing a
+		// slow engine.
+		ShedTarget:   time.Nanosecond,
+		ShedInterval: time.Nanosecond,
+	})
+
+	errs := make([]error, n)
+	outs := make([]*Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Execute(context.Background(), "k-acme", demoQuery)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, sheds int64
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+			if outs[i].Record.ExecNS <= 0 {
+				t.Errorf("request %d: successful record must attribute exec time, got %+v", i, outs[i].Record)
+			}
+		default:
+			var se *ShedError
+			if !errors.As(err, &se) {
+				t.Fatalf("request %d: overload may only surface typed sheds, got %v", i, err)
+			}
+			if se.RetryAfter <= 0 {
+				t.Errorf("request %d: shed without retry advice: %+v", i, se)
+			}
+			if outs[i] != nil && outs[i].Record.QueueNS < 0 {
+				t.Errorf("request %d: shed record must carry its queue sojourn: %+v", i, outs[i].Record)
+			}
+			sheds++
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("a flood through one slot with a 1ns target must shed")
+	}
+	if ok == 0 {
+		t.Fatal("shedding must not starve the queue — some requests must succeed")
+	}
+	svc := s.Stats().Service
+	if svc.Sheds != sheds {
+		t.Errorf("counters saw %d sheds, callers saw %d", svc.Sheds, sheds)
+	}
+	if svc.Requests != n {
+		t.Errorf("every request must be accounted: counters %d, sent %d", svc.Requests, n)
+	}
+}
+
+// TestSubmissionQueueFullShedsOnEntry pins the one entry-side shed: when the
+// submission queue itself is full the request is rejected immediately with a
+// typed ShedError instead of blocking the submitter. The batcher's collector
+// is drained and stopped first so the queue's capacity is exact.
+func TestSubmissionQueueFullShedsOnEntry(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s, err := NewServer(demoDB(), Config{
+		Tenants:    []TenantConfig{{Name: "acme", APIKey: "k-acme"}},
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the collector; the channel's buffer (depth 1) is now the whole
+	// queue. No Shutdown in cleanup — the batcher is already closed.
+	s.batch.close()
+
+	ten, _ := s.reg.lookup("k-acme")
+	mk := func() *request {
+		return &request{ctx: context.Background(), tenant: ten, query: demoQuery,
+			enqueued: time.Now(), resp: make(chan *Outcome, 1)}
+	}
+	if err := s.submit(mk()); err != nil {
+		t.Fatalf("first submit must fill the buffer, not fail: %v", err)
+	}
+	err = s.submit(mk())
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("full queue must shed on entry with *ShedError, got %v", err)
+	}
+	if se.Sojourn != 0 || se.RetryAfter <= 0 {
+		t.Fatalf("entry shed never queued, so sojourn 0 and positive advice: %+v", se)
+	}
+	if statusOf(err) != http.StatusServiceUnavailable || detailOf(err).Kind != "shed" {
+		t.Fatalf("entry shed must map to 503/shed: %d %q", statusOf(err), detailOf(err).Kind)
+	}
+	svc := s.Stats().Service
+	if svc.Sheds != 1 || svc.Requests != 1 {
+		t.Fatalf("entry shed must be counted as a shed request: %+v", svc)
+	}
+}
+
+// TestBreakerOpensAndRecoversEndToEnd injects three consecutive service
+// faults, watches the tenant's breaker open, verifies the fast typed 503
+// (including over HTTP with a Retry-After header), and then watches the
+// half-open probe re-close it. Each arm fires on the first invocation it
+// observes unfired, so three identical arms mean three consecutive failures.
+func TestBreakerOpensAndRecoversEndToEnd(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const cooldown = 100 * time.Millisecond
+	plan := faultinject.New(
+		faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindError},
+		faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindError},
+		faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindError},
+	)
+	s := newTestServer(t, Config{
+		BatchSize:       1,
+		BreakerFailures: 3,
+		BreakerCooldown: cooldown,
+		ShedTarget:      -1, // isolate the breaker from the admission controller
+		Faults:          plan,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		_, err := s.Execute(context.Background(), "k-acme", demoQuery)
+		var ee *core.ExecError
+		if !errors.As(err, &ee) || ee.Stage != "service.flight" || !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("fault %d must surface as a typed service.flight ExecError, got %v", i+1, err)
+		}
+	}
+	if fired := plan.Fired(); len(fired) != 3 {
+		t.Fatalf("all three arms must have fired, got %v", fired)
+	}
+
+	// The breaker is open: the next request fails fast with a typed 503.
+	_, err := s.Execute(context.Background(), "k-acme", demoQuery)
+	var oe *BreakerOpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *BreakerOpenError after three consecutive failures, got %v", err)
+	}
+	if oe.Tenant != "acme" || oe.RetryAfter <= 0 || oe.RetryAfter > cooldown {
+		t.Fatalf("breaker rejection fields wrong: %+v", oe)
+	}
+
+	// The same rejection over HTTP: 503, kind breaker, Retry-After header,
+	// and millisecond advice in the body — which the retrying Client decodes.
+	client := &Client{Base: srv.URL, APIKey: "k-acme", MaxRetries: -1}
+	_, err = client.Query(context.Background(), demoQuery)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RemoteError over HTTP, got %v", err)
+	}
+	if re.Status != http.StatusServiceUnavailable || re.Detail.Kind != "breaker" {
+		t.Fatalf("want 503/breaker over the wire: %d %q", re.Status, re.Detail.Kind)
+	}
+	if re.RetryAfter <= 0 {
+		t.Fatalf("breaker 503 must carry retry advice, got %v", re.RetryAfter)
+	}
+	if !retryable(err) {
+		t.Fatal("a breaker rejection is an overload 503 the client may retry")
+	}
+
+	// Cooldown over: the next request is the half-open probe; the fault plan
+	// is exhausted, so it succeeds and re-closes the breaker.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if _, err := s.Execute(context.Background(), "k-acme", demoQuery); err != nil {
+		t.Fatalf("the half-open probe must succeed once faults are spent: %v", err)
+	}
+	report := s.Stats()
+	bs := report.Breakers["acme"]
+	if bs.State != "closed" || bs.Opens != 1 || bs.HalfOpens != 1 || bs.Closes != 1 {
+		t.Fatalf("breaker lifecycle wrong: %+v", bs)
+	}
+	svc := report.Service
+	if svc.BreakerOpened != 1 || svc.BreakerHalfOpened != 1 || svc.BreakerClosed != 1 {
+		t.Fatalf("transition counters disagree with the breaker: %+v", svc)
+	}
+	if svc.BreakerRejected != 2 {
+		t.Fatalf("two rejections hit the open breaker, counters saw %d", svc.BreakerRejected)
+	}
+}
+
+// TestDegradedModeCacheOnly pins the degraded path end to end: consecutive
+// governor trips put the tenant in cache-only mode, where a warm query keeps
+// answering from the plan memo while a cold one gets a typed DegradedError —
+// partial service instead of hard failure.
+func TestDegradedModeCacheOnly(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	// The budget is calibrated to the demo fixture: the warm query fits
+	// under 8 tuples, the divisive one does not.
+	const (
+		warmQuery = demoQuery
+		tripQuery = `{ x | student(x) and forall y: lecture(y) => attends(x, y) }`
+		coldQuery = `{ x | student(x) }`
+	)
+	s := newTestServer(t, Config{
+		Tenants:       []TenantConfig{{Name: "frail", APIKey: "k-frail", TupleLimit: 8}},
+		EngineOptions: []core.Option{core.WithPlanCache(0)},
+		BatchSize:     1,
+		DegradeTrips:  2,
+		DegradeWindow: time.Minute,
+		ShedTarget:    -1,
+	})
+
+	// Warm the plan cache with a query that fits the budget.
+	if _, err := s.Execute(context.Background(), "k-frail", warmQuery); err != nil {
+		t.Fatalf("warm query must fit the budget: %v", err)
+	}
+
+	// Two consecutive governor trips enter degraded mode.
+	for i := 0; i < 2; i++ {
+		_, err := s.Execute(context.Background(), "k-frail", tripQuery)
+		var rerr *core.ResourceError
+		if !errors.As(err, &rerr) {
+			t.Fatalf("trip %d: want *core.ResourceError, got %v", i+1, err)
+		}
+	}
+	if bs := s.Stats().Breakers["frail"]; !bs.Degraded || bs.State != "closed" {
+		t.Fatalf("two consecutive trips must degrade without opening: %+v", bs)
+	}
+
+	// Degraded mode: the warm query still answers, from the memo.
+	out, err := s.Execute(context.Background(), "k-frail", warmQuery)
+	if err != nil {
+		t.Fatalf("warm query must survive degraded mode: %v", err)
+	}
+	if !out.Record.Degraded || !out.Record.CacheHit {
+		t.Fatalf("degraded success must be marked and cache-served: %+v", out.Record)
+	}
+	if out.Result.Rows.Len() != 1 {
+		t.Fatalf("degraded replay changed the answer: %+v", out.Result)
+	}
+
+	// A cold plan is turned away with the typed degraded rejection — and no
+	// Retry-After, because waiting does not warm a cache.
+	_, err = s.Execute(context.Background(), "k-frail", coldQuery)
+	var de *core.DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("cold plan in degraded mode: want *core.DegradedError, got %v", err)
+	}
+	if statusOf(err) != http.StatusServiceUnavailable || detailOf(err).Kind != "degraded" {
+		t.Fatalf("degraded rejection must map to 503/degraded: %d %q", statusOf(err), detailOf(err).Kind)
+	}
+	if retryAfterOf(err) != 0 {
+		t.Fatal("degraded rejections must not advertise Retry-After")
+	}
+	if retryable(&RemoteError{Status: 503, Detail: detailOf(err), Err: err}) {
+		t.Fatal("the client must not retry a degraded rejection")
+	}
+
+	svc := s.Stats().Service
+	if svc.DegradedModeEntries != 1 || svc.DegradedAdmitted != 1 || svc.DegradedRejected != 1 {
+		t.Fatalf("degraded counters wrong: %+v", svc)
+	}
+}
+
+// TestDeadlineBudgetPropagates pins deadline handling across the stack: the
+// server default applies when the caller sets none, the deadline propagates
+// into the evaluation (an injected stall blows it), the failure maps to 504
+// with the budget in the body, and the X-Deadline-Ms header overrides per
+// request.
+func TestDeadlineBudgetPropagates(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	plan := faultinject.New(
+		faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindDelay, Delay: 300 * time.Millisecond},
+		faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindDelay, Delay: 300 * time.Millisecond},
+	)
+	s := newTestServer(t, Config{
+		BatchSize:       1,
+		DefaultDeadline: 50 * time.Millisecond,
+		ShedTarget:      -1,
+		BreakerFailures: -1,
+		Faults:          plan,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// No caller deadline: the server's 50ms budget cancels the stalled
+	// evaluation.
+	start := time.Now()
+	_, err := s.Execute(context.Background(), "k-acme", demoQuery)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled evaluation must blow the default budget, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Fatalf("the deadline must release the caller, not wait out the stall (%v)", elapsed)
+	}
+
+	// Over HTTP with an explicit header budget: 504, kind timeout, and the
+	// budget echoed in the body.
+	req, _ := http.NewRequest("POST", srv.URL+"/query", jsonBody(t, queryRequest{Query: demoQuery}))
+	req.Header.Set("X-API-Key", "k-acme")
+	req.Header.Set(DeadlineHeader, "40")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %d", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Kind != "timeout" || body.Error.DeadlineMS != 40 {
+		t.Fatalf("504 body must carry the deadline budget: %+v", body.Error)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("a blown deadline is not an overload rejection; no Retry-After")
+	}
+
+	// A malformed header is the client's mistake.
+	req, _ = http.NewRequest("POST", srv.URL+"/query", jsonBody(t, queryRequest{Query: demoQuery}))
+	req.Header.Set("X-API-Key", "k-acme")
+	req.Header.Set(DeadlineHeader, "soon")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline header: want 400, got %d", resp2.StatusCode)
+	}
+
+	// The 504s were written when the callers' budgets died; the pipeline's
+	// records land once the injected stalls end. Wait for them.
+	waitFor(t, 2*time.Second, func() bool { return s.Stats().Service.DeadlineExceeded == 2 })
+	// Both blown requests left records with their admission-time budget.
+	for _, rec := range s.Stats().Recent {
+		if rec.Status == http.StatusGatewayTimeout && rec.DeadlineMS <= 0 {
+			t.Fatalf("504 record lost its deadline budget: %+v", rec)
+		}
+	}
+}
+
+// TestTimeoutAndCancelStayDistinct pins the taxonomy rule at both mapping
+// sites: a blown deadline budget (the server ran out of time) is 504/timeout
+// and a caller hanging up (the client left) is 499/cancelled — conflating
+// them would poison both the breaker and the operator's dashboards.
+func TestTimeoutAndCancelStayDistinct(t *testing.T) {
+	if s := statusOf(context.DeadlineExceeded); s != http.StatusGatewayTimeout {
+		t.Fatalf("deadline: want 504, got %d", s)
+	}
+	if s := statusOf(context.Canceled); s != 499 {
+		t.Fatalf("cancel: want 499, got %d", s)
+	}
+	if k := detailOf(context.DeadlineExceeded).Kind; k != "timeout" {
+		t.Fatalf("deadline: want kind timeout, got %q", k)
+	}
+	if k := detailOf(context.Canceled).Kind; k != "cancelled" {
+		t.Fatalf("cancel: want kind cancelled, got %q", k)
+	}
+	// The breaker mirrors the distinction: a blown deadline is evidence of
+	// engine sickness, a hang-up proves nothing.
+	if breakerOutcome(context.DeadlineExceeded) != outcomeFailure {
+		t.Fatal("deadline blowouts must count against the breaker")
+	}
+	if breakerOutcome(context.Canceled) != outcomeNeutral {
+		t.Fatal("cancellations must be neutral for the breaker")
+	}
+}
+
+// TestResilienceTaxonomyRoundTrip pins the full typed family the overload
+// work added — shed, breaker, degraded — through statusOf/detailOf exactly
+// as the HTTP layer serializes them, next to the pre-existing kinds.
+func TestResilienceTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+		retry  bool // Retry-After advertised
+	}{
+		{shedError(30*time.Millisecond, 10*time.Millisecond, 200*time.Millisecond), 503, "shed", true},
+		{queueFullError(10*time.Millisecond, 200*time.Millisecond), 503, "shed", true},
+		{breakerOpenError("acme", 500*time.Millisecond), 503, "breaker", true},
+		{&core.DegradedError{Plan: "q", Err: errors.New("cold")}, 503, "degraded", false},
+		{ErrShuttingDown, 503, "shutdown", false},
+		{ErrUnknownTenant, 401, "auth", false},
+	}
+	for _, tc := range cases {
+		if got := statusOf(tc.err); got != tc.status {
+			t.Errorf("%T: status %d, want %d", tc.err, got, tc.status)
+		}
+		d := detailOf(tc.err)
+		if d.Kind != tc.kind {
+			t.Errorf("%T: kind %q, want %q", tc.err, d.Kind, tc.kind)
+		}
+		if d.Message == "" {
+			t.Errorf("%T: empty message", tc.err)
+		}
+		if (retryAfterOf(tc.err) > 0) != tc.retry {
+			t.Errorf("%T: Retry-After advertised=%v, want %v", tc.err, retryAfterOf(tc.err) > 0, tc.retry)
+		}
+	}
+	// The shed detail carries its sojourn for the client's telemetry.
+	if d := detailOf(shedError(30*time.Millisecond, 10*time.Millisecond, 200*time.Millisecond)); d.SojournMS != 30 {
+		t.Errorf("shed detail lost the sojourn: %+v", d)
+	}
+}
+
+// TestShutdownUnderLoad drives a full overload mix — floods, sheds, an
+// injected fault, tight deadlines — and shuts the server down mid-storm.
+// The contract: every accepted request gets a terminal typed response, the
+// drain completes, and no goroutine outlives it (the race detector and
+// CheckGoroutines guard the rest).
+func TestShutdownUnderLoad(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s, err := NewServer(demoDB(), Config{
+		Tenants:         []TenantConfig{{Name: "acme", APIKey: "k-acme"}},
+		BatchSize:       4,
+		MaxConcurrent:   2,
+		DefaultDeadline: 500 * time.Millisecond,
+		ShedTarget:      time.Microsecond,
+		ShedInterval:    time.Microsecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 10 * time.Millisecond,
+		Faults: faultinject.New(
+			faultinject.Arm{Point: faultinject.PointServiceFlight, Kind: faultinject.KindError, After: 3},
+			faultinject.Arm{Point: faultinject.PointServiceBatcher, Kind: faultinject.KindPanic, After: 5},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 150
+	queries := []string{demoQuery, `{ x | student(x) }`, `{ x, y | student(x) and attends(x, y) }`}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Execute(context.Background(), "k-acme", queries[i%len(queries)])
+		}(i)
+	}
+	// Shut down while the storm is in flight.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain under load failed: %v", err)
+	}
+	wg.Wait()
+
+	counts := map[string]int{}
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			counts["ok"]++
+		case errors.Is(err, ErrShuttingDown):
+			counts["shutdown"]++
+		case func() bool { var se *ShedError; return errors.As(err, &se) }():
+			counts["shed"]++
+		case func() bool { var oe *BreakerOpenError; return errors.As(err, &oe) }():
+			counts["breaker"]++
+		case func() bool { var ee *core.ExecError; return errors.As(err, &ee) }():
+			counts["fault"]++
+		case errors.Is(err, context.DeadlineExceeded):
+			counts["timeout"]++
+		default:
+			t.Fatalf("request %d died untyped under load: %v", i, err)
+		}
+	}
+	if counts["ok"] == 0 {
+		t.Fatalf("the storm must not fail every request: %v", counts)
+	}
+	t.Logf("shutdown under load: %v", counts)
+}
+
+// waitFor polls cond until it holds or the budget runs out.
+func waitFor(t *testing.T, budget time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within the wait budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}

@@ -3,21 +3,37 @@
 // so the engine's paper-grade counters become measurable under real
 // concurrent traffic.
 //
-// The request path stacks four mechanisms:
+// The request path stacks six mechanisms:
 //
 //  1. Admission — an API key resolves to a tenant whose engine carries
 //     governor budgets (WithTupleLimit/WithMemoryBudget); a budget trip
 //     surfaces as a typed *core.ResourceError the HTTP layer maps to 429.
-//  2. Batching — requests flow through a channel-based batcher with a
+//     On top of the budgets sits a CoDel-style overload controller
+//     (admission.go): when the batcher is persistently backlogged, requests
+//     whose queue sojourn exceeds the target are shed with a typed 503
+//     carrying Retry-After advice.
+//  2. Deadlines — every request runs under a deadline budget: the
+//     operator's Config.DefaultDeadline unless the caller's context (or the
+//     X-Deadline-Ms header over HTTP) already carries one. The deadline
+//     propagates into the engine context, so a blown budget cancels the
+//     evaluation itself, not just the response.
+//  3. Batching — requests flow through a channel-based batcher with a
 //     max-wait flush; a batch groups identical (tenant, query) texts so a
-//     burst pays the planner once per distinct query.
-//  3. Request-level single-flight — a flight table keyed by (tenant,
+//     burst pays the planner once per distinct query. Batch groups execute
+//     under a bounded slot pool (Config.MaxConcurrent), which is what makes
+//     overload observable as queue sojourn instead of unbounded goroutines.
+//  4. Circuit breakers — each tenant carries a breaker (breaker.go):
+//     consecutive engine failures open it (fast typed 503 until a half-open
+//     probe re-closes it), and repeated governor trips put the tenant in
+//     degraded cache-only mode, where plan-cache warm hits still succeed.
+//  5. Request-level single-flight — a flight table keyed by (tenant,
 //     canonical fingerprint, catalog generation) elects one producer per
 //     concurrent identical query and shares its result with every waiter,
 //     the memo's election protocol lifted from subplans to requests.
-//  4. Observability — every request leaves a flat timing record (queue,
+//  6. Observability — every request leaves a flat timing record (queue,
 //     plan, exec, flight role, rows, status), and /stats serves those
-//     records next to each tenant engine's unified core.Snapshot.
+//     records next to each tenant engine's unified core.Snapshot and each
+//     tenant's breaker state.
 package service
 
 import (
@@ -29,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Service-level sentinel errors, surfaced by Execute and mapped to HTTP
@@ -46,6 +63,11 @@ const (
 	DefaultBatchMaxWait = 2 * time.Millisecond
 	DefaultQueueDepth   = 256
 	DefaultRecent       = 256
+	// DefaultMaxConcurrent bounds concurrently executing batches. Bounded
+	// execution is load-bearing for overload resilience: it is what turns
+	// "too much traffic" into measurable queue sojourn the admission
+	// controller can act on, instead of an unbounded goroutine pile.
+	DefaultMaxConcurrent = 8
 )
 
 // Config configures a Server.
@@ -68,6 +90,38 @@ type Config struct {
 	// the tenant's budgets and extras — e.g. core.WithParallelism,
 	// core.WithPlanCache.
 	EngineOptions []core.Option
+
+	// MaxConcurrent bounds concurrently executing batches
+	// (DefaultMaxConcurrent when 0).
+	MaxConcurrent int
+	// DefaultDeadline is the server-side deadline budget applied to every
+	// request whose context carries none. 0 means no server-side deadline
+	// (callers may still set their own).
+	DefaultDeadline time.Duration
+	// ShedTarget/ShedInterval tune the CoDel admission controller
+	// (DefaultShedTarget/DefaultShedInterval when 0). A negative value for
+	// either disables shedding entirely.
+	ShedTarget   time.Duration
+	ShedInterval time.Duration
+	// BreakerFailures opens a tenant's circuit breaker after this many
+	// consecutive engine failures (DefaultBreakerFailures when 0); negative
+	// disables the breakers entirely.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects before admitting
+	// a half-open probe (DefaultBreakerCooldown when 0).
+	BreakerCooldown time.Duration
+	// DegradeTrips enters degraded cache-only mode after this many
+	// consecutive governor trips (DefaultDegradeTrips when 0); negative
+	// disables degraded mode.
+	DegradeTrips int
+	// DegradeWindow is how long degraded mode lasts (DefaultDegradeWindow
+	// when 0).
+	DegradeWindow time.Duration
+	// Faults is an optional deterministic fault-injection plan consulted at
+	// the service-level points (faultinject.ServicePoints). It exists for
+	// resilience tests and the queryload harness; production servers never
+	// install one.
+	Faults *faultinject.Plan
 }
 
 // request is one query travelling through the pipeline.
@@ -76,7 +130,10 @@ type request struct {
 	tenant   *tenant
 	query    string
 	enqueued time.Time
-	resp     chan *Outcome // buffered: the pipeline never blocks on delivery
+	// deadlineMS is the request's remaining deadline budget at admission,
+	// in milliseconds (0 when the request runs unbounded).
+	deadlineMS int64
+	resp       chan *Outcome // buffered: the pipeline never blocks on delivery
 }
 
 // Outcome is the service-level result of one request: the engine result
@@ -95,6 +152,18 @@ type Server struct {
 	flights *flightTable
 	batch   *batcher
 	metrics *metrics
+
+	// admit is the CoDel overload controller (nil when shedding is
+	// disabled); slots bounds concurrently executing batches.
+	admit *codel
+	slots chan struct{}
+	// deadline is the server-side default deadline budget (0 = none).
+	deadline time.Duration
+	// breakers holds one circuit breaker per tenant name (nil when
+	// breakers are disabled). The map is immutable after NewServer.
+	breakers map[string]*breaker
+	// faults is the optional service-level fault plan (nil in production).
+	faults *faultinject.Plan
 
 	// closeMu orders submissions against Shutdown: submit holds the read
 	// side across the closing check and the channel send, so once Shutdown
@@ -130,14 +199,77 @@ func NewServer(db *core.DB, cfg Config) (*Server, error) {
 	if recent < 0 {
 		recent = 0
 	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = DefaultMaxConcurrent
+	}
+	target := cfg.ShedTarget
+	if target == 0 {
+		target = DefaultShedTarget
+	}
+	interval := cfg.ShedInterval
+	if interval == 0 {
+		interval = DefaultShedInterval
+	}
+	var admit *codel
+	if target > 0 && interval > 0 {
+		admit = newCodel(target, interval)
+	}
+	deadline := cfg.DefaultDeadline
+	if deadline < 0 {
+		deadline = 0
+	}
 	s := &Server{
-		db:      db,
-		reg:     reg,
-		flights: newFlightTable(),
-		metrics: newMetrics(recent),
+		db:       db,
+		reg:      reg,
+		flights:  newFlightTable(),
+		metrics:  newMetrics(recent),
+		admit:    admit,
+		slots:    make(chan struct{}, maxConc),
+		deadline: deadline,
+		faults:   cfg.Faults,
+	}
+	if cfg.BreakerFailures >= 0 {
+		bcfg := breakerConfig{
+			failThreshold: cfg.BreakerFailures,
+			cooldown:      cfg.BreakerCooldown,
+			tripThreshold: cfg.DegradeTrips,
+			degradeWindow: cfg.DegradeWindow,
+		}
+		if bcfg.failThreshold == 0 {
+			bcfg.failThreshold = DefaultBreakerFailures
+		}
+		if bcfg.cooldown <= 0 {
+			bcfg.cooldown = DefaultBreakerCooldown
+		}
+		if bcfg.tripThreshold == 0 {
+			bcfg.tripThreshold = DefaultDegradeTrips
+		}
+		if bcfg.degradeWindow <= 0 {
+			bcfg.degradeWindow = DefaultDegradeWindow
+		}
+		s.breakers = make(map[string]*breaker, len(reg.names))
+		for _, name := range reg.names {
+			s.breakers[name] = newBreaker(bcfg)
+		}
 	}
 	s.batch = newBatcher(size, depth, maxWait, s.processBatch)
 	return s, nil
+}
+
+// invokePoint consults the service-level fault plan at point, converting an
+// injected panic into an error: a service fault must degrade the request,
+// never kill a server goroutine.
+func (s *Server) invokePoint(point string) (err error) {
+	if s.faults == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: injected panic at %s: %v", point, r)
+		}
+	}()
+	return s.faults.Invoke(point)
 }
 
 // Execute runs one query for the tenant owning apiKey, riding the batcher
@@ -151,7 +283,21 @@ func (s *Server) Execute(ctx context.Context, apiKey, query string) (*Outcome, e
 		s.metrics.noteAuthFailure()
 		return nil, ErrUnknownTenant
 	}
+	if err := s.invokePoint(faultinject.PointServiceAdmission); err != nil {
+		return nil, &core.ExecError{Stage: "service.admission", Err: err}
+	}
+	// Deadline budget: respect a caller-supplied deadline, otherwise apply
+	// the server default so no request runs unbounded. The derived context
+	// propagates into the engine, so a blown budget cancels the evaluation.
+	if _, has := ctx.Deadline(); !has && s.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
+		defer cancel()
+	}
 	r := &request{ctx: ctx, tenant: ten, query: query, enqueued: time.Now(), resp: make(chan *Outcome, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		r.deadlineMS = time.Until(dl).Milliseconds()
+	}
 	if err := s.submit(r); err != nil {
 		return nil, err
 	}
@@ -165,15 +311,30 @@ func (s *Server) Execute(ctx context.Context, apiKey, query string) (*Outcome, e
 	}
 }
 
-// submit hands a request to the batcher unless the server is closing.
+// submit hands a request to the batcher unless the server is closing. With
+// the admission controller enabled a full submission queue sheds on entry —
+// the one place shedding happens before the queue rather than at dequeue —
+// because blocking the submitter would hide the overload from both the
+// client and the controller.
 func (s *Server) submit(r *request) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closing {
 		return ErrShuttingDown
 	}
-	s.batch.in <- r
-	return nil
+	if s.admit == nil {
+		s.batch.in <- r
+		return nil
+	}
+	select {
+	case s.batch.in <- r:
+		return nil
+	default:
+	}
+	err := queueFullError(s.admit.target, s.admit.interval)
+	rec := Record{Tenant: r.tenant.cfg.Name, DeadlineMS: r.deadlineMS, Status: statusOf(err), Err: err.Error()}
+	s.metrics.note(rec, err)
+	return err
 }
 
 // Shutdown drains the service: new submissions are rejected with
@@ -196,11 +357,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // StatsReport is the /stats payload: service-level counters, one unified
-// core.Snapshot per tenant, and the recent per-request records.
+// core.Snapshot and one circuit-breaker status per tenant, and the recent
+// per-request records.
 type StatsReport struct {
-	Service ServiceCounters          `json:"service"`
-	Tenants map[string]core.Snapshot `json:"tenants"`
-	Recent  []Record                 `json:"recent"`
+	Service  ServiceCounters          `json:"service"`
+	Tenants  map[string]core.Snapshot `json:"tenants"`
+	Breakers map[string]BreakerStatus `json:"breakers,omitempty"`
+	Recent   []Record                 `json:"recent"`
 }
 
 // Stats assembles the current report.
@@ -209,18 +372,62 @@ func (s *Server) Stats() StatsReport {
 	for _, name := range s.reg.names {
 		tenants[name] = s.reg.byName[name].eng.Snapshot()
 	}
+	var breakers map[string]BreakerStatus
+	if s.breakers != nil {
+		now := time.Now()
+		breakers = make(map[string]BreakerStatus, len(s.breakers))
+		for name, br := range s.breakers {
+			breakers[name] = br.status(now)
+		}
+	}
 	svc, recent := s.metrics.snapshot()
-	return StatsReport{Service: svc, Tenants: tenants, Recent: recent}
+	return StatsReport{Service: svc, Tenants: tenants, Breakers: breakers, Recent: recent}
 }
 
-// processBatch handles one flushed batch: group identical (tenant, query)
-// texts, then evaluate every group concurrently. The batch goroutine waits
-// for its groups, so the batcher's drain covers every response.
+// processBatch handles one flushed batch: acquire an execution slot, judge
+// each member's queue sojourn against the admission controller, then group
+// the admitted requests by identical (tenant, query) and evaluate every
+// group concurrently. The batch goroutine waits for its groups, so the
+// batcher's drain covers every response.
 func (s *Server) processBatch(batch []*request) {
 	s.metrics.noteBatch(len(batch))
+	if err := s.invokePoint(faultinject.PointServiceBatcher); err != nil {
+		werr := &core.ExecError{Stage: "service.batcher", Err: err}
+		now := time.Now()
+		for _, r := range batch {
+			s.finish(r, now, nil, werr, Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
+		}
+		return
+	}
+	// The slot wait is part of the sojourn the controller judges: bounded
+	// execution turns overload into standing queue, and CoDel turns
+	// standing queue into sheds.
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	now := time.Now()
+	admitted := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			// Dead on arrival: the caller's context (deadline or
+			// cancellation) expired while the request sat in the queue.
+			s.finish(r, now, nil, r.ctx.Err(), Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
+			continue
+		}
+		if s.admit != nil {
+			sojourn := now.Sub(r.enqueued)
+			if shed, retry := s.admit.onDequeue(now, sojourn); shed {
+				s.finish(r, now, nil, shedError(sojourn, s.admit.target, retry), Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
+				continue
+			}
+		}
+		admitted = append(admitted, r)
+	}
+	if len(admitted) == 0 {
+		return
+	}
 	type groupKey struct{ tenant, query string }
 	groups := make(map[groupKey][]*request)
-	for _, r := range batch {
+	for _, r := range admitted {
 		k := groupKey{r.tenant.cfg.Name, r.query}
 		groups[k] = append(groups[k], r)
 	}
@@ -229,25 +436,67 @@ func (s *Server) processBatch(batch []*request) {
 		wg.Add(1)
 		go func(reqs []*request) {
 			defer wg.Done()
-			s.processGroup(reqs, len(batch))
+			s.processGroup(reqs, len(admitted))
 		}(reqs)
 	}
 	wg.Wait()
 }
 
 // processGroup evaluates one batch group — identical requests of one
-// tenant. The group prepares once, then resolves through the flight table
-// as a single unit: its leader is the candidate producer, and every other
+// tenant. The group first passes the tenant's circuit breaker (rejection
+// answers every member with a typed 503; degraded mode runs the evaluation
+// cache-only), then prepares once and resolves through the flight table as
+// a single unit: its leader is the candidate producer, and every other
 // member shares whatever the leader's flight resolves to. If the leader
 // dies of its own cancellation, leadership passes to the next member —
-// the batch-local mirror of the flight table's re-election.
+// the batch-local mirror of the flight table's re-election. The breaker
+// observes the group's resolution exactly once: one evaluation unit is one
+// verdict, no matter how many requests rode it.
 func (s *Server) processGroup(reqs []*request, batchSize int) {
 	ten := reqs[0].tenant
 	dispatched := time.Now()
 	base := Record{Tenant: ten.cfg.Name, Batch: batchSize}
+	br := s.breakers[ten.cfg.Name] // nil when breakers are disabled
+	var dec breakerDecision
+	if br != nil {
+		var tr breakerTransitions
+		dec, tr = br.allow(dispatched)
+		s.metrics.noteBreaker(tr)
+		if !dec.admit {
+			err := breakerOpenError(ten.cfg.Name, dec.retryAfter)
+			for _, r := range reqs {
+				s.finish(r, dispatched, nil, err, base)
+			}
+			return
+		}
+		base.Degraded = dec.degraded
+	}
+	// observe reports the group's verdict to the breaker exactly once; the
+	// deferred call covers every exit path, which matters for a half-open
+	// probe — a probe that never reports would wedge the breaker.
+	observed := false
+	observe := func(out groupOutcome) {
+		if br == nil || observed {
+			return
+		}
+		observed = true
+		s.metrics.noteBreaker(br.observe(time.Now(), out, dec.probe))
+	}
+	defer observe(outcomeNeutral)
+	if ferr := s.invokePoint(faultinject.PointServiceFlight); ferr != nil {
+		werr := &core.ExecError{Stage: "service.flight", Err: ferr}
+		observe(outcomeFailure)
+		for _, r := range reqs {
+			s.finish(r, dispatched, nil, werr, base)
+		}
+		return
+	}
 	p, err := ten.eng.Prepare(reqs[0].query)
 	base.PlanUS = time.Since(dispatched).Microseconds()
 	if err != nil {
+		// Prepare failures are client mistakes (parse/safety/plan): neutral
+		// for the breaker.
+		observe(outcomeNeutral)
 		for _, r := range reqs {
 			s.finish(r, dispatched, nil, err, base)
 		}
@@ -258,23 +507,34 @@ func (s *Server) processGroup(reqs []*request, batchSize int) {
 	key := flightKey{tenant: ten.cfg.Name, fp: fp, gen: s.db.Catalog().Generation()}
 	for len(reqs) > 0 {
 		leader := reqs[0]
+		rctx := leader.ctx
+		if dec.degraded {
+			rctx = core.WithCacheOnly(rctx)
+		}
 		execStart := time.Now()
 		res, err, out := s.flights.do(leader.ctx, key, func() (*core.Result, error) {
-			return ten.eng.RunContext(leader.ctx, p)
+			return ten.eng.RunContext(rctx, p)
 		})
 		execDur := time.Since(execStart)
 		rec := base
 		rec.Flight = out.Role
 		rec.FlightWaits = out.Waits
 		rec.ExecUS = execDur.Microseconds()
+		rec.ExecNS = execDur.Nanoseconds()
 		if err != nil && leader.ctx.Err() != nil {
 			// The leader's own context killed its flight (as producer the
 			// entry was abandoned; as waiter the wait was cut short). Answer
-			// the leader and hand leadership to the next member.
+			// the leader and hand leadership to the next member. A blown
+			// deadline budget is a breaker failure — the evaluation was too
+			// slow — while a caller hanging up proves nothing.
+			if errors.Is(leader.ctx.Err(), context.DeadlineExceeded) {
+				observe(outcomeFailure)
+			}
 			s.finish(leader, dispatched, nil, err, rec)
 			reqs = reqs[1:]
 			continue
 		}
+		observe(breakerOutcome(err))
 		for i, r := range reqs {
 			mrec := rec
 			if i > 0 {
@@ -289,11 +549,32 @@ func (s *Server) processGroup(reqs []*request, batchSize int) {
 	}
 }
 
+// breakerOutcome classifies one group resolution for the breaker: engine
+// failures and deadline blowouts are failures, governor budget trips feed
+// the degraded-mode counter, and client mistakes (parse/safety/plan),
+// cancellations and degraded rejections prove nothing about the engine.
+func breakerOutcome(err error) groupOutcome {
+	if err == nil {
+		return outcomeOK
+	}
+	var re *core.ResourceError
+	if errors.As(err, &re) {
+		return outcomeTrip
+	}
+	var ee *core.ExecError
+	if errors.As(err, &ee) || errors.Is(err, context.DeadlineExceeded) {
+		return outcomeFailure
+	}
+	return outcomeNeutral
+}
+
 // finish completes one request: fills the per-request timing, folds the
 // record into the metrics, and delivers the outcome.
 func (s *Server) finish(r *request, dispatched time.Time, res *core.Result, err error, rec Record) {
 	rec.QueueWaitUS = dispatched.Sub(r.enqueued).Microseconds()
+	rec.QueueNS = dispatched.Sub(r.enqueued).Nanoseconds()
 	rec.TotalUS = time.Since(r.enqueued).Microseconds()
+	rec.DeadlineMS = r.deadlineMS
 	rec.Status = statusOf(err)
 	if err != nil {
 		rec.Err = err.Error()
@@ -304,7 +585,7 @@ func (s *Server) finish(r *request, dispatched time.Time, res *core.Result, err 
 			rec.Rows = res.Rows.Len()
 		}
 	}
-	s.metrics.note(rec)
+	s.metrics.note(rec, err)
 	r.resp <- &Outcome{Result: res, Err: err, Record: rec}
 }
 

@@ -3,7 +3,8 @@
 #
 #   ./scripts/check.sh         # toolchain pin, format, vet, lint, build,
 #                              # full tests, race tests, chaos sweep,
-#                              # one-shot benchmark smoke + counter gate
+#                              # one-shot benchmark smoke + counter gate,
+#                              # overload load-test smoke (queryd + queryload)
 #
 # The race pass covers the packages with real concurrency: the partitioned
 # executor (internal/exec), the engine API that drives it with contexts and
@@ -70,5 +71,15 @@ fi
 # swallowing it: changed counters, regressions, and the comparison tally.
 grep -E 'rows compared|REGRESSION|GATE FAILED|result: | -> |only in ' "$smoke_log" || true
 rm -f "$smoke_log"
+
+echo "== loadtest smoke (overload shed + reconcile + clean drain)"
+load_log=$(mktemp)
+if ! make loadtest-smoke > "$load_log" 2>&1; then
+	cat "$load_log" >&2
+	rm -f "$load_log"
+	exit 1
+fi
+grep -E 'server shed|reconciliation|LOADTEST-SMOKE' "$load_log" || true
+rm -f "$load_log"
 
 echo "ALL CHECKS PASSED"
