@@ -9,24 +9,31 @@
 // Usage:
 //
 //	queryd -dataset university -n 200 \
-//	       -tenants 'alice:key-a:5000,bob:key-b:500:1048576'
+//	       -tenants 'alice:key-a:5000,bob:key-b:500:1048576:2:100'
 //
-// Each -tenants entry is name:apikey[:tuple-limit[:memory-budget-bytes]];
-// a tenant's budgets are its admission control — a query that exceeds them
-// is rejected with 429 and a typed resource payload. Omitted budgets mean
-// unbounded.
+// Each -tenants entry is
+// name:apikey[:tuple-limit[:memory-budget-bytes[:weight[:rps]]]]; a
+// tenant's budgets are its admission control — a query that exceeds them is
+// rejected with 429 and a typed resource payload. weight is the tenant's
+// fair-share weight under overload (deficit round-robin; default 1), and
+// rps is a per-tenant token-bucket rate limit (requests/second, burst of
+// one second's worth) shedding excess at submission with a typed 503.
+// Omitted budgets mean unbounded; empty fields keep their defaults.
 //
-// The daemon is overload-resilient by default (see DESIGN.md §10). Every
-// request runs under a deadline budget (-default-deadline, tightened per
-// request with the X-Deadline-Ms header) that propagates into the engine;
-// a CoDel-style controller sheds requests whose queue sojourn stays above
-// -shed-target for a full -shed-interval; consecutive engine failures open
-// a per-tenant circuit breaker (-breaker-failures, -breaker-cooldown), and
-// consecutive governor trips enter a cache-only degraded window
-// (-degrade-trips, -degrade-window). All rejections are typed 503s with
-// retry_after_ms advice. -fault injects service-level faults for chaos
-// drills (see -fault's grammar below), and cmd/queryload is the matching
-// load harness.
+// The daemon is overload-resilient and fair by default (see DESIGN.md §10
+// and §11). Every request runs under a deadline budget (-default-deadline,
+// tightened per request with the X-Deadline-Ms header) that propagates into
+// the engine; requests queue per tenant and dispatch by weighted deficit
+// round-robin, so a flooding tenant lengthens only its own queue; one
+// CoDel-style controller per tenant sheds requests whose queue sojourn
+// stays above -shed-target for a full -shed-interval; consecutive engine
+// failures open a per-tenant circuit breaker (-breaker-failures,
+// -breaker-cooldown), and consecutive governor trips enter a cache-only
+// degraded window (-degrade-trips, -degrade-window). All rejections are
+// typed 503s with retry_after_ms advice and a reason field splitting the
+// shed kinds (sojourn, queue-full, rate-limit). -fault injects
+// service-level faults for chaos drills (see -fault's grammar below), and
+// cmd/queryload is the matching load harness.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight and queued requests are
 // answered, new submissions get 503, then the process exits.
@@ -64,7 +71,7 @@ func run() error {
 	addr := flag.String("addr", "localhost:8991", "listen address (host:port; port 0 picks a free one)")
 	ds := flag.String("dataset", "university", "dataset: university, ptu, rstg")
 	n := flag.Int("n", 100, "dataset scale")
-	tenantsFlag := flag.String("tenants", "demo:demo-key", "comma-separated name:apikey[:tuple-limit[:memory-budget]] entries")
+	tenantsFlag := flag.String("tenants", "demo:demo-key", "comma-separated name:apikey[:tuple-limit[:memory-budget[:weight[:rps]]]] entries")
 	parallel := flag.Int("parallel", 1, "partition fan-out of every tenant engine (1 = serial)")
 	cache := flag.Bool("cache", true, "enable each tenant's memoizing subplan cache")
 	batchSize := flag.Int("batch-size", service.DefaultBatchSize, "flush a batch at this many requests")
@@ -173,8 +180,8 @@ func parseTenants(s string) ([]service.TenantConfig, error) {
 			continue
 		}
 		parts := strings.Split(entry, ":")
-		if len(parts) < 2 || len(parts) > 4 {
-			return nil, fmt.Errorf("bad -tenants entry %q (want name:apikey[:tuple-limit[:memory-budget]])", entry)
+		if len(parts) < 2 || len(parts) > 6 {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name:apikey[:tuple-limit[:memory-budget[:weight[:rps]]]])", entry)
 		}
 		tc := service.TenantConfig{Name: parts[0], APIKey: parts[1]}
 		if len(parts) >= 3 && parts[2] != "" {
@@ -184,12 +191,26 @@ func parseTenants(s string) ([]service.TenantConfig, error) {
 			}
 			tc.TupleLimit = v
 		}
-		if len(parts) == 4 && parts[3] != "" {
+		if len(parts) >= 4 && parts[3] != "" {
 			v, err := strconv.ParseInt(parts[3], 10, 64)
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("bad memory budget in -tenants entry %q", entry)
 			}
 			tc.MemoryBudget = v
+		}
+		if len(parts) >= 5 && parts[4] != "" {
+			v, err := strconv.Atoi(parts[4])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad weight in -tenants entry %q (want an integer ≥ 1)", entry)
+			}
+			tc.Weight = v
+		}
+		if len(parts) == 6 && parts[5] != "" {
+			v, err := strconv.ParseFloat(parts[5], 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad rps in -tenants entry %q (want a number ≥ 0)", entry)
+			}
+			tc.RatePerSec = v
 		}
 		out = append(out, tc)
 	}

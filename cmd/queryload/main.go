@@ -4,21 +4,32 @@
 // fires back-to-back) — and reports what the overload-resilience layer did
 // about it: latency percentiles, shed/breaker/degraded/timeout counts,
 // client retries, and goodput. After the run it fetches /stats and
-// reconciles the server's counters against what the clients observed.
+// reconciles the server's counters against what the clients observed —
+// globally and per tenant.
 //
 // Usage:
 //
 //	queryload -base http://localhost:8991 -apikeys demo-key \
 //	          -clients 8 -rate 400 -duration 5s
+//	queryload -base ... -apikeys polite-key -rate 20 \
+//	          -abuser abuser-key:2000 -duration 5s
 //	queryload -base ... -clients 4 -duration 3s -json run.jsonl
+//
+// -abuser runs dedicated open-loop floods next to the main mix: each
+// key:rps entry hammers the server at its own rate with the same query
+// mix, which is how the fairness of the per-tenant scheduler is measured —
+// the polite keys' goodput and percentiles are reported separately from
+// the abusers', and per-tenant sheds are reconciled against the server's
+// per_tenant ledger.
 //
 // Latency is measured from intended arrival time, not send time, so
 // client-side queueing under overload counts against the server — the
 // standard open-loop correction for coordinated omission.
 //
 // With -json the summary is appended as flat one-line objects in the same
-// table/label row format benchrepro emits, so scripts/benchcmp.sh can diff
-// two runs counter by counter.
+// table/label row format benchrepro emits (one global row plus one row per
+// tenant, labelled label/tenant), so scripts/benchcmp.sh can diff two runs
+// counter by counter.
 package main
 
 import (
@@ -27,8 +38,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,32 +64,43 @@ func main() {
 	}
 }
 
-// tally is the classified outcome count of one run.
+// tally is the classified outcome count of one run (or one key's slice of it).
 type tally struct {
-	requests  int64
-	ok        int64
-	shed      int64
-	breaker   int64
-	degraded  int64
-	timeout   int64
-	resource  int64
-	cancelled int64
-	other     int64
+	requests    int64
+	ok          int64
+	shed        int64
+	rateLimited int64 // the rate-limit subset of shed
+	breaker     int64
+	degraded    int64
+	timeout     int64
+	resource    int64
+	cancelled   int64
+	other       int64
 }
 
 // outcome is one finished request as the harness saw it.
 type outcome struct {
+	key     string        // the API key that issued it
+	tenant  string        // tenant name from the response ("" when it failed)
 	latency time.Duration // intended arrival → terminal response
 	ok      bool
 	kind    string // taxonomy kind for failures ("" on success)
+	reason  string // shed reason for kind "shed" (sojourn/queue-full/rate-limit)
+}
+
+// abuserSpec is one -abuser entry: a dedicated open-loop flood.
+type abuserSpec struct {
+	key  string
+	rate float64
 }
 
 func run() error {
 	base := flag.String("base", "http://localhost:8991", "queryd base URL")
 	apiKeys := flag.String("apikeys", "demo-key", "comma-separated tenant API keys; clients round-robin across them")
 	clients := flag.Int("clients", 8, "closed-loop worker count; in open-loop mode the cap on in-flight requests is -max-inflight")
-	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop over -clients workers)")
-	maxInflight := flag.Int("max-inflight", 1024, "open-loop cap on concurrently in-flight requests (the harness's own protection, not the server's)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/sec across -apikeys (0 = closed loop over -clients workers)")
+	abuserFlag := flag.String("abuser", "", "comma-separated key:rps floods run next to the main mix, each at its own open-loop rate")
+	maxInflight := flag.Int("max-inflight", 1024, "open-loop cap on concurrently in-flight requests per generator (the harness's own protection, not the server's)")
 	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
 	queriesFlag := flag.String("queries", defaultQueries, "semicolon-separated query mix; clients round-robin across it")
 	deadline := flag.Duration("deadline", 0, "per-request deadline budget sent as "+service.DeadlineHeader+" (0 = server default)")
@@ -90,16 +114,36 @@ func run() error {
 	if len(keys) == 0 || len(queries) == 0 || *clients < 1 {
 		return fmt.Errorf("queryload: need at least one API key, one query and one client")
 	}
+	abusers, err := parseAbusers(*abuserFlag)
+	if err != nil {
+		return err
+	}
 
-	// One retrying client per API key: retry counts aggregate per tenant.
-	clis := make([]*service.Client, len(keys))
-	for i, k := range keys {
-		clis[i] = &service.Client{
+	mkClient := func(key string) *service.Client {
+		// Each key gets its own transport with a deep idle pool: the
+		// default two idle conns per host would make the harness churn
+		// connections under open-loop load, and a flooding key's churn
+		// would contend with the polite keys' pool — the client-side
+		// interference would then masquerade as server unfairness.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 2048
+		tr.MaxIdleConnsPerHost = 2048
+		return &service.Client{
 			Base:       strings.TrimRight(*base, "/"),
-			APIKey:     k,
+			APIKey:     key,
+			HTTP:       &http.Client{Transport: tr},
 			MaxRetries: *retries,
 			Deadline:   *deadline,
 		}
+	}
+	// One retrying client per API key: retry counts aggregate per tenant.
+	clis := make([]*service.Client, len(keys))
+	for i, k := range keys {
+		clis[i] = mkClient(k)
+	}
+	abuserClis := make([]*service.Client, len(abusers))
+	for i, a := range abusers {
+		abuserClis[i] = mkClient(a.key)
 	}
 
 	ctx := context.Background()
@@ -110,12 +154,16 @@ func run() error {
 
 	fmt.Printf("queryload: %d client(s) against %s for %v", *clients, *base, *duration)
 	if *rate > 0 {
-		fmt.Printf(", open loop at %.0f req/s\n", *rate)
+		fmt.Printf(", open loop at %.0f req/s", *rate)
 	} else {
-		fmt.Printf(", closed loop\n")
+		fmt.Printf(", closed loop")
 	}
+	for _, a := range abusers {
+		fmt.Printf(", abuser %s at %.0f req/s", a.key, a.rate)
+	}
+	fmt.Println()
 
-	outcomes := drive(ctx, clis, queries, *clients, *maxInflight, *rate, *duration)
+	outcomes := drive(ctx, clis, abuserClis, abusers, queries, *clients, *maxInflight, *rate, *duration)
 
 	after, err := clis[0].Stats(ctx)
 	if err != nil {
@@ -123,12 +171,13 @@ func run() error {
 	}
 
 	var retried int64
-	for _, c := range clis {
+	for _, c := range append(append([]*service.Client{}, clis...), abuserClis...) {
 		retried += c.RetryCount()
 	}
 	t := classify(outcomes)
 	report(t, outcomes, retried, *duration)
-	reconcile(t, retried, before.Service, after.Service)
+	reportPerKey(outcomes, *duration)
+	reconcile(t, retried, before, after, outcomes)
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, *label, t, outcomes, retried, *duration, before.Service, after.Service); err != nil {
 			return err
@@ -137,13 +186,31 @@ func run() error {
 	return nil
 }
 
+// parseAbusers parses -abuser: comma-separated key:rps entries.
+func parseAbusers(s string) ([]abuserSpec, error) {
+	var out []abuserSpec
+	for _, entry := range splitList(s, ",") {
+		key, rateStr, ok := strings.Cut(entry, ":")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("queryload: bad -abuser entry %q (want key:rps)", entry)
+		}
+		r, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("queryload: bad -abuser rate in %q (want a positive number)", entry)
+		}
+		out = append(out, abuserSpec{key: key, rate: r})
+	}
+	return out, nil
+}
+
 // drive generates the load and returns every terminal outcome. Open-loop
-// mode launches each arrival independently at its intended time — in-flight
-// requests pile up when the server is slow, which is exactly what pushes
-// the server's queue into the admission controller's shedding regime; a
-// request delayed past its intended arrival pays that delay in its
-// reported latency.
-func drive(ctx context.Context, clis []*service.Client, queries []string, workers, maxInflight int, rate float64, duration time.Duration) []outcome {
+// generators launch each arrival independently at its intended time — in-
+// flight requests pile up when the server is slow, which is exactly what
+// pushes a tenant's queue into its admission controller's shedding regime;
+// a request delayed past its intended arrival pays that delay in its
+// reported latency. Each -abuser entry runs its own open-loop generator at
+// its own rate, concurrent with the main mix.
+func drive(ctx context.Context, clis, abuserClis []*service.Client, abusers []abuserSpec, queries []string, workers, maxInflight int, rate float64, duration time.Duration) []outcome {
 	var (
 		mu  sync.Mutex
 		out []outcome
@@ -153,26 +220,44 @@ func drive(ctx context.Context, clis []*service.Client, queries []string, worker
 		out = append(out, o)
 		mu.Unlock()
 	}
-	var seq atomic.Int64
-	issue := func(intended time.Time) {
-		n := seq.Add(1) - 1
-		cli := clis[int(n)%len(clis)]
-		query := queries[int(n)%len(queries)]
+	issue := func(cli *service.Client, query string, intended time.Time) {
 		qr, err := cli.Query(ctx, query)
-		o := outcome{latency: time.Since(intended)}
+		o := outcome{key: cli.APIKey, latency: time.Since(intended)}
 		switch {
 		case err == nil && qr != nil:
 			o.ok = true
+			o.tenant = qr.Tenant
 		case err == nil:
 			o.kind = "internal"
 		default:
-			o.kind = errKind(err)
+			o.kind, o.reason = errKind(err)
 		}
 		record(o)
 	}
 
 	stop := time.Now().Add(duration)
 	var wg sync.WaitGroup
+
+	// The abuser floods: one dedicated open-loop generator per entry.
+	for i, a := range abusers {
+		cli := abuserClis[i]
+		wg.Add(1)
+		go func(cli *service.Client, rate float64) {
+			defer wg.Done()
+			var seq atomic.Int64
+			openLoop(stop, rate, maxInflight, cli.APIKey, func(intended time.Time) {
+				n := seq.Add(1) - 1
+				issue(cli, queries[int(n)%len(queries)], intended)
+			})
+		}(cli, a.rate)
+	}
+
+	// The main mix over -apikeys.
+	var seq atomic.Int64
+	mixIssue := func(intended time.Time) {
+		n := seq.Add(1) - 1
+		issue(clis[int(n)%len(clis)], queries[int(n)%len(queries)], intended)
+	}
 	if rate <= 0 {
 		// Closed loop: each worker fires back-to-back until time is up.
 		for w := 0; w < workers; w++ {
@@ -180,18 +265,28 @@ func drive(ctx context.Context, clis []*service.Client, queries []string, worker
 			go func() {
 				defer wg.Done()
 				for time.Now().Before(stop) {
-					issue(time.Now())
+					mixIssue(time.Now())
 				}
 			}()
 		}
-		wg.Wait()
-		return out
+	} else {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			openLoop(stop, rate, maxInflight, "mix", mixIssue)
+		}()
 	}
-	// Open loop: each arrival launches independently at its intended time,
-	// like unsynchronized real users — outstanding requests are not capped
-	// by a worker pool (only by -max-inflight, the harness's own fuse), so
-	// a slow server accumulates in-flight work instead of silently slowing
-	// the generator down (coordinated omission).
+	wg.Wait()
+	return out
+}
+
+// openLoop launches arrivals at rate until stop, each at its intended time,
+// like unsynchronized real users — outstanding requests are not capped by a
+// worker pool (only by maxInflight, the harness's own fuse), so a slow
+// server accumulates in-flight work instead of silently slowing the
+// generator down (coordinated omission). Blocks until every launched
+// request has finished.
+func openLoop(stop time.Time, rate float64, maxInflight int, who string, issue func(intended time.Time)) {
 	if maxInflight < 1 {
 		maxInflight = 1
 	}
@@ -200,6 +295,7 @@ func drive(ctx context.Context, clis []*service.Client, queries []string, worker
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	var wg sync.WaitGroup
 	var skipped int64
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -212,7 +308,7 @@ func drive(ctx context.Context, clis []*service.Client, queries []string, worker
 			select {
 			case inflight <- struct{}{}:
 			default:
-				atomic.AddInt64(&skipped, 1)
+				skipped++
 				continue
 			}
 			wg.Add(1)
@@ -224,28 +320,28 @@ func drive(ctx context.Context, clis []*service.Client, queries []string, worker
 		}
 	}
 	wg.Wait()
-	if n := atomic.LoadInt64(&skipped); n > 0 {
-		fmt.Printf("  (open-loop fuse: %d arrival(s) dropped at %d in-flight — raise -max-inflight or lower -rate)\n", n, maxInflight)
+	if skipped > 0 {
+		fmt.Printf("  (open-loop fuse %s: %d arrival(s) dropped at %d in-flight — raise -max-inflight or lower the rate)\n", who, skipped, maxInflight)
 	}
-	return out
 }
 
-// errKind maps a client error to the server's taxonomy kind.
-func errKind(err error) string {
+// errKind maps a client error to the server's taxonomy kind and, for sheds,
+// the reason splitting the defense lines.
+func errKind(err error) (kind, reason string) {
 	var re *service.RemoteError
 	if errors.As(err, &re) {
 		if re.Detail.Kind != "" {
-			return re.Detail.Kind
+			return re.Detail.Kind, re.Detail.Reason
 		}
-		return fmt.Sprintf("http_%d", re.Status)
+		return fmt.Sprintf("http_%d", re.Status), ""
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		return "timeout"
+		return "timeout", ""
 	}
 	if errors.Is(err, context.Canceled) {
-		return "cancelled"
+		return "cancelled", ""
 	}
-	return "transport"
+	return "transport", ""
 }
 
 // classify folds the outcomes into the tally.
@@ -258,6 +354,9 @@ func classify(outcomes []outcome) tally {
 			t.ok++
 		case o.kind == "shed":
 			t.shed++
+			if o.reason == service.ShedReasonRateLimit {
+				t.rateLimited++
+			}
 		case o.kind == "breaker":
 			t.breaker++
 		case o.kind == "degraded":
@@ -273,6 +372,18 @@ func classify(outcomes []outcome) tally {
 		}
 	}
 	return t
+}
+
+// keyTenants maps each API key to the tenant name its successful responses
+// reported (keys with no success stay unmapped).
+func keyTenants(outcomes []outcome) map[string]string {
+	m := make(map[string]string)
+	for _, o := range outcomes {
+		if o.tenant != "" {
+			m[o.key] = o.tenant
+		}
+	}
+	return m
 }
 
 // percentile returns the p-th percentile of sorted durations (p in [0,100]).
@@ -304,8 +415,8 @@ func report(t tally, outcomes []outcome, retried int64, duration time.Duration) 
 	}
 	fmt.Printf("  requests %d  ok %d (%.1f%%)  goodput %.1f/s  retries %d\n",
 		t.requests, t.ok, okPct, goodput, retried)
-	fmt.Printf("  rejected: shed %d  breaker %d  degraded %d  timeout %d  resource %d  cancelled %d  other %d\n",
-		t.shed, t.breaker, t.degraded, t.timeout, t.resource, t.cancelled, t.other)
+	fmt.Printf("  rejected: shed %d (rate-limited %d)  breaker %d  degraded %d  timeout %d  resource %d  cancelled %d  other %d\n",
+		t.shed, t.rateLimited, t.breaker, t.degraded, t.timeout, t.resource, t.cancelled, t.other)
 	lat := okLatencies(outcomes)
 	if len(lat) > 0 {
 		fmt.Printf("  latency (ok, from intended arrival): p50 %v  p95 %v  p99 %v  max %v\n",
@@ -314,20 +425,60 @@ func report(t tally, outcomes []outcome, retried int64, duration time.Duration) 
 	}
 }
 
+// reportPerKey prints one fairness line per API key: the per-tenant view
+// that shows whether a flood hurt anyone but the flooder. The line format
+// is fixed (scripts parse it): tenant <name> (<key>): requests N ok N
+// (P%) goodput G/s shed N rate_limited N p50 D p95 D p99 D.
+func reportPerKey(outcomes []outcome, duration time.Duration) {
+	byKey := make(map[string][]outcome)
+	var keys []string
+	for _, o := range outcomes {
+		if _, seen := byKey[o.key]; !seen {
+			keys = append(keys, o.key)
+		}
+		byKey[o.key] = append(byKey[o.key], o)
+	}
+	if len(keys) < 2 {
+		return // one key: the global summary already is the per-tenant view
+	}
+	sort.Strings(keys)
+	names := keyTenants(outcomes)
+	for _, key := range keys {
+		group := byKey[key]
+		kt := classify(group)
+		name := names[key]
+		if name == "" {
+			name = "?"
+		}
+		okPct := 0.0
+		if kt.requests > 0 {
+			okPct = 100 * float64(kt.ok) / float64(kt.requests)
+		}
+		lat := okLatencies(group)
+		fmt.Printf("  tenant %s (%s): requests %d ok %d (%.1f%%) goodput %.1f/s shed %d rate_limited %d p50 %v p95 %v p99 %v\n",
+			name, key, kt.requests, kt.ok, okPct, float64(kt.ok)/duration.Seconds(), kt.shed, kt.rateLimited,
+			percentile(lat, 50).Round(time.Microsecond), percentile(lat, 95).Round(time.Microsecond),
+			percentile(lat, 99).Round(time.Microsecond))
+	}
+}
+
 // reconcile diffs the server's counters across the run window against the
 // clients' own view. Every client attempt (first tries plus retries) that
 // reached the server is one server-side request; sheds, breaker rejections
 // and deadline blowouts must not exceed what the server recorded — the
 // clients cannot see MORE rejections than the server handed out. (They can
-// see fewer: retried-away rejections are absorbed inside the client.)
-func reconcile(t tally, retried int64, before, after service.ServiceCounters) {
+// see fewer: retried-away rejections are absorbed inside the client.) The
+// same bound holds per tenant against the server's per_tenant ledger.
+func reconcile(t tally, retried int64, beforeR, afterR *service.StatsReport, outcomes []outcome) {
+	before, after := beforeR.Service, afterR.Service
+	names := keyTenants(outcomes)
 	reqs := after.Requests - before.Requests
 	sheds := after.Sheds - before.Sheds
 	breaker := after.BreakerRejected - before.BreakerRejected
 	deadlines := after.DeadlineExceeded - before.DeadlineExceeded
 	attempts := t.requests + retried
-	fmt.Printf("  server window: requests %d  sheds %d  breaker_rejected %d  deadline_exceeded %d  breaker opened/half/closed %d/%d/%d  degraded entries %d\n",
-		reqs, sheds, breaker, deadlines,
+	fmt.Printf("  server window: requests %d  sheds %d  rate_limited %d  breaker_rejected %d  deadline_exceeded %d  breaker opened/half/closed %d/%d/%d  degraded entries %d\n",
+		reqs, sheds, after.RateLimited-before.RateLimited, breaker, deadlines,
 		after.BreakerOpened-before.BreakerOpened,
 		after.BreakerHalfOpened-before.BreakerHalfOpened,
 		after.BreakerClosed-before.BreakerClosed,
@@ -345,6 +496,43 @@ func reconcile(t tally, retried int64, before, after service.ServiceCounters) {
 		fmt.Printf("  RECONCILE FAIL: clients saw %d breaker rejections, server only recorded %d\n", t.breaker, breaker)
 		problems++
 	}
+	// Per-tenant: a tenant's terminal client sheds must be within what the
+	// server's per_tenant ledger charged to it. Keys whose tenant name never
+	// surfaced (no successful response to learn it from) cannot be matched;
+	// their sheds only participate in the global bound above.
+	clientSheds := make(map[string]int64)
+	for _, o := range outcomes {
+		if o.kind != "shed" {
+			continue
+		}
+		if name, ok := names[o.key]; ok {
+			clientSheds[name]++
+		}
+	}
+	var tenantNames []string
+	for name := range afterR.PerTenant {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	for _, tenantName := range tenantNames {
+		tcAfter := afterR.PerTenant[tenantName]
+		tcBefore := beforeR.PerTenant[tenantName]
+		reqDiff := tcAfter.Requests - tcBefore.Requests
+		if reqDiff == 0 && clientSheds[tenantName] == 0 {
+			continue // the run never touched this tenant
+		}
+		serverTenantSheds := tcAfter.Sheds - tcBefore.Sheds
+		fmt.Printf("  server tenant %s: requests %d  sheds %d (sojourn %d  queue-full %d  rate-limited %d)\n",
+			tenantName, reqDiff, serverTenantSheds,
+			tcAfter.SojournSheds-tcBefore.SojournSheds,
+			tcAfter.QueueFullSheds-tcBefore.QueueFullSheds,
+			tcAfter.RateLimited-tcBefore.RateLimited)
+		if clientSheds[tenantName] > serverTenantSheds {
+			fmt.Printf("  RECONCILE FAIL: tenant %s clients saw %d terminal sheds, server ledger records %d\n",
+				tenantName, clientSheds[tenantName], serverTenantSheds)
+			problems++
+		}
+	}
 	if problems == 0 {
 		fmt.Printf("  reconciliation OK: client attempts %d within server requests %d; rejection counts consistent\n", attempts, reqs)
 	}
@@ -359,6 +547,7 @@ type jsonRow struct {
 	Requests          int64   `json:"requests"`
 	OK                int64   `json:"ok"`
 	Sheds             int64   `json:"sheds"`
+	RateLimited       int64   `json:"rate_limited"`
 	BreakerRejected   int64   `json:"breaker_rejected"`
 	DegradedRejected  int64   `json:"degraded_rejected"`
 	Timeouts          int64   `json:"timeouts"`
@@ -376,13 +565,27 @@ type jsonRow struct {
 }
 
 func writeJSON(path, label string, t tally, outcomes []outcome, retried int64, duration time.Duration, before, after service.ServiceCounters) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	emit := func(row jsonRow) error {
+		line, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(f, "%s\n", line)
+		return err
+	}
 	lat := okLatencies(outcomes)
-	row := jsonRow{
+	if err := emit(jsonRow{
 		Table:             "queryload",
 		Label:             label,
 		Requests:          t.requests,
 		OK:                t.ok,
 		Sheds:             t.shed,
+		RateLimited:       t.rateLimited,
 		BreakerRejected:   t.breaker,
 		DegradedRejected:  t.degraded,
 		Timeouts:          t.timeout,
@@ -397,18 +600,52 @@ func writeJSON(path, label string, t tally, outcomes []outcome, retried int64, d
 		P95US:             percentile(lat, 95).Microseconds(),
 		P99US:             percentile(lat, 99).Microseconds(),
 		Result:            fmt.Sprintf("%d/%d ok", t.ok, t.requests),
-	}
-	line, err := json.Marshal(row)
-	if err != nil {
+	}); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
+	// One row per key when the run mixed tenants, labelled label/tenant so
+	// benchcmp diffs the fairness split, not just the aggregate.
+	byKey := make(map[string][]outcome)
+	for _, o := range outcomes {
+		byKey[o.key] = append(byKey[o.key], o)
 	}
-	defer f.Close()
-	_, err = fmt.Fprintf(f, "%s\n", line)
-	return err
+	if len(byKey) < 2 {
+		return nil
+	}
+	names := keyTenants(outcomes)
+	var keys []string
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		group := byKey[key]
+		kt := classify(group)
+		klat := okLatencies(group)
+		name := names[key]
+		if name == "" {
+			name = key
+		}
+		if err := emit(jsonRow{
+			Table:       "queryload",
+			Label:       label + "/" + name,
+			Requests:    kt.requests,
+			OK:          kt.ok,
+			Sheds:       kt.shed,
+			RateLimited: kt.rateLimited,
+			Timeouts:    kt.timeout,
+			Resource:    kt.resource,
+			OtherErrors: kt.other + kt.cancelled,
+			GoodputRPS:  float64(kt.ok) / duration.Seconds(),
+			P50US:       percentile(klat, 50).Microseconds(),
+			P95US:       percentile(klat, 95).Microseconds(),
+			P99US:       percentile(klat, 99).Microseconds(),
+			Result:      fmt.Sprintf("%d/%d ok", kt.ok, kt.requests),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // splitList splits a separator-joined flag value, dropping empty entries.

@@ -40,15 +40,33 @@ const (
 	DefaultDeadlineBudget = 2 * time.Second
 )
 
-// ShedError reports a request shed by the admission controller: the batcher
-// was persistently backlogged and this request's queue sojourn exceeded the
-// target. It is a fast, typed rejection — the engine never saw the request —
-// and carries the controller's advice on when to retry. The HTTP layer maps
-// it to 503 with a Retry-After header.
+// Shed reasons: the ShedError.Reason (and wire `reason`) values that tell a
+// client which defense line rejected it.
+const (
+	// ShedReasonSojourn: the tenant's queue sojourn stayed above target and
+	// its CoDel controller shed this request at dequeue.
+	ShedReasonSojourn = "sojourn"
+	// ShedReasonQueueFull: the tenant's pending queue (or the submission
+	// channel) was at capacity, so the request was shed at entry.
+	ShedReasonQueueFull = "queue-full"
+	// ShedReasonRateLimit: the tenant's token bucket was empty; the request
+	// was shed at submission before it ever queued.
+	ShedReasonRateLimit = "rate-limit"
+)
+
+// ShedError reports a request shed by the overload defenses before the
+// engine ever saw it: the tenant's CoDel controller judged its queue sojourn
+// (Reason "sojourn"), its pending queue or the submission channel was full
+// (Reason "queue-full"), or its token bucket was empty (Reason
+// "rate-limit"). All three are fast, typed rejections carrying advice on
+// when to retry; the HTTP layer maps them to 503 with a Retry-After header.
 type ShedError struct {
-	// Sojourn is how long the request sat in the queue before being shed.
+	// Reason is one of the ShedReason* values.
+	Reason string
+	// Sojourn is how long the request sat in the queue before being shed
+	// (0 for entry sheds — the request never queued).
 	Sojourn time.Duration
-	// Target is the controller's sojourn target.
+	// Target is the controller's sojourn target (sojourn sheds only).
 	Target time.Duration
 	// RetryAfter is the controller's backoff advice.
 	RetryAfter time.Duration
@@ -58,9 +76,11 @@ type ShedError struct {
 func (e *ShedError) Error() string { return e.Err.Error() }
 func (e *ShedError) Unwrap() error { return e.Err }
 
-// shedError builds a ShedError with a rendered message.
+// shedError builds the dequeue-shed variant: the tenant's controller judged
+// the sojourn.
 func shedError(sojourn, target, retryAfter time.Duration) *ShedError {
 	return &ShedError{
+		Reason:     ShedReasonSojourn,
 		Sojourn:    sojourn,
 		Target:     target,
 		RetryAfter: retryAfter,
@@ -69,14 +89,29 @@ func shedError(sojourn, target, retryAfter time.Duration) *ShedError {
 	}
 }
 
-// queueFullError builds the entry-shed variant: the submission queue itself
-// was full, so the request never entered it.
+// queueFullError builds the entry-shed variant: the tenant's pending queue
+// or the submission channel was full, so the request never entered it.
 func queueFullError(target, retryAfter time.Duration) *ShedError {
 	return &ShedError{
+		Reason:     ShedReasonQueueFull,
 		Target:     target,
 		RetryAfter: retryAfter,
 		Err: fmt.Errorf("service: overloaded — submission queue full, retry in %v",
 			retryAfter.Round(time.Millisecond)),
+	}
+}
+
+// rateLimitError builds the rate-limit shed: the tenant spent its token
+// bucket, and the advice is when the next token exists.
+func rateLimitError(tenant string, retryAfter time.Duration) *ShedError {
+	if retryAfter <= 0 {
+		retryAfter = time.Millisecond
+	}
+	return &ShedError{
+		Reason:     ShedReasonRateLimit,
+		RetryAfter: retryAfter,
+		Err: fmt.Errorf("service: tenant %q over its request rate limit, retry in %v",
+			tenant, retryAfter.Round(time.Millisecond)),
 	}
 }
 

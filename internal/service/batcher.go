@@ -5,30 +5,59 @@ import (
 	"time"
 )
 
-// batcher collects requests from a channel and dispatches them in batches,
-// so a burst of requests pays for its planner and flight-table work per
-// distinct query, not per request. A batch flushes when it reaches size
-// requests or when its oldest request has waited maxWait, whichever comes
-// first; each flushed batch runs on its own goroutine so one slow batch
-// never delays the next flush. close drains: buffered requests are flushed
+// batcher collects requests from a channel into per-tenant FIFO queues and
+// dispatches them as single-tenant batches chosen by the deficit-round-robin
+// scheduler (fairsched.go), so a burst pays its planner and flight-table
+// work per distinct query AND a flooding tenant lengthens only its own
+// queue. A tenant becomes dispatchable when it holds size requests or its
+// oldest request has waited maxWait; dispatch itself is slot-gated — the
+// collector acquires an execution slot before it picks the next tenant —
+// which is what makes the DRR order real: under overload the contended
+// resource is the slot, and whoever holds the scheduler at slot-grant time
+// decides who runs next. Each dispatched batch runs on its own goroutine
+// and releases its slot when done. close drains: buffered requests are
+// flushed in size-bounded, slot-gated batches (never one unbounded batch)
 // and every dispatched batch finishes before close returns.
 type batcher struct {
 	in      chan *request
 	size    int
 	maxWait time.Duration
+	slots   chan struct{}
 	run     func([]*request)
+	// shed rejects a request whose tenant queue is at capacity (nil keeps
+	// tenant queues unbounded — unit tests only; the server always sheds).
+	shed func(*request)
 
+	sched    *fairSched
 	quit     chan struct{} // closed by close(): stop collecting, drain
 	done     chan struct{} // closed by the collector after the drain
 	dispatch sync.WaitGroup
 }
 
-func newBatcher(size, depth int, maxWait time.Duration, run func([]*request)) *batcher {
+// batcherConfig wires a batcher; the server fills every field.
+type batcherConfig struct {
+	size    int
+	depth   int // submission channel buffer AND per-tenant pending cap
+	maxWait time.Duration
+	slots   chan struct{}
+	weights map[string]int // tenant name → DRR weight (missing = 1)
+	shed    func(*request)
+	run     func([]*request)
+}
+
+func newBatcher(cfg batcherConfig) *batcher {
+	maxPending := cfg.depth
+	if cfg.shed == nil {
+		maxPending = 0 // no shed path: caps would silently drop requests
+	}
 	b := &batcher{
-		in:      make(chan *request, depth),
-		size:    size,
-		maxWait: maxWait,
-		run:     run,
+		in:      make(chan *request, cfg.depth),
+		size:    cfg.size,
+		maxWait: cfg.maxWait,
+		slots:   cfg.slots,
+		run:     cfg.run,
+		shed:    cfg.shed,
+		sched:   newFairSched(cfg.size, cfg.maxWait, maxPending, cfg.weights),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -37,59 +66,97 @@ func newBatcher(size, depth int, maxWait time.Duration, run func([]*request)) *b
 }
 
 // loop is the collector goroutine: the only reader of b.in and the only
-// owner of the pending batch and its flush timer.
+// owner of the scheduler. Each iteration it either absorbs a submission,
+// wins an execution slot for the next DRR batch, or wakes when a lingering
+// tenant crosses its max-wait.
 func (b *batcher) loop() {
 	defer close(b.done)
-	var (
-		batch   []*request
-		timer   *time.Timer
-		timeout <-chan time.Time
-	)
-	flush := func() {
-		if timer != nil {
-			timer.Stop()
-			timer, timeout = nil, nil
+	for {
+		now := time.Now()
+		// Only bid for a slot when some tenant may dispatch; otherwise a
+		// timer wakes us when the oldest lingering request matures.
+		var slotC chan struct{}
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if b.sched.eligibleAt(now) {
+			slotC = b.slots
+		} else if at, ok := b.sched.nextLinger(); ok {
+			d := at.Sub(now)
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
 		}
-		if len(batch) == 0 {
+		select {
+		case r := <-b.in:
+			b.enqueue(r)
+		case slotC <- struct{}{}:
+			// Slot won: the scheduler picks the next tenant's batch. The
+			// eligibility check above makes nil impossible — the collector
+			// is the only goroutine mutating the scheduler.
+			b.spawn(b.sched.nextBatch(time.Now(), false))
+		case <-timerC:
+			// Re-evaluate eligibility at the top of the loop.
+		case <-b.quit:
+			if timer != nil {
+				timer.Stop()
+			}
+			b.drain()
 			return
 		}
-		out := batch
-		batch = nil
-		b.dispatch.Add(1)
-		go func() {
-			defer b.dispatch.Done()
-			b.run(out)
-		}()
+		if timer != nil {
+			timer.Stop()
+		}
 	}
+}
+
+// enqueue routes one request into its tenant queue, shedding at the
+// per-tenant cap so one tenant's backlog cannot consume the whole buffer.
+func (b *batcher) enqueue(r *request) {
+	if r.enqueued.IsZero() {
+		// The server stamps submission time; bare unit-test requests get
+		// stamped here so the linger clock never sees a zero time (which
+		// would read as an expired wait).
+		r.enqueued = time.Now()
+	}
+	if !b.sched.push(r) {
+		b.shed(r)
+	}
+}
+
+// spawn dispatches one batch on its own goroutine; the caller must hold an
+// execution slot, which the goroutine releases when the batch finishes.
+func (b *batcher) spawn(batch []*request) {
+	b.dispatch.Add(1)
+	go func() {
+		defer b.dispatch.Done()
+		defer func() { <-b.slots }()
+		b.run(batch)
+	}()
+}
+
+// drain answers everything still buffered: leftovers in the submission
+// channel are routed to their tenant queues (everything there was accepted
+// before the server flipped to closing, so it must be answered), then the
+// queues are flushed through the same slot-gated, size-bounded DRR path as
+// normal dispatch — the linger is ignored, the size bound is not, so the
+// flight table never sees a batch shape the steady state could not produce.
+func (b *batcher) drain() {
 	for {
 		select {
 		case r := <-b.in:
-			batch = append(batch, r)
-			if len(batch) == 1 {
-				timer = time.NewTimer(b.maxWait)
-				timeout = timer.C
-			}
-			if len(batch) >= b.size {
-				flush()
-			}
-		case <-timeout:
-			timer, timeout = nil, nil
-			flush()
-		case <-b.quit:
-			// Drain: everything already buffered was accepted before the
-			// server flipped to closing, so it must still be answered.
-			for {
-				select {
-				case r := <-b.in:
-					batch = append(batch, r)
-				default:
-					flush()
-					b.dispatch.Wait()
-					return
-				}
-			}
+			b.enqueue(r)
+			continue
+		default:
 		}
+		break
 	}
+	for b.sched.pending() > 0 {
+		b.slots <- struct{}{}
+		b.spawn(b.sched.nextBatch(time.Now(), true))
+	}
+	b.dispatch.Wait()
 }
 
 // close stops the collector, flushes what was buffered, and waits until

@@ -27,12 +27,25 @@ func collectBatches() (func([]*request), func() [][]*request) {
 	return run, get
 }
 
+// testBatcher builds a batcher the way the unit tests need it: an ample
+// slot pool (the tests exercise flush shape, not slot contention) and no
+// shed callback, so tenant queues are unbounded.
+func testBatcher(size, depth int, maxWait time.Duration, run func([]*request)) *batcher {
+	return newBatcher(batcherConfig{
+		size:    size,
+		depth:   depth,
+		maxWait: maxWait,
+		slots:   make(chan struct{}, 16),
+		run:     run,
+	})
+}
+
 // TestBatcherFlushesAtSize: the size threshold flushes immediately, well
 // before the max-wait timer.
 func TestBatcherFlushesAtSize(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	run, got := collectBatches()
-	b := newBatcher(3, 16, time.Minute, run)
+	b := testBatcher(3, 16, time.Minute, run)
 	for i := 0; i < 6; i++ {
 		b.in <- &request{}
 	}
@@ -54,7 +67,7 @@ func TestBatcherFlushesAtSize(t *testing.T) {
 func TestBatcherFlushesAtMaxWait(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	run, got := collectBatches()
-	b := newBatcher(100, 16, 10*time.Millisecond, run)
+	b := testBatcher(100, 16, 10*time.Millisecond, run)
 	b.in <- &request{}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
@@ -77,7 +90,7 @@ func TestBatcherCloseDrains(t *testing.T) {
 	var mu sync.Mutex
 	var seen int
 	var running bool
-	b := newBatcher(100, 16, time.Hour, func(batch []*request) {
+	b := testBatcher(100, 16, time.Hour, func(batch []*request) {
 		mu.Lock()
 		running = true
 		mu.Unlock()
@@ -99,4 +112,68 @@ func TestBatcherCloseDrains(t *testing.T) {
 	if seen != 5 {
 		t.Fatalf("drain lost requests: processed %d of 5", seen)
 	}
+}
+
+// TestBatcherDrainChunks: the quit-drain path respects the size bound — a
+// backlog bigger than one batch flushes as several size-bounded batches,
+// never one unbounded batch (the shape the flight table never sees in
+// steady state).
+func TestBatcherDrainChunks(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	run, got := collectBatches()
+	b := testBatcher(4, 32, time.Hour, run)
+	for i := 0; i < 10; i++ {
+		b.in <- &request{}
+	}
+	b.close()
+	total := 0
+	for _, batch := range got() {
+		if len(batch) > 4 {
+			t.Fatalf("drain emitted a batch of %d, want ≤ size 4", len(batch))
+		}
+		total += len(batch)
+	}
+	if total != 10 {
+		t.Fatalf("drain lost requests: flushed %d of 10", total)
+	}
+}
+
+// TestBatcherShedsAtTenantCap: with a shed callback installed, a request
+// arriving while its tenant's queue holds depth requests is shed instead of
+// queued — the per-tenant cap, not a shared one.
+func TestBatcherShedsAtTenantCap(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var mu sync.Mutex
+	var shed int
+	b := newBatcher(batcherConfig{
+		size:    100,
+		depth:   3,
+		maxWait: time.Hour,
+		slots:   make(chan struct{}, 1),
+		shed: func(*request) {
+			mu.Lock()
+			shed++
+			mu.Unlock()
+		},
+		run: func([]*request) {},
+	})
+	// The collector drains the channel into the tenant FIFO; with size 100
+	// and maxWait an hour nothing dispatches, so pushes past depth must shed.
+	for i := 0; i < 8; i++ {
+		b.in <- &request{}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := shed
+		mu.Unlock()
+		if n == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("want 5 sheds past the per-tenant cap of 3, got %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.close()
 }

@@ -57,8 +57,14 @@ type ErrorDetail struct {
 	Stage string `json:"stage,omitempty"`
 	// RetryAfterMS is the server's backoff advice for retryable 503s
 	// (kinds "shed" and "breaker"), mirroring the Retry-After header at
-	// millisecond grain.
+	// millisecond grain. Always ≥ 1 when advice exists: the field is
+	// omitempty, so sub-millisecond advice is clamped up rather than
+	// serialized as 0 and dropped — a client falling back to the
+	// whole-second header would turn ~200µs of advice into a full second.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Reason splits kind "shed" by defense line: "sojourn" (CoDel dequeue
+	// shed), "queue-full" (entry shed), or "rate-limit" (token bucket).
+	Reason string `json:"reason,omitempty"`
 	// SojournMS is how long a shed request sat in the queue (kind "shed").
 	SojournMS int64 `json:"sojourn_ms,omitempty"`
 	// DeadlineMS/DeadlineRemainingMS report the deadline budget for kind
@@ -112,7 +118,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// Retry-After is whole seconds; round up so "wait 200ms" never
 			// renders as "retry immediately".
 			w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
-			d.RetryAfterMS = ra.Milliseconds()
+			// The body field is millisecond grain and omitempty: clamp
+			// sub-millisecond advice to 1ms so it serializes at all — a 0
+			// here silently upgrades a ~200µs backoff to the header's whole
+			// second.
+			if ms := ra.Milliseconds(); ms >= 1 {
+				d.RetryAfterMS = ms
+			} else {
+				d.RetryAfterMS = 1
+			}
 		}
 		if status == http.StatusGatewayTimeout {
 			// The 504 body reports the deadline budget the request ran
@@ -244,6 +258,7 @@ func detailOf(err error) ErrorDetail {
 		d.Kind = "shutdown"
 	case errors.As(err, &shedErr):
 		d.Kind = "shed"
+		d.Reason = shedErr.Reason
 		d.SojournMS = shedErr.Sojourn.Milliseconds()
 	case errors.As(err, &openErr):
 		d.Kind = "breaker"

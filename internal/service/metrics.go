@@ -73,9 +73,12 @@ type ServiceCounters struct {
 	Batches         int64 `json:"batches"`
 	BatchedRequests int64 `json:"batched_requests"`
 	MaxBatch        int64 `json:"max_batch"`
-	// Sheds counts 503 rejections by the overload admission controller
-	// (both CoDel dequeue sheds and full-queue entry sheds).
+	// Sheds counts 503 rejections by the overload defenses: CoDel dequeue
+	// sheds, full-queue entry sheds, and rate-limit sheds.
 	Sheds int64 `json:"sheds"`
+	// RateLimited counts the rate-limit subset of Sheds: requests a tenant's
+	// token bucket turned away at submission.
+	RateLimited int64 `json:"rate_limited"`
 	// BreakerOpened/HalfOpened/Closed count circuit-breaker transitions
 	// across all tenants; BreakerRejected counts requests an open breaker
 	// answered with a fast typed 503.
@@ -93,18 +96,39 @@ type ServiceCounters struct {
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
 }
 
-// metrics folds finished requests into the service counters and a bounded
-// ring of recent records.
+// TenantCounters are one tenant's request-level aggregates: the fairness
+// ledger. Under overload these are what prove isolation — the flooding
+// tenant's Sheds climb while a polite tenant's stay at zero.
+type TenantCounters struct {
+	// Requests counts every request of this tenant that reached the
+	// pipeline; OK counts the 200s, Errors everything 400+.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Errors   int64 `json:"errors"`
+	// Sheds counts this tenant's 503 overload sheds across all three lines;
+	// SojournSheds/QueueFullSheds/RateLimited split them by ShedError.Reason.
+	Sheds          int64 `json:"sheds"`
+	SojournSheds   int64 `json:"sojourn_sheds"`
+	QueueFullSheds int64 `json:"queue_full_sheds"`
+	RateLimited    int64 `json:"rate_limited"`
+	// MaxSojournUS is the longest queue sojourn any of this tenant's
+	// requests saw, in microseconds.
+	MaxSojournUS int64 `json:"max_sojourn_us"`
+}
+
+// metrics folds finished requests into the service counters, per-tenant
+// counters, and a bounded ring of recent records.
 type metrics struct {
-	mu     sync.Mutex
-	totals ServiceCounters
-	ring   []Record
-	next   int
-	filled bool
+	mu      sync.Mutex
+	totals  ServiceCounters
+	tenants map[string]*TenantCounters
+	ring    []Record
+	next    int
+	filled  bool
 }
 
 func newMetrics(recent int) *metrics {
-	return &metrics{ring: make([]Record, recent)}
+	return &metrics{ring: make([]Record, recent), tenants: make(map[string]*TenantCounters)}
 }
 
 // note folds one finished request, classifying err into the resilience
@@ -137,12 +161,43 @@ func (m *metrics) note(rec Record, err error) {
 		}
 	case errors.As(err, &shed):
 		m.totals.Sheds++
+		if shed.Reason == ShedReasonRateLimit {
+			m.totals.RateLimited++
+		}
 	case errors.As(err, &open):
 		m.totals.BreakerRejected++
 	case errors.As(err, &degraded):
 		m.totals.DegradedRejected++
 	case errors.Is(err, context.DeadlineExceeded):
 		m.totals.DeadlineExceeded++
+	}
+	if rec.Tenant != "" {
+		tc := m.tenants[rec.Tenant]
+		if tc == nil {
+			tc = &TenantCounters{}
+			m.tenants[rec.Tenant] = tc
+		}
+		tc.Requests++
+		switch {
+		case rec.Status == 200:
+			tc.OK++
+		case rec.Status >= 400:
+			tc.Errors++
+		}
+		if shed != nil {
+			tc.Sheds++
+			switch shed.Reason {
+			case ShedReasonSojourn:
+				tc.SojournSheds++
+			case ShedReasonQueueFull:
+				tc.QueueFullSheds++
+			case ShedReasonRateLimit:
+				tc.RateLimited++
+			}
+		}
+		if rec.QueueWaitUS > tc.MaxSojournUS {
+			tc.MaxSojournUS = rec.QueueWaitUS
+		}
 	}
 	if len(m.ring) > 0 {
 		m.ring[m.next] = rec
@@ -193,10 +248,15 @@ func (m *metrics) noteAuthFailure() {
 	m.totals.AuthFailures++
 }
 
-// snapshot returns the counters and the recent records, oldest first.
-func (m *metrics) snapshot() (ServiceCounters, []Record) {
+// snapshot returns the counters, the per-tenant counters (by value: the
+// caller may not race the fold), and the recent records, oldest first.
+func (m *metrics) snapshot() (ServiceCounters, map[string]TenantCounters, []Record) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	perTenant := make(map[string]TenantCounters, len(m.tenants))
+	for name, tc := range m.tenants {
+		perTenant[name] = *tc
+	}
 	var recent []Record
 	if m.filled {
 		recent = append(recent, m.ring[m.next:]...)
@@ -204,5 +264,5 @@ func (m *metrics) snapshot() (ServiceCounters, []Record) {
 	} else {
 		recent = append(recent, m.ring[:m.next]...)
 	}
-	return m.totals, recent
+	return m.totals, perTenant, recent
 }

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketBurstAndRefill: a bucket admits its burst, refuses the
+// next request with accurate wait advice, and admits again once the refill
+// interval has passed — all on an explicit clock.
+func TestTokenBucketBurstAndRefill(t *testing.T) {
+	now := time.Now()
+	tb := newTokenBucket(10) // 10/s, burst 10
+	for i := 0; i < 10; i++ {
+		if ok, _ := tb.take(now); !ok {
+			t.Fatalf("take %d within the burst refused", i)
+		}
+	}
+	ok, wait := tb.take(now)
+	if ok {
+		t.Fatal("take past the burst admitted")
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("wait advice = %v, want 100ms (one token at 10/s)", wait)
+	}
+	if ok, _ := tb.take(now.Add(wait)); !ok {
+		t.Fatal("take after the advised wait refused")
+	}
+}
+
+// TestTokenBucketLowRateStillAdmits: rates under 1/s keep a burst of one
+// token, so the first request always passes and the advice spans seconds.
+func TestTokenBucketLowRateStillAdmits(t *testing.T) {
+	now := time.Now()
+	tb := newTokenBucket(0.5)
+	if ok, _ := tb.take(now); !ok {
+		t.Fatal("first take at rate 0.5/s refused")
+	}
+	ok, wait := tb.take(now)
+	if ok {
+		t.Fatal("second immediate take admitted")
+	}
+	if wait != 2*time.Second {
+		t.Fatalf("wait advice = %v, want 2s", wait)
+	}
+}
+
+// TestTokenBucketCapsAtBurst: idle time refills to the burst and no
+// further — a long-idle tenant cannot bank an unbounded burst.
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	now := time.Now()
+	tb := newTokenBucket(5)
+	for i := 0; i < 5; i++ {
+		tb.take(now)
+	}
+	later := now.Add(time.Hour)
+	admitted := 0
+	for {
+		ok, _ := tb.take(later)
+		if !ok {
+			break
+		}
+		admitted++
+		if admitted > 5 {
+			t.Fatal("refill exceeded the burst")
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d after a long idle, want the burst of 5", admitted)
+	}
+}

@@ -8,20 +8,28 @@
 //  1. Admission — an API key resolves to a tenant whose engine carries
 //     governor budgets (WithTupleLimit/WithMemoryBudget); a budget trip
 //     surfaces as a typed *core.ResourceError the HTTP layer maps to 429.
-//     On top of the budgets sits a CoDel-style overload controller
-//     (admission.go): when the batcher is persistently backlogged, requests
-//     whose queue sojourn exceeds the target are shed with a typed 503
-//     carrying Retry-After advice.
+//     In front of everything sits an optional per-tenant token bucket
+//     (ratelimit.go): a tenant over its configured rate is shed at
+//     submission, before its requests occupy any queue space. On top of the
+//     budgets sits a CoDel-style overload controller (admission.go), one
+//     instance per tenant: when a tenant's queue is persistently
+//     backlogged, its requests whose sojourn exceeds the target are shed
+//     with a typed 503 carrying Retry-After advice — and only that
+//     tenant's.
 //  2. Deadlines — every request runs under a deadline budget: the
 //     operator's Config.DefaultDeadline unless the caller's context (or the
 //     X-Deadline-Ms header over HTTP) already carries one. The deadline
 //     propagates into the engine context, so a blown budget cancels the
 //     evaluation itself, not just the response.
-//  3. Batching — requests flow through a channel-based batcher with a
-//     max-wait flush; a batch groups identical (tenant, query) texts so a
-//     burst pays the planner once per distinct query. Batch groups execute
-//     under a bounded slot pool (Config.MaxConcurrent), which is what makes
-//     overload observable as queue sojourn instead of unbounded goroutines.
+//  3. Batching and fair scheduling — requests flow through per-tenant FIFO
+//     queues drained by a deficit-round-robin scheduler (fairsched.go) into
+//     single-tenant, size-bounded batches; a batch groups identical query
+//     texts so a burst pays the planner once per distinct query. Dispatch
+//     is slot-gated under a bounded pool (Config.MaxConcurrent): the
+//     scheduler decides who gets each slot, so under overload tenants
+//     receive capacity in proportion to their weights, a flooding tenant
+//     lengthens only its own queue, and overload stays observable as queue
+//     sojourn instead of unbounded goroutines.
 //  4. Circuit breakers — each tenant carries a breaker (breaker.go):
 //     consecutive engine failures open it (fast typed 503 until a half-open
 //     probe re-closes it), and repeated governor trips put the tenant in
@@ -153,9 +161,17 @@ type Server struct {
 	batch   *batcher
 	metrics *metrics
 
-	// admit is the CoDel overload controller (nil when shedding is
-	// disabled); slots bounds concurrently executing batches.
-	admit *codel
+	// admits holds one CoDel overload controller per tenant name (nil when
+	// shedding is disabled), so one tenant's standing queue sheds only that
+	// tenant; shedTarget/shedInterval are the resolved tuning, kept for
+	// queue-full retry advice even when dequeue shedding is off.
+	admits       map[string]*codel
+	shedTarget   time.Duration
+	shedInterval time.Duration
+	// buckets holds one token bucket per rate-limited tenant name (absent =
+	// unbounded). Immutable after NewServer.
+	buckets map[string]*tokenBucket
+	// slots bounds concurrently executing batches.
 	slots chan struct{}
 	// deadline is the server-side default deadline budget (0 = none).
 	deadline time.Duration
@@ -211,23 +227,46 @@ func NewServer(db *core.DB, cfg Config) (*Server, error) {
 	if interval == 0 {
 		interval = DefaultShedInterval
 	}
-	var admit *codel
-	if target > 0 && interval > 0 {
-		admit = newCodel(target, interval)
+	shedding := target > 0 && interval > 0
+	if target < 0 {
+		target = DefaultShedTarget
+	}
+	if interval < 0 {
+		interval = DefaultShedInterval
 	}
 	deadline := cfg.DefaultDeadline
 	if deadline < 0 {
 		deadline = 0
 	}
 	s := &Server{
-		db:       db,
-		reg:      reg,
-		flights:  newFlightTable(),
-		metrics:  newMetrics(recent),
-		admit:    admit,
-		slots:    make(chan struct{}, maxConc),
-		deadline: deadline,
-		faults:   cfg.Faults,
+		db:           db,
+		reg:          reg,
+		flights:      newFlightTable(),
+		metrics:      newMetrics(recent),
+		shedTarget:   target,
+		shedInterval: interval,
+		slots:        make(chan struct{}, maxConc),
+		deadline:     deadline,
+		faults:       cfg.Faults,
+	}
+	if shedding {
+		s.admits = make(map[string]*codel, len(reg.names))
+		for _, name := range reg.names {
+			s.admits[name] = newCodel(target, interval)
+		}
+	}
+	weights := make(map[string]int, len(reg.names))
+	for _, name := range reg.names {
+		tc := reg.byName[name].cfg
+		if tc.Weight > 1 {
+			weights[name] = tc.Weight
+		}
+		if tc.RatePerSec > 0 {
+			if s.buckets == nil {
+				s.buckets = make(map[string]*tokenBucket)
+			}
+			s.buckets[name] = newTokenBucket(tc.RatePerSec)
+		}
 	}
 	if cfg.BreakerFailures >= 0 {
 		bcfg := breakerConfig{
@@ -253,8 +292,25 @@ func NewServer(db *core.DB, cfg Config) (*Server, error) {
 			s.breakers[name] = newBreaker(bcfg)
 		}
 	}
-	s.batch = newBatcher(size, depth, maxWait, s.processBatch)
+	s.batch = newBatcher(batcherConfig{
+		size:    size,
+		depth:   depth,
+		maxWait: maxWait,
+		slots:   s.slots,
+		weights: weights,
+		shed:    s.shedPending,
+		run:     s.processBatch,
+	})
 	return s, nil
+}
+
+// shedPending rejects a request whose tenant's pending queue is at its cap:
+// the per-tenant counterpart of the submit-side entry shed. Called by the
+// batcher's collector, so the request was already accepted into the channel
+// and its caller is waiting — answer it through finish like any other.
+func (s *Server) shedPending(r *request) {
+	err := queueFullError(s.shedTarget, s.shedInterval)
+	s.finish(r, time.Now(), nil, err, Record{Tenant: r.tenant.cfg.Name})
 }
 
 // invokePoint consults the service-level fault plan at point, converting an
@@ -311,18 +367,26 @@ func (s *Server) Execute(ctx context.Context, apiKey, query string) (*Outcome, e
 	}
 }
 
-// submit hands a request to the batcher unless the server is closing. With
-// the admission controller enabled a full submission queue sheds on entry —
-// the one place shedding happens before the queue rather than at dequeue —
-// because blocking the submitter would hide the overload from both the
-// client and the controller.
+// submit hands a request to the batcher unless the server is closing. Two
+// sheds can happen before the queue: the tenant's token bucket (the cheapest
+// rejection — the request never existed as far as the scheduler knows), and
+// a full submission channel when shedding is enabled — blocking the
+// submitter would hide the overload from both the client and the
+// controller. Per-tenant pending caps shed a third way, from the batcher's
+// collector (shedPending), so one tenant filling its queue cannot trigger
+// entry sheds for the others.
 func (s *Server) submit(r *request) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closing {
 		return ErrShuttingDown
 	}
-	if s.admit == nil {
+	if tb := s.buckets[r.tenant.cfg.Name]; tb != nil {
+		if ok, wait := tb.take(time.Now()); !ok {
+			return s.noteEntryShed(r, rateLimitError(r.tenant.cfg.Name, wait))
+		}
+	}
+	if s.admits == nil {
 		s.batch.in <- r
 		return nil
 	}
@@ -331,7 +395,12 @@ func (s *Server) submit(r *request) error {
 		return nil
 	default:
 	}
-	err := queueFullError(s.admit.target, s.admit.interval)
+	return s.noteEntryShed(r, queueFullError(s.shedTarget, s.shedInterval))
+}
+
+// noteEntryShed records a submission-time shed (the request never queued)
+// and returns its error for the caller to propagate.
+func (s *Server) noteEntryShed(r *request, err *ShedError) error {
 	rec := Record{Tenant: r.tenant.cfg.Name, DeadlineMS: r.deadlineMS, Status: statusOf(err), Err: err.Error()}
 	s.metrics.note(rec, err)
 	return err
@@ -356,14 +425,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// StatsReport is the /stats payload: service-level counters, one unified
-// core.Snapshot and one circuit-breaker status per tenant, and the recent
-// per-request records.
+// StatsReport is the /stats payload: service-level counters, per-tenant
+// request counters (the fairness ledger), one unified core.Snapshot and one
+// circuit-breaker status per tenant, and the recent per-request records.
 type StatsReport struct {
-	Service  ServiceCounters          `json:"service"`
-	Tenants  map[string]core.Snapshot `json:"tenants"`
-	Breakers map[string]BreakerStatus `json:"breakers,omitempty"`
-	Recent   []Record                 `json:"recent"`
+	Service   ServiceCounters           `json:"service"`
+	PerTenant map[string]TenantCounters `json:"per_tenant"`
+	Tenants   map[string]core.Snapshot  `json:"tenants"`
+	Breakers  map[string]BreakerStatus  `json:"breakers,omitempty"`
+	Recent    []Record                  `json:"recent"`
 }
 
 // Stats assembles the current report.
@@ -380,15 +450,18 @@ func (s *Server) Stats() StatsReport {
 			breakers[name] = br.status(now)
 		}
 	}
-	svc, recent := s.metrics.snapshot()
-	return StatsReport{Service: svc, Tenants: tenants, Breakers: breakers, Recent: recent}
+	svc, perTenant, recent := s.metrics.snapshot()
+	return StatsReport{Service: svc, PerTenant: perTenant, Tenants: tenants, Breakers: breakers, Recent: recent}
 }
 
-// processBatch handles one flushed batch: acquire an execution slot, judge
-// each member's queue sojourn against the admission controller, then group
-// the admitted requests by identical (tenant, query) and evaluate every
-// group concurrently. The batch goroutine waits for its groups, so the
-// batcher's drain covers every response.
+// processBatch handles one dispatched batch — single-tenant by
+// construction, the scheduler never mixes queues. The collector already
+// holds this batch's execution slot (the wait for it is the queue sojourn
+// the tenant's controller judges), so the work here is: judge each member's
+// sojourn against the tenant's own CoDel instance, then group the admitted
+// requests by identical query text and evaluate every group concurrently.
+// The batch goroutine waits for its groups, so the batcher's drain covers
+// every response.
 func (s *Server) processBatch(batch []*request) {
 	s.metrics.noteBatch(len(batch))
 	if err := s.invokePoint(faultinject.PointServiceBatcher); err != nil {
@@ -399,11 +472,7 @@ func (s *Server) processBatch(batch []*request) {
 		}
 		return
 	}
-	// The slot wait is part of the sojourn the controller judges: bounded
-	// execution turns overload into standing queue, and CoDel turns
-	// standing queue into sheds.
-	s.slots <- struct{}{}
-	defer func() { <-s.slots }()
+	admit := s.admits[batch[0].tenant.cfg.Name] // nil when shedding is disabled
 	now := time.Now()
 	admitted := batch[:0]
 	for _, r := range batch {
@@ -413,10 +482,10 @@ func (s *Server) processBatch(batch []*request) {
 			s.finish(r, now, nil, r.ctx.Err(), Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
 			continue
 		}
-		if s.admit != nil {
+		if admit != nil {
 			sojourn := now.Sub(r.enqueued)
-			if shed, retry := s.admit.onDequeue(now, sojourn); shed {
-				s.finish(r, now, nil, shedError(sojourn, s.admit.target, retry), Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
+			if shed, retry := admit.onDequeue(now, sojourn); shed {
+				s.finish(r, now, nil, shedError(sojourn, admit.target, retry), Record{Tenant: r.tenant.cfg.Name, Batch: len(batch)})
 				continue
 			}
 		}
@@ -425,11 +494,9 @@ func (s *Server) processBatch(batch []*request) {
 	if len(admitted) == 0 {
 		return
 	}
-	type groupKey struct{ tenant, query string }
-	groups := make(map[groupKey][]*request)
+	groups := make(map[string][]*request)
 	for _, r := range admitted {
-		k := groupKey{r.tenant.cfg.Name, r.query}
-		groups[k] = append(groups[k], r)
+		groups[r.query] = append(groups[r.query], r)
 	}
 	var wg sync.WaitGroup
 	for _, reqs := range groups {

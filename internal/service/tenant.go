@@ -23,6 +23,14 @@ type TenantConfig struct {
 	// MemoryBudget bounds every query's estimated buffered bytes the same
 	// way. 0 = unbounded.
 	MemoryBudget int64
+	// Weight is the tenant's deficit-round-robin share of execution slots
+	// under contention: a weight-2 tenant drains twice the batches per
+	// scheduler round of a weight-1 tenant. 0 (or anything < 1) means 1.
+	Weight int
+	// RatePerSec caps the tenant's submission rate with a token bucket
+	// (burst = one second's worth); requests over the cap are shed at entry
+	// with a typed *ShedError before they ever queue. 0 = unbounded.
+	RatePerSec float64
 	// Options are extra engine options applied after the server-wide ones
 	// and the budget options (so a tenant can override parallelism or
 	// strategy).

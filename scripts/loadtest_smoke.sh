@@ -1,15 +1,21 @@
 #!/bin/sh
-# loadtest_smoke.sh — overload-resilience smoke: boot queryd, storm it.
+# loadtest_smoke.sh — overload-resilience and fairness smoke: boot queryd,
+# storm it with two tenants of very different manners.
 #
-# Boots queryd on a random port tuned to be easy to overload (two execution
-# slots, no plan cache, a 5ms sojourn target — above the 2ms batch-wait
-# linger, so an idle request is never shed) with one injected service-level
-# fault, then drives a short open-loop queryload burst at a rate the slots
-# cannot absorb. The assertions are the overload contract:
+# Boots queryd on a random port tuned to be easy to overload (one execution
+# slot, no plan cache, a 50ms sojourn target — above the wait a polite
+# tenant accrues behind one abuser DRR quantum, so fair-share queueing
+# alone rarely triggers a polite shed) with one injected service-level
+# fault, then drives a two-tenant queryload storm: an abuser flooding at
+# 2000 req/s next to a polite tenant trickling at 20 req/s. The assertions
+# are the overload contract plus the fairness contract:
 #
-#   - the CoDel admission controller shed requests (server counter > 0);
-#   - the clients' view reconciles with the server's counters (no
-#     RECONCILE FAIL from queryload);
+#   - the overload defenses shed requests under the storm (server counter
+#     > 0) — and the sheds land on the abuser, not the polite tenant: the
+#     polite tenant's shed rate stays under 5% and most of its requests
+#     succeed while the flood rages;
+#   - the clients' view reconciles with the server's counters, globally and
+#     per tenant (no RECONCILE FAIL from queryload);
 #   - the injected fault surfaced as typed errors, not a dead daemon: the
 #     server still answers a query after the storm;
 #   - SIGINT drains cleanly — every accepted request answered, "drained"
@@ -40,10 +46,10 @@ go build -o "$workdir/queryd" ./cmd/queryd
 go build -o "$workdir/queryctl" ./cmd/queryctl
 go build -o "$workdir/queryload" ./cmd/queryload
 
-echo "== boot queryd (two slots, no cache, 5ms sojourn target, one injected fault)"
-"$workdir/queryd" -addr localhost:0 -dataset university -n 400 \
-	-tenants 'demo:demo-key' -cache=false \
-	-max-concurrent 2 -shed-target 5ms -shed-interval 50ms \
+echo "== boot queryd (one slot, no cache, 50ms sojourn target, two tenants, one injected fault)"
+"$workdir/queryd" -addr localhost:0 -dataset university -n 800 \
+	-tenants 'abuser:abuser-key,polite:polite-key' -cache=false \
+	-max-concurrent 1 -shed-target 50ms -shed-interval 50ms \
 	-default-deadline 2s \
 	-fault 'service.batcher:error:3' \
 	-portfile "$portfile" > "$logfile" 2>&1 &
@@ -67,30 +73,54 @@ done
 base="http://$(cat "$portfile")"
 echo "queryd at $base"
 
-echo "== storm (open loop, 2000 req/s for 3s, retry budget 1)"
+echo "== storm (abuser open loop at 2000 req/s, polite at 20 req/s, 3s, retry budget 1)"
 load_log="$workdir/queryload.log"
-"$workdir/queryload" -base "$base" -apikeys demo-key \
-	-rate 2000 -duration 3s -retries 1 \
+"$workdir/queryload" -base "$base" -apikeys polite-key \
+	-rate 20 -abuser abuser-key:2000 -duration 3s -retries 1 \
 	-label loadtest-smoke -json "$workdir/run.jsonl" | tee "$load_log"
 
-echo "== assert: the admission controller shed under the storm"
+echo "== assert: the overload defenses shed under the storm"
 server_sheds=$(awk '/server window:/ { for (i = 1; i < NF; i++) if ($i == "sheds") print $(i + 1) }' "$load_log")
 if [ -z "$server_sheds" ] || [ "$server_sheds" -eq 0 ]; then
-	echo "no server-side sheds under a 2000/s storm through two slots — the admission controller is not engaging" >&2
+	echo "no server-side sheds under a 2000/s storm through one slot — the overload defenses are not engaging" >&2
 	exit 1
 fi
 echo "server shed $server_sheds request(s)"
 
-echo "== assert: client and server counters reconcile"
+echo "== assert: the sheds landed on the abuser, not the polite tenant"
+# queryload's per-tenant line: tenant polite (polite-key): requests N ok N
+# (P%) goodput G/s shed N rate_limited N p50 ... — fields 5/7/12.
+polite_line=$(grep -E '^ *tenant polite ' "$load_log" || true)
+if [ -z "$polite_line" ]; then
+	echo "queryload printed no per-tenant line for the polite tenant" >&2
+	exit 1
+fi
+echo "$polite_line" | awk '{
+	requests = $5; ok = $7; shed = $12;
+	if (requests == 0) { print "polite tenant issued no requests" > "/dev/stderr"; exit 1 }
+	if (shed * 20 >= requests) {
+		printf "polite tenant shed rate %d/%d is not under 5%% — fairness failed\n", shed, requests > "/dev/stderr"; exit 1
+	}
+	if (ok * 2 <= requests) {
+		printf "polite tenant goodput collapsed: %d ok of %d\n", ok, requests > "/dev/stderr"; exit 1
+	}
+	printf "polite tenant: %d/%d ok, %d shed — goodput survived the flood\n", ok, requests, shed
+}'
+
+echo "== assert: client and server counters reconcile (globally and per tenant)"
 if grep -q "RECONCILE FAIL" "$load_log"; then
 	echo "queryload reconciliation failed (see above)" >&2
 	exit 1
 fi
+grep -q "server tenant polite:" "$load_log" || {
+	echo "queryload printed no per-tenant server ledger for polite" >&2
+	exit 1
+}
 
 echo "== assert: the injected fault fired and the daemon survived it"
 # The service.batcher arm failed one whole batch with typed errors; the
 # daemon must still answer afterwards.
-"$workdir/queryctl" -remote "$base" -apikey demo-key \
+"$workdir/queryctl" -remote "$base" -apikey polite-key \
 	-q '{ x | student(x) and not exists y: attends(x, y) }' > /dev/null
 echo "post-storm query answered"
 
