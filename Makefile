@@ -20,9 +20,12 @@ test:
 
 ## lint: the repo's own invariant checkers (internal/analyzers via
 ## cmd/lintrepro) — iterator lifecycle, governor accounting, error
-## taxonomy, context discipline. Non-zero exit on any finding.
+## taxonomy, context discipline, goroutine lifecycle, lock release,
+## atomic exclusivity, clock injection, wire-schema drift. Non-zero exit
+## on any finding; -timing prints per-pass wall clock for the check.sh
+## lint budget.
 lint:
-	$(GO) run ./cmd/lintrepro ./...
+	$(GO) run ./cmd/lintrepro -timing ./...
 
 ## race: race-detector pass over the concurrent packages
 race:

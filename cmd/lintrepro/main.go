@@ -1,11 +1,16 @@
 // Command lintrepro is the repository's invariant multichecker: it runs
 // the internal/analyzers suite (iterclose, govcharge, errtaxonomy,
-// ctxfirst) over Go packages and exits non-zero on findings.
+// ctxfirst, goroleak, lockdiscipline, atomicmix, timeinject, wiredrift)
+// over Go packages and exits non-zero on findings.
 //
 // Two modes:
 //
-//	lintrepro [-only a,b] [packages...]   # standalone; defaults to ./...
+//	lintrepro [-only a,b] [-timing] [packages...]   # standalone; defaults to ./...
 //	go vet -vettool=$(which lintrepro) ./...
+//
+// -timing prints each pass's cumulative wall clock across all packages to
+// stderr after the run, so check.sh can keep the lint budget honest as the
+// suite grows.
 //
 // The vettool mode implements the go vet unit-checker protocol: go vet
 // invokes the tool once per package with a JSON config file (*.cfg) naming
@@ -27,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analyzers"
 )
@@ -54,6 +60,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("lintrepro", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	timing := fs.Bool("timing", false, "print per-analyzer wall-clock totals after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,9 +84,13 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "lintrepro:", err)
 		return 2
 	}
+	var timings map[string]time.Duration
+	if *timing {
+		timings = make(map[string]time.Duration)
+	}
 	findings := 0
 	for _, pkg := range pkgs {
-		diags, err := analyzers.CheckPackage(pkg, suite)
+		diags, err := analyzers.CheckPackageTimed(pkg, suite, timings)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lintrepro:", err)
 			return 2
@@ -88,6 +99,14 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, relativize(d))
 			findings++
 		}
+	}
+	if *timing {
+		var total time.Duration
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "lintrepro: timing %-14s %8.1fms\n", a.Name, float64(timings[a.Name].Microseconds())/1000)
+			total += timings[a.Name]
+		}
+		fmt.Fprintf(os.Stderr, "lintrepro: timing %-14s %8.1fms over %d package(s)\n", "total", float64(total.Microseconds())/1000, len(pkgs))
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "lintrepro: %d finding(s)\n", findings)
@@ -128,7 +147,11 @@ func selectAnalyzers(only string) ([]*analyzers.Analyzer, error) {
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: iterclose, govcharge, errtaxonomy, ctxfirst)", name)
+			var have []string
+			for _, s := range suite {
+				have = append(have, s.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(have, ", "))
 		}
 		picked = append(picked, a)
 	}

@@ -43,11 +43,26 @@ func TestSeededBadFixtures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads fixture packages through go list")
 	}
-	fixtures := []string{"iterclose", "govcharge", "errtaxonomy", "ctxfirst", "directive"}
+	fixtures := []string{
+		"iterclose", "govcharge", "errtaxonomy", "ctxfirst",
+		"goroleak", "lockdiscipline", "atomicmix", "timeinject", "wiredrift",
+		"directive",
+	}
 	for _, fx := range fixtures {
 		pattern := "repro/internal/analyzers/testdata/src/" + fx
 		if got := run([]string{pattern}); got != 1 {
 			t.Errorf("lintrepro %s exited %d, want 1 (seeded findings not reported)", fx, got)
 		}
+	}
+}
+
+// TestTimingFlag smokes the -timing surface check.sh's lint budget relies
+// on: the flag must not change the exit code.
+func TestTimingFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a package through go list")
+	}
+	if got := run([]string{"-timing", "repro/internal/analyzers"}); got != 0 {
+		t.Fatalf("-timing over a clean package exited %d, want 0", got)
 	}
 }

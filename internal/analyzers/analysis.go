@@ -1,19 +1,33 @@
 // Package analyzers is an invariant-enforcing static-analysis suite for
 // this repository, in the mold of golang.org/x/tools/go/analysis but built
 // on the standard library alone (the build environment is hermetic: no
-// module downloads). It ships four passes that machine-check contracts the
+// module downloads). It ships nine passes that machine-check contracts the
 // engine's correctness rests on:
 //
-//   - iterclose    — exec.Iterator implementations propagate Close to every
-//     child iterator / spool field, and call sites that obtain an iterator
-//     close it (or hand it off);
-//   - govcharge    — materialization points (tuple-slice appends, build and
-//     dedup table inserts) sit in functions that charge the resource
+//   - iterclose      — exec.Iterator implementations propagate Close to
+//     every child iterator / spool field, and call sites that obtain an
+//     iterator close it (or hand it off);
+//   - govcharge      — materialization points (tuple-slice appends, build
+//     and dedup table inserts) sit in functions that charge the resource
 //     governor (the PR 3 accounting contract);
-//   - errtaxonomy  — packages that define a typed error family only let the
-//     family escape their exported functions, and error wrapping uses %w;
-//   - ctxfirst     — exported APIs take context.Context first, and
-//     context.Background/TODO stay out of library code.
+//   - errtaxonomy    — packages that define a typed error family only let
+//     the family escape their exported functions, and error wrapping uses
+//     %w;
+//   - ctxfirst       — exported APIs take context.Context first, and
+//     context.Background/TODO stay out of library code;
+//   - goroleak       — every go statement outside package main is tied to a
+//     lifecycle: a WaitGroup Done, a quit/done channel, or a context
+//     cancellation path reachable from the spawned function;
+//   - lockdiscipline — a Lock/RLock is released on every return path
+//     (defer, or an unlock before each return), and no call chain re-locks
+//     the mutex it already holds;
+//   - atomicmix      — a struct field accessed through sync/atomic anywhere
+//     is accessed only through sync/atomic, never by plain reads/writes;
+//   - timeinject     — clock-injected state machines (types whose methods
+//     take `now time.Time`) never read the wall clock themselves;
+//   - wiredrift      — the JSON wire schema served by /stats (core.Snapshot
+//     and the service stats types) stays in sync with the counter list in
+//     scripts/benchcmp.sh and the stats-schema table in README.md.
 //
 // The passes are deliberately syntactic-plus-types: they check what one
 // function can prove about itself. Flow-sensitive exceptions — a buffer the
@@ -24,7 +38,9 @@
 //
 // on the flagged line or the line directly above it. The justification is
 // mandatory; a bare //lint:ignore is itself a finding, so the gate cannot
-// rot into a pile of silent waivers.
+// rot into a pile of silent waivers. Waivers also cannot outlive the code
+// they excused: a justified directive that no longer suppresses any finding
+// of an analyzer that ran is reported as stale.
 package analyzers
 
 import (
@@ -34,6 +50,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one invariant check. Run inspects a type-checked package
@@ -47,7 +64,10 @@ type Analyzer struct {
 
 // All returns the full suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IterClose, GovCharge, ErrTaxonomy, CtxFirst}
+	return []*Analyzer{
+		IterClose, GovCharge, ErrTaxonomy, CtxFirst,
+		GoroLeak, LockDiscipline, AtomicMix, TimeInject, WireDrift,
+	}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -81,11 +101,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// suppression is one parsed //lint:ignore directive.
+// suppression is one parsed //lint:ignore directive. usedBy records, per
+// analyzer name, whether the directive actually suppressed a finding — the
+// stale-suppression audit reports justified directives that suppress
+// nothing.
 type suppression struct {
 	pos           token.Position
 	analyzers     map[string]bool
 	justification string
+	usedBy        map[string]bool
 }
 
 // covers reports whether the directive names the analyzer.
@@ -117,6 +141,7 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex 
 					pos:           fset.Position(c.Pos()),
 					analyzers:     make(map[string]bool),
 					justification: strings.TrimSpace(justification),
+					usedBy:        make(map[string]bool),
 				}
 				for _, n := range strings.Split(name, ",") {
 					if n = strings.TrimSpace(n); n != "" {
@@ -134,24 +159,36 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex 
 	return idx
 }
 
-// suppressed reports whether a justified directive covers the diagnostic.
-// Directives without a justification never suppress: they are findings.
-func (idx *suppressionIndex) suppressed(d Diagnostic) bool {
+// suppressor returns the justified directive covering the diagnostic, if
+// any. Directives without a justification never suppress: they are findings.
+func (idx *suppressionIndex) suppressor(d Diagnostic) *suppression {
 	for _, s := range idx.byLine[lineKey(d.Pos.Filename, d.Pos.Line)] {
 		if s.covers(d.Analyzer) && s.justification != "" {
-			return true
+			return s
 		}
 	}
-	return false
+	return nil
 }
 
 // CheckPackage runs the analyzers over one loaded package and returns the
-// surviving findings: suppressed diagnostics are dropped, and every
-// unjustified //lint:ignore naming one of the analyzers is itself reported.
+// surviving findings: suppressed diagnostics are dropped, every unjustified
+// //lint:ignore naming one of the analyzers is itself reported, and so is
+// every justified directive that suppressed nothing (a stale waiver) or
+// that names an analyzer the suite does not know.
 func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return CheckPackageTimed(pkg, analyzers, nil)
+}
+
+// CheckPackageTimed is CheckPackage with an optional per-analyzer
+// wall-clock accumulator (nil to skip timing): each analyzer's Run duration
+// over this package is added to timings[name]. cmd/lintrepro's -timing flag
+// feeds the check.sh lint-budget assertion from it.
+func CheckPackageTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Duration) ([]Diagnostic, error) {
 	idx := scanSuppressions(pkg.Fset, pkg.Files)
+	ran := make(map[string]bool, len(analyzers))
 	var out []Diagnostic
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -159,11 +196,17 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if timings != nil {
+			timings[a.Name] += time.Since(start)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 		}
 		for _, d := range pass.diags {
-			if idx.suppressed(d) {
+			if s := idx.suppressor(d); s != nil {
+				s.usedBy[d.Analyzer] = true
 				continue
 			}
 			out = append(out, d)
@@ -174,6 +217,36 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 					Pos:      s.pos,
 					Analyzer: a.Name,
 					Message:  "lint:ignore needs a justification after the analyzer name",
+				})
+			}
+		}
+	}
+	// Stale-suppression audit: a justified directive must earn its keep. For
+	// every analyzer it names that actually ran, it must have suppressed at
+	// least one finding; otherwise the code it excused has moved on and the
+	// waiver is dead weight (or worse, hiding a typo in the analyzer name).
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, s := range idx.all {
+		if s.justification == "" {
+			continue // already reported as unjustified above
+		}
+		for name := range s.analyzers {
+			if !known[name] {
+				out = append(out, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: "directive",
+					Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q: the directive suppresses nothing", name),
+				})
+				continue
+			}
+			if ran[name] && !s.usedBy[name] {
+				out = append(out, Diagnostic{
+					Pos:      s.pos,
+					Analyzer: name,
+					Message:  fmt.Sprintf("stale lint:ignore: no %s finding here to suppress — fix the directive or delete it", name),
 				})
 			}
 		}

@@ -89,14 +89,20 @@ func runAnalysisTest(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestIterClose(t *testing.T)   { runAnalysisTest(t, IterClose, "iterclose") }
-func TestGovCharge(t *testing.T)   { runAnalysisTest(t, GovCharge, "govcharge") }
-func TestErrTaxonomy(t *testing.T) { runAnalysisTest(t, ErrTaxonomy, "errtaxonomy") }
-func TestCtxFirst(t *testing.T)    { runAnalysisTest(t, CtxFirst, "ctxfirst") }
+func TestIterClose(t *testing.T)        { runAnalysisTest(t, IterClose, "iterclose") }
+func TestGovCharge(t *testing.T)        { runAnalysisTest(t, GovCharge, "govcharge") }
+func TestErrTaxonomy(t *testing.T)      { runAnalysisTest(t, ErrTaxonomy, "errtaxonomy") }
+func TestCtxFirst(t *testing.T)         { runAnalysisTest(t, CtxFirst, "ctxfirst") }
+func TestGoroLeak(t *testing.T)         { runAnalysisTest(t, GoroLeak, "goroleak") }
+func TestLockDiscipline(t *testing.T)   { runAnalysisTest(t, LockDiscipline, "lockdiscipline") }
+func TestAtomicMix(t *testing.T)        { runAnalysisTest(t, AtomicMix, "atomicmix") }
+func TestTimeInjectGolden(t *testing.T) { runAnalysisTest(t, TimeInject, "timeinject") }
+func TestWireDrift(t *testing.T)        { runAnalysisTest(t, WireDrift, "wiredrift") }
 
 // TestUnjustifiedDirective checks the suppression mechanics directly: a
-// bare //lint:ignore must not silence the finding it covers, and must be
-// reported itself.
+// bare //lint:ignore must not silence the finding it covers and must be
+// reported itself, and a justified directive that suppresses nothing must
+// be reported as stale.
 func TestUnjustifiedDirective(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	diags, err := CheckPackage(pkg, All())
@@ -108,14 +114,20 @@ func TestUnjustifiedDirective(t *testing.T) {
 		msgs = append(msgs, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
 	}
 	joined := strings.Join(msgs, "\n")
-	if len(diags) != 2 {
-		t.Fatalf("got %d diagnostics, want 2 (unjustified directive + unsuppressed finding):\n%s", len(diags), joined)
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4 (unjustified directive + unsuppressed finding + stale waiver + unknown analyzer name):\n%s", len(diags), joined)
 	}
 	if !strings.Contains(joined, "lint:ignore needs a justification") {
 		t.Errorf("missing unjustified-directive finding:\n%s", joined)
 	}
 	if !strings.Contains(joined, `iterator "it" is never closed`) {
 		t.Errorf("bare directive suppressed the finding it covers:\n%s", joined)
+	}
+	if !strings.Contains(joined, "stale lint:ignore: no iterclose finding here to suppress") {
+		t.Errorf("missing stale-waiver finding:\n%s", joined)
+	}
+	if !strings.Contains(joined, `lint:ignore names unknown analyzer "iterclos"`) {
+		t.Errorf("missing unknown-analyzer finding:\n%s", joined)
 	}
 }
 
@@ -127,7 +139,7 @@ func TestSuiteStableOrder(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, " ")
-	if got != "iterclose govcharge errtaxonomy ctxfirst" {
+	if got != "iterclose govcharge errtaxonomy ctxfirst goroleak lockdiscipline atomicmix timeinject wiredrift" {
 		t.Fatalf("suite order changed: %s", got)
 	}
 }

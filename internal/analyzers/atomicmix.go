@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces exclusive atomicity: a struct field that is ever
+// accessed through a sync/atomic function (atomic.AddInt64(&s.n, 1),
+// atomic.LoadUint32(&s.flag)) must be accessed through sync/atomic
+// everywhere. A plain read or write of the same field is a data race the
+// atomic calls were supposed to prevent — the exact bug class the engine's
+// PR 6 snapMu+cum migration existed to remove. The typed atomics
+// (atomic.Int64 and friends) are immune by construction — the value is
+// unexported inside the wrapper — so the pass only has work to do where the
+// function-style API is used.
+//
+// Per-package view: the pass marks every field whose address is taken as a
+// sync/atomic argument in this package, then flags every other selector of
+// those fields. A mixed-access field shared across packages is flagged in
+// whichever package does the atomic access.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed through sync/atomic anywhere must be accessed only through sync/atomic",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect fields used atomically, and the exact selector nodes
+	// that constitute the sanctioned atomic accesses.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(pass, sel); field != nil {
+					atomicFields[field] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector of an atomic field is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package: this plain access races with the atomic ones", field.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether call invokes a function of the
+// sync/atomic package (the function-style API: atomic.AddInt64, ...).
+func isAtomicPkgCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves sel to the struct field it selects, nil when sel is a
+// method, package qualifier, or non-field selector.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifiers (pkg.Var) land in Uses, not Selections; those
+	// are package-level variables, not fields.
+	return nil
+}

@@ -1,0 +1,378 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the release contract on sync.Mutex / sync.RWMutex
+// acquisitions: a Lock()/RLock() must be matched by a release the function
+// can be seen to reach — a deferred unlock, or an unlock before every
+// lexically later return — and no call chain may re-acquire a mutex it
+// already holds (the self-deadlock `closeMu`'s lock-ordered drain avoids by
+// convention today).
+//
+// The pass is lexical and per-function-body: each FuncDecl and FuncLit is
+// one scope, mutexes are keyed by the printed receiver chain (s.mu,
+// b.closeMu), and read locks are tracked separately from write locks. Four
+// shapes are findings:
+//
+//  1. a lock with no same-flavor release anywhere after it in the scope;
+//  2. a return crossed while a non-deferred lock is open (no unlock between
+//     the lock and the return);
+//  3. a direct re-lock of a key already held in the same scope;
+//  4. while a key is held, a call to a same-package method on the same
+//     receiver whose own body locks the same mutex field.
+//
+// Lexical means control-flow-blind: an unlock inside one branch counts for
+// returns after the branch. That keeps the pass simple and quiet; the
+// deadlocks it exists for — early return under lock, double acquisition —
+// are exactly the shapes lexical order does expose.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "Lock/RLock must be released on every return path (defer or all-branches unlock); re-locking a held mutex in one call chain is a finding",
+	Run:  runLockDiscipline,
+}
+
+// lockFlavor separates write (Lock/Unlock) from read (RLock/RUnlock) pairs.
+type lockFlavor int
+
+const (
+	lockWrite lockFlavor = iota
+	lockRead
+)
+
+func (f lockFlavor) lockName() string {
+	if f == lockRead {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (f lockFlavor) unlockName() string {
+	if f == lockRead {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockEvent is one Lock/Unlock-family call found in a scope, in lexical
+// order.
+type lockEvent struct {
+	pos      token.Pos
+	key      string // printed receiver chain: "s.mu", "b.closeMu"
+	flavor   lockFlavor
+	acquire  bool
+	deferred bool
+}
+
+func runLockDiscipline(pass *Pass) error {
+	summaries := methodLockSummaries(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockScope(pass, fn.Body, receiverName(fn), summaries)
+				}
+			case *ast.FuncLit:
+				checkLockScope(pass, fn.Body, "", summaries)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverName returns the receiver identifier of a method declaration ("s"
+// in func (s *Server) ...), or "" for plain functions and blank receivers.
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+// methodLockSummaries records, for every method in the package, which of
+// its receiver's mutex fields the body directly locks ("@recv.mu|w"). It is
+// the one-level call-chain view rule 4 checks against.
+func methodLockSummaries(pass *Pass) map[*types.Func]map[string]bool {
+	out := make(map[*types.Func]map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" {
+				continue
+			}
+			locks := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, flavor, acquire, isLock := mutexOp(pass, call)
+				if isLock && acquire && canonicalReceiver(key, recv) != "" {
+					locks[fmt.Sprintf("@recv.%s|%d", canonicalReceiver(key, recv), flavor)] = true
+				}
+				return true
+			})
+			if len(locks) > 0 {
+				out[fn] = locks
+			}
+		}
+	}
+	return out
+}
+
+// canonicalReceiver rewrites a lock key rooted at the given receiver ident
+// to its field path ("s.mu" with receiver "s" → "mu"); "" when the key is
+// not rooted at the receiver.
+func canonicalReceiver(key, recv string) string {
+	if recv == "" {
+		return ""
+	}
+	prefix := recv + "."
+	if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+		return key[len(prefix):]
+	}
+	return ""
+}
+
+// mutexOp decodes a call as a sync mutex operation: the receiver-chain key,
+// the flavor, and whether it acquires. isLock is false for anything else.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key string, flavor lockFlavor, acquire, isLock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		flavor, acquire = lockWrite, true
+	case "Unlock":
+		flavor, acquire = lockWrite, false
+	case "RLock":
+		flavor, acquire = lockRead, true
+	case "RUnlock":
+		flavor, acquire = lockRead, false
+	default:
+		return "", 0, false, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	key = exprChain(sel.X)
+	if key == "" {
+		return "", 0, false, false
+	}
+	return key, flavor, acquire, true
+}
+
+// exprChain prints an ident/selector chain ("s.mu", "b.inner.closeMu"); ""
+// for anything more dynamic, which the pass then ignores rather than
+// misjudges.
+func exprChain(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprChain(x.X)
+	}
+	return ""
+}
+
+// checkLockScope runs the four rules over one function body. Nested
+// function literals are separate scopes and skipped here, except that a
+// deferred literal's unlocks count as deferred releases of this scope (the
+// defer func() { mu.Unlock() }() idiom).
+func checkLockScope(pass *Pass, body *ast.BlockStmt, recv string, summaries map[*types.Func]map[string]bool) {
+	var (
+		events  []lockEvent
+		returns []token.Pos
+		calls   []*ast.CallExpr
+	)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if key, flavor, acquire, ok := mutexOp(pass, node.Call); ok && !acquire {
+				events = append(events, lockEvent{pos: node.Pos(), key: key, flavor: flavor, deferred: true})
+				return false
+			}
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if key, flavor, acquire, ok := mutexOp(pass, call); ok && !acquire {
+							events = append(events, lockEvent{pos: node.Pos(), key: key, flavor: flavor, deferred: true})
+						}
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, node.Pos())
+		case *ast.CallExpr:
+			if key, flavor, acquire, ok := mutexOp(pass, node); ok {
+				events = append(events, lockEvent{pos: node.Pos(), key: key, flavor: flavor, acquire: acquire})
+			} else {
+				calls = append(calls, node)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	type flavored struct {
+		key    string
+		flavor lockFlavor
+	}
+	deferred := make(map[flavored]bool)
+	for _, e := range events {
+		if e.deferred {
+			deferred[flavored{e.key, e.flavor}] = true
+		}
+	}
+
+	// Rules 1 and 2: every acquisition needs a release after it; every
+	// return after a non-deferred acquisition needs a release in between.
+	unreleased := make(map[flavored]bool)
+	for _, l := range events {
+		if !l.acquire {
+			continue
+		}
+		fk := flavored{l.key, l.flavor}
+		if deferred[fk] {
+			continue
+		}
+		released := false
+		for _, u := range events {
+			if !u.acquire && !u.deferred && u.key == l.key && u.flavor == l.flavor && u.pos > l.pos {
+				released = true
+				break
+			}
+		}
+		if !released {
+			unreleased[fk] = true
+			pass.Reportf(l.pos, "%s.%s() is never released in this function: add a defer %s.%s() or unlock on every path", l.key, l.flavor.lockName(), l.key, l.flavor.unlockName())
+		}
+	}
+	for _, r := range returns {
+		for _, l := range events {
+			if !l.acquire || l.pos >= r {
+				continue
+			}
+			fk := flavored{l.key, l.flavor}
+			if deferred[fk] || unreleased[fk] {
+				continue
+			}
+			covered := false
+			for _, u := range events {
+				if !u.acquire && !u.deferred && u.key == l.key && u.flavor == l.flavor && u.pos > l.pos && u.pos <= r {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(r, "return while %s is still %sed: unlock before returning or use defer", l.key, l.flavor.lockName())
+			}
+		}
+	}
+
+	// Rule 3: direct re-lock of a held key. held(k, pos) — some acquisition
+	// of k lexically precedes pos with no release in between (deferred
+	// acquisitions hold to end of scope).
+	held := func(fk flavored, pos token.Pos) bool {
+		for _, l := range events {
+			if !l.acquire || l.deferred || l.key != fk.key || l.flavor != fk.flavor || l.pos >= pos {
+				continue
+			}
+			releasedBefore := false
+			for _, u := range events {
+				if !u.acquire && !u.deferred && u.key == l.key && u.flavor == l.flavor && u.pos > l.pos && u.pos < pos {
+					releasedBefore = true
+					break
+				}
+			}
+			if !releasedBefore {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range events {
+		if !l.acquire {
+			continue
+		}
+		if held(flavored{l.key, l.flavor}, l.pos) {
+			pass.Reportf(l.pos, "%s.%s() while %s is already held: self-deadlock", l.key, l.flavor.lockName(), l.key)
+		}
+	}
+
+	// Rule 4: calling a same-receiver method that re-locks a held field.
+	// Write-write and write-read collisions deadlock a Mutex/RWMutex;
+	// read-read is allowed.
+	if recv != "" && len(summaries) > 0 {
+		type chainHit struct {
+			call         *ast.CallExpr
+			field        string
+			calleeFlavor lockFlavor
+		}
+		reported := make(map[chainHit]bool)
+		for _, call := range calls {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || exprChain(sel.X) != recv {
+				continue
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				continue
+			}
+			locks := summaries[fn]
+			if len(locks) == 0 {
+				continue
+			}
+			for _, l := range events {
+				if !l.acquire {
+					continue
+				}
+				field := canonicalReceiver(l.key, recv)
+				if field == "" || !held(flavored{l.key, l.flavor}, call.Pos()) {
+					continue
+				}
+				for _, calleeFlavor := range []lockFlavor{lockWrite, lockRead} {
+					if l.flavor == lockRead && calleeFlavor == lockRead {
+						continue
+					}
+					hit := chainHit{call, field, calleeFlavor}
+					if reported[hit] || !locks[fmt.Sprintf("@recv.%s|%d", field, calleeFlavor)] {
+						continue
+					}
+					reported[hit] = true
+					pass.Reportf(call.Pos(), "call to %s.%s() %ss %s.%s which is already held here: self-deadlock", recv, fn.Name(), calleeFlavor.lockName(), recv, field)
+				}
+			}
+		}
+	}
+}

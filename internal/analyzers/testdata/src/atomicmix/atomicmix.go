@@ -1,0 +1,41 @@
+// Package atomicmix is a seeded-bad fixture: the hits field is accessed
+// through sync/atomic, so every plain read or write of it is a finding;
+// cold never goes through sync/atomic and stays free.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) racyIncrement() {
+	c.hits++ // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) plainOnly() int64 {
+	c.cold++
+	return c.cold
+}
+
+func (c *counters) waived() int64 {
+	//lint:ignore atomicmix fixture: single-threaded teardown snapshot, all writers joined
+	return c.hits
+}

@@ -1,6 +1,7 @@
 // Package directive is a fixture for the suppression mechanics themselves:
 // a //lint:ignore with no justification must not silence the finding it
-// sits on, and must be reported as a finding in its own right.
+// sits on, and must be reported as a finding in its own right; a justified
+// directive that suppresses nothing is reported as stale.
 package directive
 
 type Tuple []int
@@ -23,4 +24,18 @@ func leaks() {
 	//lint:ignore iterclose
 	it := newSource()
 	it.Open()
+}
+
+func closesProperly() {
+	//lint:ignore iterclose the iterator below is closed, so this waiver is stale
+	it := newSource()
+	it.Open()
+	it.Close()
+}
+
+func typoedWaiver() {
+	//lint:ignore iterclos justified, but the analyzer name is misspelled
+	it := newSource()
+	it.Open()
+	it.Close()
 }

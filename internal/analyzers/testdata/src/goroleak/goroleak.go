@@ -1,0 +1,95 @@
+// Package goroleak is a seeded-bad fixture: goroutines without a lifecycle
+// tie (no WaitGroup Done, no quit/done channel, no context watch) are
+// findings; the tied shapes the service tier uses are not.
+package goroleak
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	in   chan int
+}
+
+func (p *pool) leakyAnonymous() {
+	go func() { // want `goroutine has no lifecycle tie`
+		fmt.Println("working forever")
+	}()
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func (p *pool) leakyNamed() {
+	go spin() // want `goroutine has no lifecycle tie`
+}
+
+func (p *pool) leakyExternal() {
+	go fmt.Println("body not visible") // want `goroutine has no lifecycle tie`
+}
+
+func (p *pool) tiedWaitGroup() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fmt.Println("tracked")
+	}()
+	p.wg.Wait()
+}
+
+func (p *pool) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.in:
+			_ = v
+		}
+	}
+}
+
+func (p *pool) tiedQuitChannel() {
+	go p.loop()
+}
+
+func (p *pool) tiedRange() {
+	go func() {
+		for v := range p.in {
+			_ = v
+		}
+	}()
+}
+
+func (p *pool) tiedContext(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			fmt.Println("cancellable")
+		}
+	}()
+}
+
+// run holds the select; start is the one-level indirection the recursion
+// must follow.
+func (p *pool) run() {
+	<-p.quit
+}
+
+func (p *pool) start() {
+	p.run()
+}
+
+func (p *pool) tiedIndirect() {
+	go p.start()
+}
+
+func (p *pool) waived() {
+	//lint:ignore goroleak fixture: lifetime owned by the test process, reaped on exit
+	go spin()
+}

@@ -1,0 +1,104 @@
+// Package lockdiscipline is a seeded-bad fixture: locks that are never
+// released, returns crossed under an open lock, direct double locks, and
+// one-level call chains that re-acquire a held mutex are findings; the
+// deferred and all-branches release shapes are not.
+package lockdiscipline
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (b *box) neverReleased() {
+	b.mu.Lock() // want `b\.mu\.Lock\(\) is never released in this function`
+	b.n++
+}
+
+func (b *box) earlyReturn(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		return b.n // want `return while b\.mu is still Locked`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Lock() // want `b\.mu\.Lock\(\) while b\.mu is already held`
+}
+
+func (b *box) relocks() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) chainCaller() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.relocks() // want `call to b\.relocks\(\) Locks b\.mu which is already held`
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) deferredLiteral() int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+func (b *box) allBranches(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) readers() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// readThenRead is legal: concurrent RLocks do not deadlock each other, so
+// the call-chain rule stays quiet on read-read.
+func (b *box) readSnapshot() int {
+	b.rw.RLock()
+	n := b.n
+	b.rw.RUnlock()
+	return n
+}
+
+func (b *box) readThenRead() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.readSnapshot()
+}
+
+func (b *box) sequential() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Lock()
+	b.n--
+	b.mu.Unlock()
+}
+
+func (b *box) waived() {
+	//lint:ignore lockdiscipline fixture: released by the caller that paired with this acquire
+	b.mu.Lock()
+}

@@ -1,0 +1,44 @@
+// Package timeinject is a seeded-bad fixture: breaker declares itself
+// clock-injected by taking `now time.Time`, so wall-clock reads in any of
+// its methods — including the one that forgot to take now — are findings.
+// The boundary type never takes an injected now and may read the clock.
+package timeinject
+
+import "time"
+
+type breaker struct {
+	openedAt time.Time
+	failures int
+}
+
+func (b *breaker) allow(now time.Time) bool {
+	return now.Sub(b.openedAt) > time.Second
+}
+
+func (b *breaker) observe(failed bool) {
+	if failed {
+		b.failures++
+		b.openedAt = time.Now() // want `time\.Now inside clock-injected method observe`
+	}
+}
+
+func (b *breaker) age(now time.Time) time.Duration {
+	_ = now
+	return time.Since(b.openedAt) // want `time\.Since inside clock-injected method age`
+}
+
+func elapsed(now time.Time, start time.Time) time.Duration {
+	_ = now
+	return time.Now().Sub(start) // want `time\.Now inside clock-injected function elapsed`
+}
+
+type boundary struct{}
+
+func (boundary) poll() time.Time {
+	return time.Now()
+}
+
+func (b *breaker) waived() {
+	//lint:ignore timeinject fixture: logging timestamp only, never fed to the state machine
+	b.openedAt = time.Now()
+}

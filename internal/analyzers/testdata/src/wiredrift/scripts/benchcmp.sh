@@ -1,0 +1,10 @@
+#!/bin/sh
+# Fixture stand-in for the real benchcmp.sh: the analyzer only reads the
+# quoted counter list inside the awk split call. base_tuples_read no longer
+# matches any wire tag in the fixture package.
+awk '
+BEGIN {
+	ncounters = split("base_tuples_read comparisons " \
+	                  "sheds",
+	                  counters, " ");
+}' </dev/null

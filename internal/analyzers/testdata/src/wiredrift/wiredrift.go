@@ -1,0 +1,23 @@
+// Package wiredrift is a seeded-bad fixture. It carries its own README.md
+// and scripts/benchcmp.sh next to this file, and its Snapshot deliberately
+// tags the read counter base_tuples_red while both artifacts still say
+// base_tuples_read — the half-done rename the analyzer exists to catch.
+// The README also documents a ghost_counter no wire tag backs.
+package wiredrift
+
+// Snapshot stands in for core.Snapshot: the exhaustively documented core
+// of the wire schema.
+type Snapshot struct {
+	Version        int   `json:"version"`
+	BaseTuplesRead int64 `json:"base_tuples_red"`
+	Comparisons    int64 `json:"comparisons"`
+}
+
+type counters struct {
+	Sheds int64 `json:"sheds"`
+}
+
+type StatsReport struct { // want `benchcmp\.sh counter "base_tuples_read" does not match any JSON tag` want `README stats-schema entry "base_tuples_read" does not match any JSON tag` want `README stats-schema entry "ghost_counter" does not match any JSON tag` want `Snapshot JSON tag "base_tuples_red" is missing from the README stats-schema table`
+	Service counters            `json:"service"`
+	Tenants map[string]Snapshot `json:"tenants"`
+}

@@ -1,0 +1,320 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireDrift pins the /stats wire schema to the two artifacts that consume
+// it by name: the counter list in scripts/benchcmp.sh (the regression
+// gate's awk extractor) and the stats-schema table in README.md (the
+// documented contract). PR 6 renamed Snapshot counters by hand in three
+// places; this pass makes the rename impossible to half-do.
+//
+// The pass arms only in a package that declares a struct type named
+// StatsReport — the /stats payload root. From it the pass collects the
+// transitive JSON tag set (following named struct fields through slices,
+// maps and pointers, across package boundaries via export data), then:
+//
+//  1. every counter benchcmp.sh extracts must be a JSON tag somewhere in
+//     the wire schema;
+//  2. every name in the README's stats-schema table (the rows between
+//     <!-- stats-schema:begin --> and <!-- stats-schema:end -->) must be a
+//     JSON tag in the wire schema;
+//  3. every JSON tag of the struct type named Snapshot must appear in the
+//     README table — the versioned engine snapshot is the schema's core and
+//     is documented exhaustively, both directions.
+//
+// The artifacts are located by walking up from the package's source
+// directory to the nearest directory holding both scripts/benchcmp.sh and
+// README.md, so fixtures carry their own pair and the real package binds to
+// the repository's.
+var WireDrift = &Analyzer{
+	Name: "wiredrift",
+	Doc:  "JSON tags of the /stats wire schema stay in sync with scripts/benchcmp.sh counters and the README stats-schema table",
+	Run:  runWireDrift,
+}
+
+const (
+	statsSchemaBegin = "<!-- stats-schema:begin -->"
+	statsSchemaEnd   = "<!-- stats-schema:end -->"
+)
+
+func runWireDrift(pass *Pass) error {
+	obj := pass.Pkg.Scope().Lookup("StatsReport")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	at := statsReportPos(pass, tn)
+
+	wireTags := make(map[string]bool)
+	snapshotTags := make(map[string]bool)
+	collectWireTags(tn.Type(), wireTags, snapshotTags, make(map[*types.TypeName]bool), 0)
+
+	root := artifactRoot(pass)
+	if root == "" {
+		pass.Reportf(at, "cannot locate scripts/benchcmp.sh and README.md above this package to cross-check the wire schema")
+		return nil
+	}
+
+	counters, err := benchcmpCounters(filepath.Join(root, "scripts", "benchcmp.sh"))
+	if err != nil {
+		return err
+	}
+	if len(counters) == 0 {
+		pass.Reportf(at, "no counter list found in %s (expected quoted names inside the awk split call)", filepath.Join(root, "scripts", "benchcmp.sh"))
+	}
+	for _, c := range counters {
+		if !wireTags[c] {
+			pass.Reportf(at, "benchcmp.sh counter %q does not match any JSON tag in the stats wire schema: the regression gate reads a field that no longer exists", c)
+		}
+	}
+
+	readmeNames, found, err := readmeSchemaNames(filepath.Join(root, "README.md"))
+	if err != nil {
+		return err
+	}
+	if !found {
+		pass.Reportf(at, "README.md has no stats-schema table: add one between %s and %s", statsSchemaBegin, statsSchemaEnd)
+		return nil
+	}
+	readmeSet := make(map[string]bool, len(readmeNames))
+	for _, n := range readmeNames {
+		readmeSet[n] = true
+		if !wireTags[n] {
+			pass.Reportf(at, "README stats-schema entry %q does not match any JSON tag in the stats wire schema: the documented field no longer exists", n)
+		}
+	}
+	for _, tag := range sortedKeys(snapshotTags) {
+		if !readmeSet[tag] {
+			pass.Reportf(at, "Snapshot JSON tag %q is missing from the README stats-schema table", tag)
+		}
+	}
+	return nil
+}
+
+// statsReportPos finds the declaration position to anchor findings on:
+// the StatsReport type spec if it is in this package's AST, else the type
+// object's own position.
+func statsReportPos(pass *Pass, tn *types.TypeName) token.Pos {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == "StatsReport" {
+					return ts.Name.Pos()
+				}
+			}
+		}
+	}
+	return tn.Pos()
+}
+
+// collectWireTags walks the JSON-visible closure of t: every struct field's
+// json tag name is added to tags, and the fields of the struct type named
+// Snapshot also land in snapshotTags. Named struct fields are followed
+// through pointers, slices, arrays and map values, across packages (export
+// data preserves struct tags).
+func collectWireTags(t types.Type, tags, snapshotTags map[string]bool, visited map[*types.TypeName]bool, depth int) {
+	if depth > 6 {
+		return
+	}
+	t = types.Unalias(t)
+	switch u := t.(type) {
+	case *types.Pointer:
+		collectWireTags(u.Elem(), tags, snapshotTags, visited, depth)
+		return
+	case *types.Slice:
+		collectWireTags(u.Elem(), tags, snapshotTags, visited, depth)
+		return
+	case *types.Array:
+		collectWireTags(u.Elem(), tags, snapshotTags, visited, depth)
+		return
+	case *types.Map:
+		collectWireTags(u.Elem(), tags, snapshotTags, visited, depth)
+		return
+	}
+	var (
+		st      *types.Struct
+		isSnap  bool
+		namedTN *types.TypeName
+	)
+	if named, ok := t.(*types.Named); ok {
+		namedTN = named.Obj()
+		if visited[namedTN] {
+			return
+		}
+		visited[namedTN] = true
+		isSnap = namedTN.Name() == "Snapshot"
+		st, ok = named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+	} else if s, ok := t.(*types.Struct); ok {
+		st = s
+	} else {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		name := jsonTagName(st.Tag(i))
+		if name != "" {
+			tags[name] = true
+			if isSnap {
+				snapshotTags[name] = true
+			}
+		}
+		collectWireTags(field.Type(), tags, snapshotTags, visited, depth+1)
+	}
+}
+
+// jsonTagName extracts the wire name from a struct tag; "" when the field
+// is untagged or excluded.
+func jsonTagName(tag string) string {
+	name, _, _ := strings.Cut(reflect.StructTag(tag).Get("json"), ",")
+	if name == "-" {
+		return ""
+	}
+	return name
+}
+
+// artifactRoot walks up from the package's source directory to the nearest
+// directory that holds both scripts/benchcmp.sh and README.md.
+func artifactRoot(pass *Pass) string {
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	for {
+		bench := filepath.Join(dir, "scripts", "benchcmp.sh")
+		readme := filepath.Join(dir, "README.md")
+		if fileExists(bench) && fileExists(readme) {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}
+
+// benchcmpCounters extracts the counter names from the awk split("...")
+// call in benchcmp.sh: every identifier inside the double-quoted segments
+// between `split(` and the closing `counters` argument.
+func benchcmpCounters(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	start := strings.Index(text, "split(")
+	if start < 0 {
+		return nil, nil
+	}
+	rest := text[start:]
+	end := strings.Index(rest, "counters")
+	if end < 0 {
+		return nil, nil
+	}
+	region := rest[:end]
+	var counters []string
+	for {
+		open := strings.IndexByte(region, '"')
+		if open < 0 {
+			break
+		}
+		region = region[open+1:]
+		closeQ := strings.IndexByte(region, '"')
+		if closeQ < 0 {
+			break
+		}
+		for _, tok := range strings.Fields(region[:closeQ]) {
+			if isCounterName(tok) {
+				counters = append(counters, tok)
+			}
+		}
+		region = region[closeQ+1:]
+	}
+	return counters, nil
+}
+
+// isCounterName reports whether tok looks like a JSON counter name
+// (lowercase identifier with underscores), filtering awk syntax debris.
+func isCounterName(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	for _, r := range tok {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// readmeSchemaNames extracts the backticked first-column names of the table
+// rows between the stats-schema markers. found is false when the markers
+// are absent.
+func readmeSchemaNames(path string) (names []string, found bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	text := string(data)
+	begin := strings.Index(text, statsSchemaBegin)
+	if begin < 0 {
+		return nil, false, nil
+	}
+	rest := text[begin+len(statsSchemaBegin):]
+	end := strings.Index(rest, statsSchemaEnd)
+	if end < 0 {
+		return nil, false, nil
+	}
+	for _, line := range strings.Split(rest[:end], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		open := strings.IndexByte(line, '`')
+		if open < 0 {
+			continue
+		}
+		tail := line[open+1:]
+		closeQ := strings.IndexByte(tail, '`')
+		if closeQ < 0 {
+			continue
+		}
+		if name := tail[:closeQ]; name != "" {
+			names = append(names, name)
+		}
+	}
+	return names, true, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

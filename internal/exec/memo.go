@@ -423,6 +423,7 @@ func (m *Memo) consumeWait(e *memoEntry, pos int, done <-chan struct{}) (t relat
 			m.mu.Unlock()
 			return nil, consumeCancelled, blocked
 		}
+		//lint:ignore lockdiscipline re-acquire at loop bottom; control jumps back to the loop head where every exit path unlocks
 		m.mu.Lock()
 		e.waiters--
 	}
@@ -473,6 +474,7 @@ func (m *Memo) consumeWaitBlock(e *memoEntry, pos, max int, done <-chan struct{}
 			m.mu.Unlock()
 			return nil, consumeCancelled, blocked
 		}
+		//lint:ignore lockdiscipline re-acquire at loop bottom; control jumps back to the loop head where every exit path unlocks
 		m.mu.Lock()
 		e.waiters--
 	}

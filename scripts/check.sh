@@ -43,7 +43,18 @@ echo "== go vet"
 go vet ./...
 
 echo "== make lint (repo invariant analyzers)"
+# The suite must stay cheap enough to run on every check: budget 30s of
+# wall clock for the whole lint step (including the go run build). The
+# -timing output in the lint target itemizes per-pass cost when the budget
+# ever gets tight.
+lint_start=$(date +%s)
 make lint
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "   lint wall clock: ${lint_elapsed}s (budget 30s)"
+if [ "$lint_elapsed" -ge 30 ]; then
+	echo "lint suite took ${lint_elapsed}s, over the 30s budget — see the lintrepro timing lines above" >&2
+	exit 1
+fi
 
 echo "== go build"
 go build ./...
